@@ -1,0 +1,16 @@
+"""Table 1: algorithm property matrix."""
+
+from conftest import save_text
+
+from repro.harness.report import render_table, write_csv
+from repro.harness.tables import table1_properties
+
+
+def test_table1(benchmark, results_dir):
+    headers, rows = benchmark.pedantic(
+        table1_properties, rounds=1, iterations=1
+    )
+    text = render_table(headers, rows, title="Table 1: Algorithm properties")
+    save_text(results_dir, "table1.txt", text)
+    write_csv(results_dir / "table1.csv", headers, rows)
+    assert len(rows) == 4

@@ -1,0 +1,44 @@
+"""Benchmark fixtures.
+
+Benchmarks run at the *bench* scale (default ne=8, 10 levels, 101 members,
+170 variables), tunable via ``REPRO_NE`` / ``REPRO_NLEV`` /
+``REPRO_MEMBERS`` up to the paper's ne=30.  Every table/figure benchmark
+writes its rendered output and CSV rows to ``benchmarks/results/`` so that
+EXPERIMENTS.md can be regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext.bench()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Worker processes for the heavy sweeps (0 disables)."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is not None:
+        return int(raw)
+    return os.cpu_count() or 1
+
+
+def save_text(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print("\n" + text)

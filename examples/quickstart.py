@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: compress a climate variable and measure what was lost.
+
+Generates a CAM-like zonal-wind field, runs it through every compression
+method from the paper (fpzip, ISABELA, GRIB2+JPEG2000, APAX, and the
+lossless NetCDF-4 baseline), and prints the paper's Section 4 metrics:
+compression ratio (eq. 1), NRMSE (eq. 4), normalized maximum pointwise
+error (eq. 2), and the Pearson correlation (eq. 5) with its 0.99999
+acceptance threshold.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compressors import get_variant, paper_variants
+from repro.config import RHO_THRESHOLD, ReproConfig
+from repro.harness.report import render_table
+from repro.metrics import characterize, nrmse, normalized_max_error, pearson
+from repro.model import CAMEnsemble
+
+
+def main() -> None:
+    # A small ensemble is enough for a single-field demo.
+    config = ReproConfig(ne=6, nlev=8, n_members=5, n_2d=10, n_3d=10)
+    ensemble = CAMEnsemble(config)
+    field = ensemble.member_field("U", 0)
+
+    c = characterize(field)
+    print(
+        f"Variable U (zonal wind): {field.shape[-1]} columns x "
+        f"{field.shape[0]} levels, min={c.x_min:.3g} max={c.x_max:.3g} "
+        f"mean={c.mean:.3g} std={c.std:.3g}\n"
+        f"Lossless NetCDF-4 CR (eq. 1): {c.lossless_cr:.2f} "
+        "(smaller is better)\n"
+    )
+
+    rows = []
+    for variant in list(paper_variants()) + ["NetCDF-4"]:
+        codec = get_variant(variant)
+        outcome = codec.roundtrip(field)
+        rho = pearson(field, outcome.reconstructed)
+        rows.append([
+            variant,
+            outcome.cr,
+            nrmse(field, outcome.reconstructed),
+            normalized_max_error(field, outcome.reconstructed),
+            rho,
+            rho >= RHO_THRESHOLD,
+        ])
+    print(render_table(
+        ["method", "CR", "NRMSE", "e_nmax", "rho", "rho >= .99999"],
+        rows,
+        title="Compression methods on variable U",
+        precision=7,
+    ))
+    print(
+        "\nNote: passing the correlation test is necessary but NOT "
+        "sufficient —\nthe paper's ensemble tests (see "
+        "examples/ensemble_verification.py) have the final word."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment's setuptools lacks PEP 660 editable-install
+support without the `wheel` package; keeping a setup.py lets
+``pip install -e .`` fall back to the legacy develop path when needed.
+"""
+
+import setuptools
+
+setuptools.setup()

@@ -1,0 +1,36 @@
+"""Post-processing analysis substrate.
+
+The paper's acceptance bar is operational: "if the reconstructed and the
+original climate simulation data are indistinguishable during the
+post-processing analysis, which includes both visualization and analytics,
+then ... applying compression is certainly a reasonable thing to do"
+(Section 1).  This package implements the standard analytics that
+post-processing performs on history files — zonal means, vertical
+profiles, area-weighted global diagnostics, anomalies — plus
+:func:`compare`, a one-call original-vs-reconstructed diagnostic bundle
+(in the spirit of NCAR's later ``ldcpy`` package, which grew out of this
+line of work).
+"""
+
+from repro.analysis.climatology import (
+    zonal_mean,
+    meridional_profile,
+    vertical_profile,
+    anomaly,
+)
+from repro.analysis.compare import ComparisonReport, compare
+from repro.analysis.spectra import (
+    zonal_power_spectrum,
+    spectral_noise_floor_ratio,
+)
+
+__all__ = [
+    "zonal_mean",
+    "meridional_profile",
+    "vertical_profile",
+    "anomaly",
+    "ComparisonReport",
+    "compare",
+    "zonal_power_spectrum",
+    "spectral_noise_floor_ratio",
+]

@@ -1,0 +1,104 @@
+"""Climatological reductions on unstructured cubed-sphere fields.
+
+These are the reductions a climate scientist runs on history files before
+looking at anything else; the verification question is always whether they
+change when the underlying data has been through lossy compression.
+
+All reductions are area-weighted, exclude CESM fill values, and accept
+either horizontal fields ``(ncol,)`` or 3-D fields ``(nlev, ncol)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.cubed_sphere import CubedSphereGrid
+from repro.metrics.characterize import valid_mask
+
+__all__ = ["zonal_mean", "meridional_profile", "vertical_profile",
+           "anomaly", "latitude_band_edges"]
+
+
+def latitude_band_edges(n_bands: int) -> np.ndarray:
+    """Equal-width latitude band edges from -90 to 90 degrees."""
+    if n_bands < 1:
+        raise ValueError(f"n_bands must be positive, got {n_bands}")
+    return np.linspace(-90.0, 90.0, n_bands + 1)
+
+
+def _band_index(grid: CubedSphereGrid, n_bands: int) -> np.ndarray:
+    edges = latitude_band_edges(n_bands)
+    idx = np.digitize(grid.lat, edges[1:-1])
+    return idx
+
+
+def zonal_mean(
+    grid: CubedSphereGrid, field: np.ndarray, n_bands: int = 24
+) -> np.ndarray:
+    """Area-weighted mean per latitude band.
+
+    Returns ``(n_bands,)`` for a horizontal field or ``(nlev, n_bands)``
+    for a 3-D field; bands with no valid points come back NaN.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim == 1:
+        field = field[None, :]
+        squeeze = True
+    elif field.ndim == 2:
+        squeeze = False
+    else:
+        raise ValueError(f"expected (ncol,) or (nlev, ncol), got {field.shape}")
+    if field.shape[-1] != grid.ncol:
+        raise ValueError(
+            f"field has {field.shape[-1]} columns, grid has {grid.ncol}"
+        )
+
+    idx = _band_index(grid, n_bands)
+    out = np.full((field.shape[0], n_bands), np.nan)
+    for lev in range(field.shape[0]):
+        ok = valid_mask(field[lev])
+        w = np.where(ok, grid.area, 0.0)
+        num = np.bincount(idx, weights=w * np.where(ok, field[lev], 0.0),
+                          minlength=n_bands)
+        den = np.bincount(idx, weights=w, minlength=n_bands)
+        nz = den > 0
+        out[lev, nz] = num[nz] / den[nz]
+    return out[0] if squeeze else out
+
+
+def meridional_profile(
+    grid: CubedSphereGrid, field: np.ndarray, n_bands: int = 24
+) -> tuple[np.ndarray, np.ndarray]:
+    """Band-center latitudes and the corresponding zonal means."""
+    edges = latitude_band_edges(n_bands)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, zonal_mean(grid, field, n_bands)
+
+
+def vertical_profile(grid: CubedSphereGrid, field: np.ndarray) -> np.ndarray:
+    """Area-weighted global mean per level of a 3-D field."""
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2 or field.shape[-1] != grid.ncol:
+        raise ValueError(
+            f"expected (nlev, {grid.ncol}) field, got {field.shape}"
+        )
+    out = np.empty(field.shape[0])
+    for lev in range(field.shape[0]):
+        mask = ~valid_mask(field[lev])
+        out[lev] = grid.global_mean(
+            np.where(mask, 0.0, field[lev]), mask=mask
+        )
+    return out
+
+
+def anomaly(field: np.ndarray, climatology: np.ndarray) -> np.ndarray:
+    """Field minus climatology, with fill values propagated."""
+    field = np.asarray(field, dtype=np.float64)
+    climatology = np.asarray(climatology, dtype=np.float64)
+    if field.shape != climatology.shape:
+        raise ValueError(
+            f"shape mismatch: {field.shape} vs {climatology.shape}"
+        )
+    ok = valid_mask(field) & valid_mask(climatology)
+    out = np.where(ok, field - climatology, np.nan)
+    return out

@@ -1,0 +1,71 @@
+"""Zonal wavenumber spectra.
+
+A compression-noise diagnostic from the visualization/analysis toolbox
+(NCAR's later ``ldcpy`` ships one): project the field onto a regular
+lat/lon raster, FFT each latitude row, and average the power over a
+latitude band.  Lossy compression shows up as a *noise floor* at high
+wavenumbers — energy where the original spectrum has already decayed —
+long before any pointwise metric looks alarming.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.cubed_sphere import CubedSphereGrid
+from repro.metrics.ssim import rasterize
+
+__all__ = ["zonal_power_spectrum", "spectral_noise_floor_ratio"]
+
+
+def zonal_power_spectrum(
+    grid: CubedSphereGrid,
+    field: np.ndarray,
+    nlat: int = 32,
+    nlon: int = 64,
+    lat_band: tuple[float, float] = (-60.0, 60.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean zonal power spectrum over a latitude band.
+
+    Returns ``(wavenumbers, power)`` with wavenumbers ``0..nlon//2``.
+    ``field`` is a horizontal slice ``(ncol,)``.
+    """
+    if lat_band[0] >= lat_band[1]:
+        raise ValueError(f"empty latitude band {lat_band}")
+    img = rasterize(grid, np.asarray(field, dtype=np.float64), nlat, nlon)
+    centers = np.linspace(-90.0, 90.0, nlat, endpoint=False) + 90.0 / nlat
+    rows = img[(centers >= lat_band[0]) & (centers <= lat_band[1])]
+    if rows.size == 0:
+        raise ValueError(f"no raster rows inside latitude band {lat_band}")
+    coeffs = np.fft.rfft(rows, axis=1)
+    power = (np.abs(coeffs) ** 2).mean(axis=0) / nlon**2
+    wavenumbers = np.arange(power.size)
+    return wavenumbers, power
+
+
+def spectral_noise_floor_ratio(
+    grid: CubedSphereGrid,
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    nlat: int = 32,
+    nlon: int = 64,
+    tail_fraction: float = 0.25,
+) -> float:
+    """High-wavenumber energy ratio: reconstructed over original.
+
+    Averages the top ``tail_fraction`` of the zonal spectrum; 1.0 means
+    the compression left the small scales untouched, >> 1 means it
+    injected a noise floor (or << 1: it smoothed the small scales away).
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(f"tail_fraction must be in (0, 1], got "
+                         f"{tail_fraction}")
+    _, p_orig = zonal_power_spectrum(grid, original, nlat, nlon)
+    _, p_rec = zonal_power_spectrum(grid, reconstructed, nlat, nlon)
+    k0 = int(len(p_orig) * (1.0 - tail_fraction))
+    k0 = min(max(k0, 1), len(p_orig) - 1)
+    tail_orig = float(p_orig[k0:].mean())
+    tail_rec = float(p_rec[k0:].mean())
+    if tail_orig == 0.0:
+        return 1.0 if tail_rec == 0.0 else float("inf")
+    return tail_rec / tail_orig

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Exposes the paper's workflows as commands:
+
+- ``characterize`` — Section 4.1 statistics for one or more variables;
+- ``verify``       — run the four acceptance tests for a codec variant;
+- ``hybrid``       — build the per-variable hybrid plan for a family;
+- ``table``        — regenerate one of the paper's tables (1-8);
+- ``variants``     — list the registered codec variants.
+
+Scale flags (``--ne``, ``--nlev``, ``--members``) mirror the ``REPRO_*``
+environment knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ReproConfig, bench_scale
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args) -> ReproConfig:
+    base = bench_scale()
+    return base.with_scale(ne=args.ne, nlev=args.nlev,
+                           n_members=args.members)
+
+
+def _add_scale_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ne", type=int, default=None,
+                        help="cubed-sphere resolution (paper: 30)")
+    parser.add_argument("--nlev", type=int, default=None,
+                        help="vertical levels (paper: 30)")
+    parser.add_argument("--members", type=int, default=None,
+                        help="ensemble size (paper: 101)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Baker et al. (HPDC 2014): verifying "
+                    "lossy compression of climate simulation data.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize",
+                       help="Section 4.1 statistics (Table 2 rows)")
+    p.add_argument("variables", nargs="*", default=[],
+                   help="variable names (default: the featured four)")
+    _add_scale_flags(p)
+
+    p = sub.add_parser("verify",
+                       help="run the four acceptance tests for a variant")
+    p.add_argument("variant", help="codec label, e.g. fpzip-24 or APAX-4")
+    p.add_argument("variables", nargs="*", default=[],
+                   help="variable names (default: the featured four)")
+    p.add_argument("--no-bias", action="store_true",
+                   help="skip the whole-ensemble bias test")
+    _add_scale_flags(p)
+
+    p = sub.add_parser("hybrid",
+                       help="build a per-variable hybrid plan (Section 5.4)")
+    p.add_argument("family", choices=["GRIB2", "ISABELA", "fpzip", "APAX",
+                                      "NetCDF-4"])
+    p.add_argument("--extended-apax", action="store_true",
+                   help="include APAX rates 6 and 7")
+    p.add_argument("--no-bias", action="store_true")
+    _add_scale_flags(p)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=range(1, 9))
+    p.add_argument("--no-bias", action="store_true")
+    _add_scale_flags(p)
+
+    p = sub.add_parser(
+        "summary",
+        help="run the trusted ensemble and write its PVT summary file",
+    )
+    p.add_argument("output", help="output .nch summary path")
+    p.add_argument("variables", nargs="*", default=[],
+                   help="variables to summarize (default: all)")
+    _add_scale_flags(p)
+
+    p = sub.add_parser(
+        "check",
+        help="verify history files against a stored PVT summary",
+    )
+    p.add_argument("summary", help="summary file from `repro summary`")
+    p.add_argument("history", nargs="+", help="NCH history files to check")
+    p.add_argument("--variables", nargs="*", default=None)
+    p.add_argument("--mean-tolerance", type=float, default=1.0,
+                   help="stretch factor on the global-mean range")
+
+    sub.add_parser("variants", help="list registered codec variants")
+    return parser
+
+
+def _featured_or(names, ctx) -> list[str]:
+    return list(names) if names else list(ctx.featured)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "variants":
+        from repro.compressors import get_variant, variant_names
+
+        for name in variant_names():
+            props = get_variant(name).properties()
+            print(f"{name:10s} {props.name}")
+        return 0
+
+    from repro.harness.report import render_table
+
+    if args.command == "check":
+        from repro.ncio.format import HistoryFile
+        from repro.pvt.summary import EnsembleSummary
+
+        summary = EnsembleSummary.read(args.summary)
+        names = args.variables or list(summary.variables)
+        rows = []
+        all_ok = True
+        for hist_path in args.history:
+            with HistoryFile(hist_path) as fh:
+                for name in names:
+                    verdict = summary.variables[name].verify(
+                        fh.get(name),
+                        mean_tolerance_factor=args.mean_tolerance,
+                    )
+                    all_ok &= verdict["passed"]
+                    rows.append([hist_path, name, verdict["rmsz"],
+                                 verdict["rmsz_ok"], verdict["mean_ok"],
+                                 verdict["passed"]])
+        print(render_table(
+            ["history file", "variable", "RMSZ", "rmsz ok", "mean ok",
+             "PASS"],
+            rows, title=f"PVT check against {args.summary}",
+        ))
+        return 0 if all_ok else 1
+
+    from repro.harness.experiments import ExperimentContext
+
+    ctx = ExperimentContext.create(_config_from_args(args))
+
+    if args.command == "characterize":
+        from repro.metrics.characterize import characterize
+
+        rows = []
+        for name in _featured_or(args.variables, ctx):
+            c = characterize(ctx.member_field(name))
+            rows.append([name, c.x_min, c.x_max, c.mean, c.std,
+                         c.lossless_cr])
+        print(render_table(
+            ["variable", "min", "max", "mean", "std", "lossless CR"],
+            rows, title="Data characteristics (Section 4.1)",
+        ))
+        return 0
+
+    if args.command == "verify":
+        from repro.compressors import get_variant
+
+        codec = get_variant(args.variant)
+        report = ctx.pvt.evaluate_codec(
+            codec, variables=_featured_or(args.variables, ctx),
+            run_bias=not args.no_bias,
+        )
+        rows = [
+            [v.variable, v.rho.passed, v.rmsz.passed, v.enmax.passed,
+             v.bias.passed if v.bias else None, v.all_passed, v.mean_cr]
+            for v in report.verdicts.values()
+        ]
+        print(render_table(
+            ["variable", "rho", "RMSZ", "E_nmax", "bias", "ALL", "CR"],
+            rows, title=f"Acceptance tests for {args.variant} "
+                        f"(members {ctx.test_members.tolist()})",
+        ))
+        return 0 if all(v.all_passed for v in report.verdicts.values()) else 1
+
+    if args.command == "hybrid":
+        from repro.hybrid.selector import build_hybrid
+
+        result = build_hybrid(
+            ctx.ensemble, args.family, run_bias=not args.no_bias,
+            extended_apax=args.extended_apax,
+        )
+        s = result.summary()
+        print(render_table(
+            ["variable", "variant", "CR", "rho", "nrmse", "e_nmax"],
+            [[c.variable, c.variant, c.cr, c.rho, c.nrmse, c.e_nmax]
+             for c in result.choices.values()],
+            title=f"Hybrid {args.family}: avg CR {s['avg_cr']:.3f} "
+                  f"(best {s['best_cr']:.3f}, worst {s['worst_cr']:.3f})",
+        ))
+        return 0
+
+    if args.command == "summary":
+        from repro.pvt.summary import EnsembleSummary
+
+        names = list(args.variables) or None
+        summary = EnsembleSummary.from_ensemble(ctx.ensemble,
+                                                variables=names)
+        path = summary.write(args.output)
+        print(f"wrote PVT summary for {len(summary.variables)} variables "
+              f"({summary.n_members} members) to {path}")
+        return 0
+
+    if args.command == "table":
+        from repro.harness import tables as t
+
+        n = args.number
+        if n == 1:
+            headers, rows = t.table1_properties()
+        elif n == 2:
+            headers, rows = t.table2_characteristics(ctx)
+        elif n == 3:
+            headers, rows = t.table3_nrmse(ctx)
+        elif n == 4:
+            headers, rows = t.table4_enmax(ctx)
+        elif n == 5:
+            headers, rows = t.table5_timings(ctx)
+        elif n == 6:
+            headers, rows = t.table6_passes(ctx,
+                                            run_bias=not args.no_bias)
+        elif n == 7:
+            headers, rows, _ = t.table7_hybrid_summary(
+                ctx, run_bias=not args.no_bias
+            )
+        else:
+            _, _, hybrids = t.table7_hybrid_summary(
+                ctx, run_bias=not args.no_bias
+            )
+            headers, rows = t.table8_hybrid_composition(hybrids)
+        print(render_table(headers, rows, title=f"Table {n}"))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

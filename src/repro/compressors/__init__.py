@@ -1,0 +1,55 @@
+"""Compression algorithms evaluated by the paper (Section 3).
+
+Each codec re-implements the algorithmic skeleton of one of the methods the
+paper studied, behind a uniform :class:`~repro.compressors.base.Compressor`
+API:
+
+========================  ======================================================
+:class:`NetCDF4Zlib`      lossless shuffle+DEFLATE (the "NC" baseline, eq. 1)
+:class:`Fpzip`            predictive coding with 8/16/24/32-bit precision
+:class:`Isabela`          window sort + B-spline fit with relative-error bound
+:class:`Grib2Jpeg2000`    decimal/binary scaling + wavelet packing + bitmap
+:class:`Apax`             fixed-rate block adaptive coder (+ fixed quality)
+========================  ======================================================
+
+Variants used in the paper's tables (fpzip-16, ISA-0.5, APAX-4, ...) are
+constructed via :func:`get_variant`, which knows every named variant in
+Tables 3-8.
+"""
+
+from repro.compressors.base import (
+    Compressor,
+    CodecProperties,
+    CompressionOutcome,
+    SpecialValueAdapter,
+    compression_ratio,
+)
+from repro.compressors.nczlib import NetCDF4Zlib
+from repro.compressors.fpzip import Fpzip
+from repro.compressors.isabela import Isabela
+from repro.compressors.grib2 import Grib2Jpeg2000
+from repro.compressors.apax import Apax, ApaxProfiler
+from repro.compressors.registry import (
+    get_variant,
+    variant_names,
+    paper_variants,
+    method_families,
+)
+
+__all__ = [
+    "Compressor",
+    "CodecProperties",
+    "CompressionOutcome",
+    "SpecialValueAdapter",
+    "compression_ratio",
+    "NetCDF4Zlib",
+    "Fpzip",
+    "Isabela",
+    "Grib2Jpeg2000",
+    "Apax",
+    "ApaxProfiler",
+    "get_variant",
+    "variant_names",
+    "paper_variants",
+    "method_families",
+]

@@ -1,0 +1,108 @@
+"""Named compressor variants used throughout the paper's tables.
+
+``get_variant("fpzip-24")`` returns a configured codec for any label that
+appears in Tables 3-8 or Figures 1-4.  :func:`method_families` exposes, per
+method, the variant ladder from most- to least-compressive plus the
+lossless fallback — the ordering the hybrid selector (Section 5.4) walks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compressors.apax import Apax
+from repro.compressors.base import Compressor
+from repro.compressors.fpzip import Fpzip
+from repro.compressors.grib2 import Grib2Jpeg2000
+from repro.compressors.isabela import Isabela
+from repro.compressors.lossless_related import Isobar, Mafisc
+from repro.compressors.nczlib import NetCDF4Zlib
+
+__all__ = ["get_variant", "variant_names", "paper_variants", "method_families"]
+
+_FACTORIES: dict[str, Callable[[], Compressor]] = {
+    "GRIB2": lambda: Grib2Jpeg2000(decimal_scale="auto"),
+    "APAX-2": lambda: Apax(rate=2),
+    "APAX-3": lambda: Apax(rate=3),
+    "APAX-4": lambda: Apax(rate=4),
+    "APAX-5": lambda: Apax(rate=5),
+    "APAX-6": lambda: Apax(rate=6),
+    "APAX-7": lambda: Apax(rate=7),
+    "fpzip-8": lambda: Fpzip(precision=8),
+    "fpzip-16": lambda: Fpzip(precision=16),
+    "fpzip-24": lambda: Fpzip(precision=24),
+    "fpzip-32": lambda: Fpzip(precision=32),
+    "ISA-0.1": lambda: Isabela(rel_error_pct=0.1),
+    "ISA-0.5": lambda: Isabela(rel_error_pct=0.5),
+    "ISA-1.0": lambda: Isabela(rel_error_pct=1.0),
+    "NetCDF-4": lambda: NetCDF4Zlib(),
+    # Related-work lossless methods (paper Section 2.1), for the lossless
+    # comparison benchmark.
+    "ISOBAR": lambda: Isobar(),
+    "MAFISC": lambda: Mafisc(adaptive=True),
+    "LZMA": lambda: Mafisc(adaptive=False),
+    "fpzip-32-lorenzo": lambda: Fpzip(precision=32, predictor="lorenzo"),
+}
+
+#: The nine lossy variants of the paper's Tables 3-6 / Figures 1-4, in the
+#: tables' row order.
+_PAPER_VARIANTS = (
+    "GRIB2",
+    "APAX-2",
+    "APAX-4",
+    "APAX-5",
+    "fpzip-24",
+    "fpzip-16",
+    "ISA-0.1",
+    "ISA-0.5",
+    "ISA-1.0",
+)
+
+#: Per method family: lossy variants ordered most-compressive first, then
+#: the lossless fallback (Section 5.4: "we use NetCDF4 compression for any
+#: variable that requires lossless treatment" for ISABELA and GRIB2; fpzip
+#: has its own lossless mode, fpzip-32; APAX also falls back to NetCDF-4
+#: since its lossless mode is unavailable for the data we store).
+_FAMILIES: dict[str, tuple[str, ...]] = {
+    "GRIB2": ("GRIB2", "NetCDF-4"),
+    "ISABELA": ("ISA-1.0", "ISA-0.5", "ISA-0.1", "NetCDF-4"),
+    "fpzip": ("fpzip-16", "fpzip-24", "fpzip-32"),
+    "APAX": ("APAX-5", "APAX-4", "APAX-2", "NetCDF-4"),
+}
+
+#: Extended APAX ladder including the rates the paper had "not yet tried"
+#: (Section 5.4) — used by the ablation benchmarks.
+_FAMILIES_EXTENDED = dict(
+    _FAMILIES, APAX=("APAX-7", "APAX-6", "APAX-5", "APAX-4", "APAX-2",
+                     "NetCDF-4")
+)
+
+
+def get_variant(name: str) -> Compressor:
+    """Instantiate the codec for a table label such as ``"APAX-4"``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown variant {name!r}; known: {known}") from None
+    return factory()
+
+
+def variant_names() -> tuple[str, ...]:
+    """All registered variant labels."""
+    return tuple(_FACTORIES)
+
+
+def paper_variants() -> tuple[str, ...]:
+    """The nine lossy variants evaluated in the paper, in table order."""
+    return _PAPER_VARIANTS
+
+
+def method_families(extended_apax: bool = False) -> dict[str, tuple[str, ...]]:
+    """Variant ladders per family, most-compressive first.
+
+    With ``extended_apax=True`` the APAX ladder includes rates 6 and 7
+    (the paper's suggested follow-up experiment).
+    """
+    families = _FAMILIES_EXTENDED if extended_apax else _FAMILIES
+    return {k: tuple(v) for k, v in families.items()}

@@ -1,0 +1,86 @@
+"""Length-prefixed multi-section byte container.
+
+Every compressor in :mod:`repro.compressors` serializes several logical
+streams (metadata, quotients, remainders, bitmaps, ...).  This tiny framing
+layer keeps that uniform: a container is a magic + section count header,
+followed by ``count`` sections each stored as ``<name-len><name><data-len>
+<data>``.  Sections are looked up by name at read time, so formats can add
+sections without breaking old readers.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SectionWriter", "SectionReader"]
+
+_MAGIC = b"RPRC"  # RePRo Container
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+class SectionWriter:
+    """Accumulates named byte sections and serializes them."""
+
+    def __init__(self) -> None:
+        self._sections: list[tuple[str, bytes]] = []
+        self._names: set[str] = set()
+
+    def add(self, name: str, data: bytes) -> None:
+        """Append section ``name`` with payload ``data``."""
+        if not name or len(name) > 255:
+            raise ValueError(f"section name must be 1..255 chars, got {name!r}")
+        if name in self._names:
+            raise ValueError(f"duplicate section {name!r}")
+        self._names.add(name)
+        self._sections.append((name, bytes(data)))
+
+    def tobytes(self) -> bytes:
+        """Serialize the accumulated sections."""
+        parts = [_MAGIC, _U32.pack(len(self._sections))]
+        for name, data in self._sections:
+            encoded = name.encode("utf-8")
+            parts.append(bytes([len(encoded)]))
+            parts.append(encoded)
+            parts.append(_U64.pack(len(data)))
+            parts.append(data)
+        return b"".join(parts)
+
+
+class SectionReader:
+    """Parses a container produced by :class:`SectionWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < 8 or data[:4] != _MAGIC:
+            raise ValueError("not a repro section container")
+        (count,) = _U32.unpack_from(data, 4)
+        off = 8
+        self._sections: dict[str, bytes] = {}
+        for _ in range(count):
+            if off >= len(data):
+                raise ValueError("truncated section container")
+            name_len = data[off]
+            off += 1
+            name = data[off : off + name_len].decode("utf-8")
+            off += name_len
+            (size,) = _U64.unpack_from(data, off)
+            off += 8
+            payload = data[off : off + size]
+            if len(payload) != size:
+                raise ValueError(f"truncated section {name!r}")
+            off += size
+            self._sections[name] = payload
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+    def names(self) -> list[str]:
+        """Section names in file order."""
+        return list(self._sections)
+
+    def get(self, name: str) -> bytes:
+        """Payload of section ``name`` (KeyError if absent)."""
+        try:
+            return self._sections[name]
+        except KeyError:
+            raise KeyError(f"container has no section {name!r}") from None

@@ -1,0 +1,120 @@
+"""Split-stream Golomb-Rice entropy codec.
+
+A Rice code with parameter ``k`` writes a value ``v >= 0`` as the unary code
+of the quotient ``q = v >> k`` followed by the ``k`` low bits of ``v``.
+Interleaving the two parts makes vectorized decoding awkward (a zero bit may
+be either a terminator or remainder payload), so we store them as *separate
+streams* — a pure-unary quotient stream and a fixed-width remainder stream —
+plus an escape stream for outliers:
+
+- values with ``q >= ESCAPE_Q`` are written as ``ESCAPE_Q`` in the quotient
+  stream and their full 64-bit value in the escape stream;
+- everything decodes with :func:`numpy.unpackbits`-level primitives only.
+
+The framing adds a 24-byte header; for the residual streams produced by the
+predictive codecs this is negligible.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.encoding.bitio import (
+    pack_fixed,
+    pack_unary,
+    unpack_fixed,
+    unpack_unary,
+)
+
+__all__ = ["rice_encode", "rice_decode", "choose_rice_k"]
+
+#: Quotients at or above this value are escaped to a raw 64-bit side stream.
+ESCAPE_Q = 40
+
+_HEADER = struct.Struct("<IQIIxxxx")  # magic, count, k, n_escaped (+pad)
+_MAGIC = 0x52494345  # "RICE"
+
+
+def choose_rice_k(values: np.ndarray) -> int:
+    """Pick a near-optimal Rice parameter for ``values``.
+
+    Uses the classic mean-based rule: the optimal ``k`` is approximately
+    ``log2(mean)``; we search the three integers around it and keep the one
+    with the smallest exact encoded size.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if values.size == 0:
+        return 0
+    mean = float(values.mean())
+    guess = max(0, int(np.log2(mean + 1.0)))
+    best_k, best_bits = 0, np.inf
+    for k in range(max(0, guess - 1), min(63, guess + 2) + 1):
+        q = values >> np.uint64(k)
+        q_capped = np.minimum(q, np.uint64(ESCAPE_Q))
+        escaped = int((q >= ESCAPE_Q).sum())
+        bits = int(q_capped.sum()) + values.size + k * values.size + 64 * escaped
+        if bits < best_bits:
+            best_k, best_bits = k, bits
+    return best_k
+
+
+def rice_encode(values: np.ndarray, k: int | None = None) -> bytes:
+    """Encode non-negative integers with the split-stream Rice code."""
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if k is None:
+        k = choose_rice_k(values)
+    if not 0 <= k <= 63:
+        raise ValueError(f"k must be in 0..63, got {k}")
+    q = values >> np.uint64(k)
+    escape_mask = q >= ESCAPE_Q
+    n_escaped = int(escape_mask.sum())
+    q_stream = pack_unary(np.minimum(q, np.uint64(ESCAPE_Q)))
+    mask = np.uint64((1 << k) - 1) if k else np.uint64(0)
+    remainders = values & mask
+    # Escaped values carry their full payload out-of-band; their remainder
+    # slot is zeroed so the remainder stream stays fixed-width.
+    if n_escaped:
+        remainders = np.where(escape_mask, np.uint64(0), remainders)
+    r_stream = pack_fixed(remainders, k)
+    e_stream = values[escape_mask].tobytes()
+    header = _HEADER.pack(_MAGIC, values.size, k, n_escaped)
+    return b"".join(
+        (
+            header,
+            struct.pack("<QQ", len(q_stream), len(r_stream)),
+            q_stream,
+            r_stream,
+            e_stream,
+        )
+    )
+
+
+def rice_decode(data: bytes) -> np.ndarray:
+    """Inverse of :func:`rice_encode`; returns a uint64 array."""
+    if len(data) < _HEADER.size + 16:
+        raise ValueError("truncated Rice payload")
+    magic, count, k, n_escaped = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"bad Rice magic 0x{magic:08x}")
+    off = _HEADER.size
+    q_len, r_len = struct.unpack_from("<QQ", data, off)
+    off += 16
+    q_stream = data[off : off + q_len]
+    off += q_len
+    r_stream = data[off : off + r_len]
+    off += r_len
+    e_stream = data[off : off + 8 * n_escaped]
+    if len(e_stream) != 8 * n_escaped:
+        raise ValueError("truncated Rice escape stream")
+
+    q = unpack_unary(q_stream, count)
+    remainders = unpack_fixed(r_stream, k, count)
+    values = (q << np.uint64(k)) | remainders
+    escape_mask = q >= ESCAPE_Q
+    if int(escape_mask.sum()) != n_escaped:
+        raise ValueError("Rice escape count mismatch")
+    if n_escaped:
+        values[escape_mask] = np.frombuffer(e_stream, dtype=np.uint64)
+    return values

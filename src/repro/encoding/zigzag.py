@@ -1,0 +1,26 @@
+"""Zigzag mapping between signed and unsigned integers.
+
+Maps 0, -1, 1, -2, 2, ... to 0, 1, 2, 3, 4, ... so that small-magnitude
+prediction residuals (of either sign) become small unsigned integers, the
+regime in which Golomb-Rice coding is efficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zigzag_encode", "zigzag_decode"]
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map int64 ``values`` to uint64 zigzag codes."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    return ((values << 1) ^ (values >> 63)).astype(np.uint64)
+
+
+def zigzag_decode(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint64)
+    return ((codes >> np.uint64(1)).astype(np.int64)) ^ (
+        -(codes & np.uint64(1)).astype(np.int64)
+    )

@@ -1,0 +1,260 @@
+"""CAM-SE cubed-sphere horizontal grid geometry.
+
+CAM's spectral-element dynamical core tiles the sphere with ``6 * ne**2``
+quadrilateral elements, each holding a ``np x np`` tensor grid of
+Gauss-Lobatto-Legendre (GLL) points.  Shared element edges collapse
+duplicate points, so the number of *unique* horizontal grid points is::
+
+    ncol = 6 * ne**2 * (np - 1)**2 + 2
+
+With the paper's ``ne = 30`` and CAM's default ``np = 4`` this yields the
+48,602 points quoted in Section 5.1.
+
+This module builds an equiangular gnomonic cubed-sphere point set with that
+exact point count: for each face we generate the ``(np-1)*(ne)`` unique GLL
+locations per edge direction (dropping each element's last row/column, which
+belongs to the neighbouring element), map them gnomonically onto the unit
+sphere, deduplicate points shared across face edges, and add the two points
+that close the count.  The result is a set of ``ncol`` latitude/longitude
+coordinates with associated quadrature areas summing to the sphere area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["CubedSphereGrid", "ncol_for_ne", "NP_DEFAULT"]
+
+#: CAM's default polynomial order parameter (np = 4 GLL points per element
+#: edge -> cubic elements).
+NP_DEFAULT = 4
+
+
+def ncol_for_ne(ne: int, np_: int = NP_DEFAULT) -> int:
+    """Number of unique horizontal grid points for a cubed-sphere grid.
+
+    Parameters
+    ----------
+    ne:
+        Elements per cube-face edge (paper: 30).
+    np_:
+        GLL points per element edge (CAM default: 4).
+
+    >>> ncol_for_ne(30)
+    48602
+    """
+    if ne <= 0:
+        raise ValueError(f"ne must be positive, got {ne}")
+    if np_ < 2:
+        raise ValueError(f"np must be at least 2, got {np_}")
+    return 6 * ne * ne * (np_ - 1) ** 2 + 2
+
+
+def _face_to_xyz(face: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Map equiangular face coordinates ``(a, b)`` in [-pi/4, pi/4] to 3-D
+    unit-sphere points for cube face ``face`` (0..5).
+
+    Faces follow the standard orientation: 0..3 are the equatorial faces
+    (+x, +y, -x, -y), 4 is the north (+z) cap and 5 the south (-z) cap.
+    """
+    x = np.tan(a)
+    y = np.tan(b)
+    ones = np.ones_like(x)
+    if face == 0:
+        vec = np.stack([ones, x, y], axis=-1)
+    elif face == 1:
+        vec = np.stack([-x, ones, y], axis=-1)
+    elif face == 2:
+        vec = np.stack([-ones, -x, y], axis=-1)
+    elif face == 3:
+        vec = np.stack([x, -ones, y], axis=-1)
+    elif face == 4:
+        vec = np.stack([-y, x, ones], axis=-1)
+    elif face == 5:
+        vec = np.stack([y, x, -ones], axis=-1)
+    else:
+        raise ValueError(f"face must be in 0..5, got {face}")
+    norm = np.linalg.norm(vec, axis=-1, keepdims=True)
+    return vec / norm
+
+
+def _gll_nodes(np_: int) -> np.ndarray:
+    """GLL node locations on [-1, 1] for polynomial order ``np_ - 1``.
+
+    The nodes are the roots of ``(1 - x^2) P'_{n}(x)`` with ``n = np_ - 1``;
+    we compute them from the eigenvalues of the Jacobi matrix of the
+    derivative polynomial, falling back to the analytic values for the
+    small orders CAM uses.
+    """
+    if np_ == 2:
+        return np.array([-1.0, 1.0])
+    if np_ == 3:
+        return np.array([-1.0, 0.0, 1.0])
+    if np_ == 4:
+        c = 1.0 / np.sqrt(5.0)
+        return np.array([-1.0, -c, c, 1.0])
+    # General case: interior nodes are roots of P'_{np_-1}.
+    legendre = np.polynomial.legendre.Legendre.basis(np_ - 1)
+    interior = legendre.deriv().roots()
+    return np.concatenate([[-1.0], np.sort(interior.real), [1.0]])
+
+
+@dataclass(frozen=True)
+class CubedSphereGrid:
+    """An ``ne``-resolution cubed-sphere grid with unique GLL points.
+
+    Attributes
+    ----------
+    ne:
+        Elements per cube-face edge.
+    np_:
+        GLL points per element edge.
+    lat, lon:
+        Latitude/longitude in degrees, shape ``(ncol,)``.
+    area:
+        Quadrature weight per point (normalized to sum to ``4*pi``).
+    """
+
+    ne: int
+    np_: int
+    lat: np.ndarray
+    lon: np.ndarray
+    area: np.ndarray
+
+    @property
+    def ncol(self) -> int:
+        """Number of horizontal grid points."""
+        return self.lat.shape[0]
+
+    @property
+    def xyz(self) -> np.ndarray:
+        """Unit-sphere Cartesian coordinates, shape ``(ncol, 3)``."""
+        latr = np.deg2rad(self.lat)
+        lonr = np.deg2rad(self.lon)
+        coslat = np.cos(latr)
+        return np.stack(
+            [coslat * np.cos(lonr), coslat * np.sin(lonr), np.sin(latr)], axis=-1
+        )
+
+    @classmethod
+    def create(cls, ne: int, np_: int = NP_DEFAULT) -> "CubedSphereGrid":
+        """Build the grid for the given resolution (cached)."""
+        return _create_grid(ne, np_)
+
+    def global_mean(self, field: np.ndarray,
+                    mask: np.ndarray | None = None) -> float:
+        """Area-weighted global mean of ``field``.
+
+        ``field`` may be ``(ncol,)`` or ``(..., ncol)``; the mean is taken
+        over the trailing (horizontal) axis and then averaged over any
+        leading axes with equal weight (matching CAM's practice of averaging
+        level means).  Points where ``mask`` is True are excluded.
+        """
+        field = np.asarray(field, dtype=np.float64)
+        if field.shape[-1] != self.ncol:
+            raise ValueError(
+                f"field trailing axis {field.shape[-1]} != ncol {self.ncol}"
+            )
+        w = self.area
+        if mask is not None:
+            valid = ~np.asarray(mask, dtype=bool)
+            w = np.where(valid, w, 0.0)
+            total = np.sum(w, axis=-1)
+            if np.any(total == 0):
+                raise ValueError("mask excludes every grid point")
+            return float(np.mean(np.sum(field * w, axis=-1) / total))
+        return float(np.mean(field @ w) / np.sum(w))
+
+
+@lru_cache(maxsize=8)
+def _create_grid(ne: int, np_: int) -> CubedSphereGrid:
+    expected = ncol_for_ne(ne, np_)
+
+    # Unique GLL abscissae along a face edge: each element contributes its
+    # first (np_-1) nodes; the final node of the final element belongs to the
+    # adjacent face and is recovered by cross-face deduplication.
+    nodes = _gll_nodes(np_)  # on [-1, 1]
+    offsets = nodes[:-1]  # first np_-1 nodes of each element
+    # Element k spans [k, k+1] in element coordinates on [0, ne].
+    elem = np.arange(ne)[:, None]
+    coords = (elem + (offsets[None, :] + 1.0) / 2.0).ravel()  # in [0, ne)
+    # Include the far edge so faces share their boundary points; duplicates
+    # collapse in the deduplication step below.
+    coords = np.concatenate([coords, [float(ne)]])
+    # Map to equiangular coordinate in [-pi/4, pi/4].
+    alpha = (coords / ne - 0.5) * (np.pi / 2.0)
+
+    # Element-major point ordering, as in CAM-SE history files: the GLL
+    # points of one spectral element are contiguous, and elements follow in
+    # face raster order.  This keeps consecutive indices spatially adjacent
+    # (important for predictive compressors, which see the file layout and
+    # not the grid — selection criterion 5 in Section 3.1).
+    side = alpha.shape[0]
+    ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    elem_i = np.minimum(ii // (np_ - 1), ne - 1)
+    elem_j = np.minimum(jj // (np_ - 1), ne - 1)
+    # Serpentine traversal at both levels (alternate rows reversed) so the
+    # end of one row is spatially adjacent to the start of the next —
+    # consecutive indices never jump across the face.
+    serp_elem_j = np.where(elem_i % 2 == 0, elem_j, ne - 1 - elem_j)
+    within_i = ii - elem_i * (np_ - 1)
+    within_j = jj - elem_j * (np_ - 1)
+    serp_within_j = np.where(within_i % 2 == 0, within_j,
+                             np_ - 1 - within_j)
+    order = np.lexsort(
+        (
+            serp_within_j.ravel(),
+            within_i.ravel(),
+            serp_elem_j.ravel(),
+            elem_i.ravel(),
+        )
+    )
+    points = []
+    for face in range(6):
+        aa, bb = np.meshgrid(alpha, alpha, indexing="ij")
+        face_xyz = _face_to_xyz(face, aa.ravel(), bb.ravel())
+        points.append(face_xyz[order])
+    xyz = np.concatenate(points, axis=0)
+
+    # Deduplicate points shared along face edges and corners.
+    quant = np.round(xyz / 1e-9).astype(np.int64)
+    _, unique_idx = np.unique(quant, axis=0, return_index=True)
+    xyz = xyz[np.sort(unique_idx)]
+
+    if xyz.shape[0] != expected:
+        raise AssertionError(
+            f"grid construction produced {xyz.shape[0]} points, "
+            f"expected {expected} for ne={ne}, np={np_}"
+        )
+
+    lat = np.rad2deg(np.arcsin(np.clip(xyz[:, 2], -1.0, 1.0)))
+    lon = np.rad2deg(np.arctan2(xyz[:, 1], xyz[:, 0])) % 360.0
+
+    # Quadrature areas: approximate each point's share of the sphere by the
+    # inverse local point density (1 / sum of nearby-point kernel), then
+    # normalize to 4*pi.  For verification metrics only relative weights
+    # matter; this keeps construction O(ncol log ncol).
+    area = _voronoi_like_area(xyz)
+
+    return CubedSphereGrid(ne=ne, np_=np_, lat=lat, lon=lon, area=area)
+
+
+def _voronoi_like_area(xyz: np.ndarray) -> np.ndarray:
+    """Approximate per-point quadrature areas from nearest-neighbour spacing.
+
+    Each point's weight is proportional to the square of the distance to its
+    nearest neighbour (a proxy for the local cell size on a quasi-uniform
+    grid), normalized so the weights sum to the sphere area ``4*pi``.
+    """
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(xyz)
+    # k=2: first neighbour is the point itself.
+    dist, _ = tree.query(xyz, k=2)
+    spacing = dist[:, 1]
+    weights = spacing**2
+    weights *= 4.0 * np.pi / weights.sum()
+    return weights

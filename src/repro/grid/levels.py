@@ -1,0 +1,88 @@
+"""Hybrid sigma-pressure vertical coordinate (CAM's vertical levels).
+
+CAM uses a hybrid coordinate in which pressure at level ``k`` is::
+
+    p(k) = hyam(k) * p0 + hybm(k) * ps
+
+with ``p0 = 1000 hPa`` the reference pressure and ``ps`` the surface
+pressure.  Near the model top the coordinate is purely pressure-based
+(``hybm = 0``); near the surface it is terrain-following (``hyam -> 0``,
+``hybm -> 1``).  The paper's grid has 30 levels.
+
+We generate coefficient profiles with that standard structure so 3-D
+variables have a physically-shaped vertical dimension (e.g. geopotential
+height Z3 spanning ~40 m to ~38 km, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["HybridLevels", "P0_PA"]
+
+#: Reference pressure (Pa).
+P0_PA = 100_000.0
+
+
+@dataclass(frozen=True)
+class HybridLevels:
+    """Vertical level structure with hybrid coefficients at midpoints.
+
+    Attributes
+    ----------
+    hyam, hybm:
+        Hybrid A (pressure) and B (sigma) coefficients at level midpoints,
+        ordered top-of-model first, shape ``(nlev,)``.
+    """
+
+    hyam: np.ndarray
+    hybm: np.ndarray
+
+    @property
+    def nlev(self) -> int:
+        """Number of vertical levels."""
+        return self.hyam.shape[0]
+
+    @classmethod
+    def create(cls, nlev: int) -> "HybridLevels":
+        """Build a CAM-like coefficient profile with ``nlev`` levels."""
+        return _create_levels(nlev)
+
+    def pressure(self, ps: np.ndarray | float = P0_PA) -> np.ndarray:
+        """Midpoint pressures (Pa) for surface pressure ``ps``.
+
+        Broadcasts: scalar ``ps`` yields shape ``(nlev,)``; an array of
+        shape ``(ncol,)`` yields ``(nlev, ncol)``.
+        """
+        ps = np.asarray(ps, dtype=np.float64)
+        return self.hyam[:, *([None] * ps.ndim)] * P0_PA + (
+            self.hybm[:, *([None] * ps.ndim)] * ps
+        )
+
+    def height_profile(self) -> np.ndarray:
+        """Approximate geometric heights (m) of the midpoints via the
+        hypsometric equation with an isothermal 250 K scale atmosphere."""
+        scale_height = 287.0 * 250.0 / 9.80616  # R * T / g  ~ 7.3 km
+        p = self.pressure()
+        return scale_height * np.log(P0_PA / p)
+
+
+@lru_cache(maxsize=8)
+def _create_levels(nlev: int) -> HybridLevels:
+    if nlev <= 0:
+        raise ValueError(f"nlev must be positive, got {nlev}")
+    # Target midpoint pressures: geometric spacing from ~3.6 hPa at model
+    # top to ~993 hPa near the surface, mimicking CAM5's L30 grid.
+    top, bottom = 360.0, 99_300.0  # Pa
+    p_mid = np.geomspace(top, bottom, nlev)
+    sigma = p_mid / P0_PA
+    # Transition function: pure pressure above ~100 hPa, blending to pure
+    # sigma at the surface (the standard hybrid construction).
+    s_top = 0.1
+    blend = np.clip((sigma - s_top) / (1.0 - s_top), 0.0, 1.0) ** 1.3
+    hybm = sigma * blend
+    hyam = sigma - hybm
+    return HybridLevels(hyam=hyam, hybm=hybm)

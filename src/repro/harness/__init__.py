@@ -1,0 +1,53 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+:mod:`experiments` holds the shared :class:`ExperimentContext` (config +
+ensemble + PVT, cached per scale); :mod:`tables` and :mod:`figures`
+regenerate the paper's Tables 1-8 and the data series behind Figures 1-4;
+:mod:`report` renders everything as aligned ASCII tables, box-plot
+summaries, and CSV rows (no plotting libraries are available offline, so
+figures are emitted as their underlying data).
+"""
+
+from repro.harness.experiments import ExperimentContext
+from repro.harness.tables import (
+    table1_properties,
+    table2_characteristics,
+    table3_nrmse,
+    table4_enmax,
+    table5_timings,
+    table6_passes,
+    table7_hybrid_summary,
+    table8_hybrid_composition,
+)
+from repro.harness.figures import (
+    figure1_error_boxplots,
+    figure2_rmsz_ensemble,
+    figure3_enmax_ensemble,
+    figure4_bias,
+)
+from repro.harness.report import (
+    render_table,
+    boxplot_stats,
+    render_boxplot,
+    write_csv,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "table1_properties",
+    "table2_characteristics",
+    "table3_nrmse",
+    "table4_enmax",
+    "table5_timings",
+    "table6_passes",
+    "table7_hybrid_summary",
+    "table8_hybrid_composition",
+    "figure1_error_boxplots",
+    "figure2_rmsz_ensemble",
+    "figure3_enmax_ensemble",
+    "figure4_bias",
+    "render_table",
+    "boxplot_stats",
+    "render_boxplot",
+    "write_csv",
+]

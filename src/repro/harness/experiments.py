@@ -1,0 +1,82 @@
+"""Shared experiment context: config + ensemble + PVT, cached per scale.
+
+Every table/figure driver takes an :class:`ExperimentContext`.  Building
+the ensemble is the expensive step (the dycore run plus field synthesis),
+so contexts are cached process-wide by their configuration; the benchmark
+suite and the examples share one context per scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ReproConfig, bench_scale, test_scale
+from repro.model.ensemble import CAMEnsemble
+from repro.model.variables import FEATURED
+from repro.pvt.tool import CesmPvt
+
+__all__ = ["ExperimentContext", "FEATURED_NAMES"]
+
+#: The paper's four case-study variables, in its column order.
+FEATURED_NAMES = ("U", "FSDSC", "Z3", "CCN3")
+
+_CONTEXT_CACHE: dict = {}
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs: config, ensemble, PVT, members."""
+
+    config: ReproConfig
+    ensemble: CAMEnsemble
+    pvt: CesmPvt
+
+    @classmethod
+    def create(cls, config: ReproConfig) -> "ExperimentContext":
+        """Build (or fetch the cached) context for ``config``."""
+        key = (
+            config.ne, config.nlev, config.n_members,
+            config.n_2d, config.n_3d, config.base_seed,
+        )
+        ctx = _CONTEXT_CACHE.get(key)
+        if ctx is None:
+            ensemble = CAMEnsemble(config)
+            ctx = cls(
+                config=config,
+                ensemble=ensemble,
+                pvt=CesmPvt(ensemble),
+            )
+            _CONTEXT_CACHE[key] = ctx
+        return ctx
+
+    @classmethod
+    def bench(cls) -> "ExperimentContext":
+        """The benchmark-scale context (env-tunable, defaults ne=8)."""
+        return cls.create(bench_scale())
+
+    @classmethod
+    def test(cls) -> "ExperimentContext":
+        """The small test-scale context."""
+        return cls.create(test_scale())
+
+    @property
+    def test_members(self):
+        """The 3 randomly selected PVT members."""
+        return self.pvt.test_members
+
+    @property
+    def featured(self) -> tuple[str, ...]:
+        """Featured variables present in this catalog (all, at any scale
+        with the default catalog prefix)."""
+        have = {spec.name for spec in self.ensemble.catalog}
+        return tuple(n for n in FEATURED_NAMES if n in have)
+
+    def member_field(self, variable: str, which: int = 0):
+        """Field of the ``which``-th selected test member."""
+        return self.ensemble.member_field(
+            variable, int(self.test_members[which])
+        )
+
+
+# Re-export for callers that want spec details of the featured variables.
+FEATURED_SPECS = FEATURED

@@ -1,0 +1,126 @@
+"""The paper's published numbers, as data.
+
+Encodes Tables 2-8 of Baker et al. (HPDC 2014) so benchmarks and
+EXPERIMENTS.md can print paper-vs-measured side by side and check *shape*
+agreement programmatically (orderings, pass/fail patterns, crossovers) —
+absolute values are not expected to match, since the substrate is a
+synthetic scale model rather than CESM on NCAR hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "TABLE2",
+    "TABLE3_NRMSE",
+    "TABLE4_ENMAX",
+    "TABLE6",
+    "TABLE7",
+    "TABLE8",
+    "VARIANT_ORDER",
+    "shape_agreement",
+]
+
+#: Row order of Tables 3-6 / Figures 1-4.
+VARIANT_ORDER = (
+    "GRIB2", "APAX-2", "APAX-4", "APAX-5", "fpzip-24", "fpzip-16",
+    "ISA-0.1", "ISA-0.5", "ISA-1.0",
+)
+
+#: Table 2 — characteristics of the featured datasets:
+#: variable -> (units, x_min, x_max, mean, std, lossless CR).
+TABLE2 = {
+    "U": ("m/s", -2.56e1, 5.45e1, 6.39e0, 1.22e1, 0.75),
+    "FSDSC": ("W/m2", 1.24e2, 3.26e2, 2.43e2, 4.83e1, 0.66),
+    "Z3": ("m", 4.12e1, 3.77e4, 1.12e4, 1.01e4, 0.58),
+    "CCN3": ("#/cm3", 3.37e-5, 1.24e3, 2.66e1, 5.57e1, 0.71),
+}
+
+#: Table 3 — NRMSE (and CR) per variant x variable:
+#: variant -> {variable: (nrmse, cr)}.
+TABLE3_NRMSE = {
+    "GRIB2":    {"U": (3.6e-4, .10), "FSDSC": (1.4e-4, .22), "Z3": (7.8e-8, .32), "CCN3": (2.3e-8, .37)},
+    "APAX-2":   {"U": (5.8e-7, .50), "FSDSC": (8.3e-7, .50), "Z3": (7.0e-8, .50), "CCN3": (1.6e-7, .50)},
+    "APAX-4":   {"U": (1.4e-4, .25), "FSDSC": (2.1e-4, .26), "Z3": (2.0e-5, .25), "CCN3": (4.1e-5, .25)},
+    "APAX-5":   {"U": (4.3e-4, .20), "FSDSC": (5.4e-4, .21), "Z3": (5.1e-5, .19), "CCN3": (9.9e-5, .20)},
+    "fpzip-24": {"U": (2.2e-6, .39), "FSDSC": (1.8e-5, .34), "Z3": (5.1e-6, .19), "CCN3": (6.5e-7, .36)},
+    "fpzip-16": {"U": (5.7e-4, .15), "FSDSC": (4.6e-3, .10), "Z3": (1.2e-3, .04), "CCN3": (1.7e-4, .12)},
+    "ISA-0.1":  {"U": (8.7e-5, .57), "FSDSC": (4.1e-4, .37), "Z3": (3.8e-5, .39), "CCN3": (2.8e-5, .37)},
+    "ISA-0.5":  {"U": (2.7e-4, .44), "FSDSC": (9.1e-4, .36), "Z3": (9.8e-5, .37), "CCN3": (1.2e-4, .38)},
+    "ISA-1.0":  {"U": (3.7e-4, .41), "FSDSC": (1.1e-3, .36), "Z3": (1.5e-4, .36), "CCN3": (2.0e-4, .37)},
+}
+
+#: Table 4 — e_nmax (and CR): variant -> {variable: (e_nmax, cr)}.
+TABLE4_ENMAX = {
+    "GRIB2":    {"U": (6.2e-4, .10), "FSDSC": (2.5e-4, .22), "Z3": (1.6e-7, .32), "CCN3": (4.9e-8, .37)},
+    "APAX-2":   {"U": (3.3e-6, .50), "FSDSC": (4.7e-6, .50), "Z3": (3.3e-6, .50), "CCN3": (2.9e-6, .50)},
+    "APAX-4":   {"U": (9.0e-4, .25), "FSDSC": (1.1e-3, .26), "Z3": (8.3e-4, .25), "CCN3": (7.5e-4, .25)},
+    "APAX-5":   {"U": (2.7e-3, .20), "FSDSC": (2.7e-3, .21), "Z3": (3.1e-3, .19), "CCN3": (1.9e-3, .20)},
+    "fpzip-24": {"U": (1.2e-5, .39), "FSDSC": (3.9e-5, .34), "Z3": (3.3e-6, .19), "CCN3": (2.4e-5, .36)},
+    "fpzip-16": {"U": (3.1e-3, .15), "FSDSC": (9.9e-3, .10), "Z3": (6.8e-3, .04), "CCN3": (5.3e-3, .12)},
+    "ISA-0.1":  {"U": (6.4e-4, .57), "FSDSC": (1.6e-3, .37), "Z3": (9.8e-4, .39), "CCN3": (8.7e-4, .37)},
+    "ISA-0.5":  {"U": (2.9e-3, .44), "FSDSC": (7.6e-3, .36), "Z3": (4.9e-3, .37), "CCN3": (3.9e-3, .38)},
+    "ISA-1.0":  {"U": (4.9e-3, .41), "FSDSC": (1.5e-2, .36), "Z3": (9.9e-3, .36), "CCN3": (7.9e-3, .37)},
+}
+
+#: Table 6 — passes out of 170: variant -> (rho, rmsz, enmax, bias, all).
+TABLE6 = {
+    "GRIB2":    (167, 163, 170, 124, 121),
+    "APAX-2":   (170, 170, 170, 146, 146),
+    "APAX-4":   (167, 163, 165, 126, 122),
+    "APAX-5":   (130, 152, 160, 111, 85),
+    "fpzip-24": (170, 164, 170, 167, 163),
+    "fpzip-16": (122, 129, 138, 126, 113),
+    "ISA-0.1":  (168, 160, 164, 160, 152),
+    "ISA-0.5":  (140, 154, 145, 161, 123),
+    "ISA-1.0":  (63, 154, 112, 161, 43),
+}
+
+#: Table 7 — hybrid statistics: family -> dict.
+TABLE7 = {
+    "GRIB2":   {"avg_cr": 0.37, "best_cr": 0.03, "worst_cr": 0.86,
+                "avg_rho": 0.9999999, "avg_nrmse": 5.73e-5,
+                "avg_enmax": 1.01e-4},
+    "ISABELA": {"avg_cr": 0.42, "best_cr": 0.20, "worst_cr": 0.77,
+                "avg_rho": 0.9999991, "avg_nrmse": 3.22e-4,
+                "avg_enmax": 5.56e-3},
+    "fpzip":   {"avg_cr": 0.18, "best_cr": 0.02, "worst_cr": 0.68,
+                "avg_rho": 0.9999995, "avg_nrmse": 2.35e-4,
+                "avg_enmax": 2.76e-3},
+    "APAX":    {"avg_cr": 0.29, "best_cr": 0.06, "worst_cr": 0.80,
+                "avg_rho": 0.9999991, "avg_nrmse": 2.61e-4,
+                "avg_enmax": 1.83e-3},
+    "NC":      {"avg_cr": 0.61, "best_cr": 0.07, "worst_cr": 0.86,
+                "avg_rho": 1.0, "avg_nrmse": 0.0, "avg_enmax": 0.0},
+}
+
+#: Table 8 — hybrid composition: family -> {variant: n_variables}.
+TABLE8 = {
+    "GRIB2": {"GRIB2": 121, "NetCDF-4": 49},
+    "ISABELA": {"ISA-1.0": 43, "ISA-0.5": 80, "ISA-0.1": 29,
+                "NetCDF-4": 18},
+    "fpzip": {"fpzip-16": 113, "fpzip-24": 50, "fpzip-32": 7},
+    "APAX": {"APAX-5": 85, "APAX-4": 37, "APAX-2": 24, "NetCDF-4": 24},
+}
+
+
+def shape_agreement(paper: dict, measured: dict) -> float:
+    """Fraction of pairwise orderings shared by paper and measured values.
+
+    Both arguments map the same keys to scalars.  For every unordered key
+    pair, score 1 when the two series order the pair the same way (ties
+    count as agreement when both tie).  1.0 means perfect rank agreement
+    (a Kendall-tau-like score mapped to [0, 1]).
+    """
+    keys = sorted(set(paper) & set(measured))
+    if len(keys) < 2:
+        raise ValueError("need at least two shared keys to compare shape")
+    agree = total = 0
+    for i, a in enumerate(keys):
+        for b in keys[i + 1:]:
+            total += 1
+            pa = np.sign(paper[a] - paper[b])
+            me = np.sign(measured[a] - measured[b])
+            agree += pa == me
+    return agree / total

@@ -1,0 +1,150 @@
+"""Plain-text rendering of tables and figure data.
+
+No plotting stack is available offline, so "figures" are reported as the
+statistics a reader would extract from them: box plots become five-number
+summaries (plus an ASCII box glyph), histograms become bin counts, scatter
+points become aligned rows.  Everything can also be dumped as CSV for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "boxplot_stats", "render_boxplot", "write_csv",
+           "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Compact numeric formatting: scientific for tiny/huge magnitudes."""
+    if isinstance(value, bool):
+        return "Y" if value else "N"
+    if value is None:
+        return "-"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if value == 0.0:
+            return "0"
+        if not np.isfinite(value):
+            return str(value)
+        if abs(value) >= 10 ** (precision + 2) or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def boxplot_stats(values) -> dict[str, float]:
+    """Five-number summary, the content of one box-plot column."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return {
+        "min": float(values.min()),
+        "q1": float(np.quantile(values, 0.25)),
+        "median": float(np.median(values)),
+        "q3": float(np.quantile(values, 0.75)),
+        "max": float(values.max()),
+        "n": int(values.size),
+    }
+
+
+def render_boxplot(
+    columns: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 48,
+    log: bool = False,
+) -> str:
+    """ASCII box plots: one `|--[=|=]--|` strip per column.
+
+    ``log=True`` positions boxes on a log axis, which is how the paper
+    draws Figure 1 (errors span eight orders of magnitude).
+    """
+    stats = {name: boxplot_stats(v) for name, v in columns.items()}
+    lo = min(s["min"] for s in stats.values())
+    hi = max(s["max"] for s in stats.values())
+    if log:
+        floor = min(
+            (min(x for x in np.ravel(v) if x > 0) for v in columns.values()
+             if np.any(np.asarray(v) > 0)),
+            default=1e-12,
+        )
+        lo = max(lo, floor)
+
+    def pos(x: float) -> int:
+        """Map a value to a column of the strip (optionally log-scaled)."""
+        if hi == lo:
+            return 0
+        if log:
+            x = max(x, lo)
+            frac = (np.log10(x) - np.log10(lo)) / (np.log10(hi) - np.log10(lo))
+        else:
+            frac = (x - lo) / (hi - lo)
+        return int(round(frac * (width - 1)))
+
+    name_w = max(len(n) for n in stats)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':{name_w}s}  {format_value(lo):>10s} {'':{width - 22}s}"
+        f"{format_value(hi):>10s}  (min/q1/med/q3/max)"
+    )
+    for name, s in stats.items():
+        strip = [" "] * width
+        a, b = pos(s["min"]), pos(s["max"])
+        for i in range(a, b + 1):
+            strip[i] = "-"
+        q1, q3 = pos(s["q1"]), pos(s["q3"])
+        for i in range(q1, q3 + 1):
+            strip[i] = "="
+        strip[a] = strip[b] = "|"
+        strip[pos(s["median"])] = "#"
+        summary = "/".join(
+            format_value(s[k]) for k in ("min", "q1", "median", "q3", "max")
+        )
+        lines.append(f"{name:{name_w}s}  [{''.join(strip)}]  {summary}")
+    return "\n".join(lines)
+
+
+def write_csv(path, headers: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    """Dump rows to CSV (for external plotting of the figure data)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,28 @@
+"""Per-variable hybrid compression (paper Section 5.4, Tables 7-8).
+
+"Based on the per-variable test results ... we now construct the best
+'hybrid' option for each of our four methods.  In particular, we choose the
+variant of each method (i.e., level of compression) for each variable that
+yields the best CR and passes all of our tests, choosing a lossless variant
+if necessary."
+
+:func:`build_hybrid` walks a method family's variant ladder (most- to
+least-compressive, ending in the lossless fallback) for every variable;
+:class:`HybridResult` renders Table 7 (summary statistics) and Table 8
+(variant composition), and exports a compression *plan* consumable by the
+time-series converter.
+"""
+
+from repro.hybrid.selector import (
+    HybridChoice,
+    HybridResult,
+    build_hybrid,
+    build_all_hybrids,
+)
+
+__all__ = [
+    "HybridChoice",
+    "HybridResult",
+    "build_hybrid",
+    "build_all_hybrids",
+]

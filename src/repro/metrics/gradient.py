@@ -1,0 +1,80 @@
+"""Field-gradient impact metric.
+
+The paper's future work (Section 6) plans "to extend our verification
+metrics to evaluate the impact of compression on ... field gradients":
+derived quantities amplify compression noise, because differencing nearby
+points cancels the (smooth) signal but not the (rough) error.  We estimate
+per-point horizontal gradient magnitudes from each point's k nearest
+neighbours and compare original vs reconstructed gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.cubed_sphere import CubedSphereGrid
+from repro.grid.neighbors import great_circle_distances, neighbor_index_array
+from repro.metrics.characterize import valid_mask
+
+__all__ = ["gradient_magnitude", "gradient_rmse", "gradient_impact"]
+
+
+def gradient_magnitude(
+    grid: CubedSphereGrid, field: np.ndarray, k: int = 4
+) -> np.ndarray:
+    """RMS finite-difference slope to each point's k nearest neighbours.
+
+    ``field`` is a horizontal slice ``(ncol,)``; returns ``(ncol,)`` slopes
+    in field-units per radian.  Points involving special values get NaN.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.shape != (grid.ncol,):
+        raise ValueError(f"expected ({grid.ncol},) field, got {field.shape}")
+    neighbors = neighbor_index_array(grid, k=k)
+    dist = great_circle_distances(grid, neighbors)
+    diffs = field[neighbors] - field[:, None]
+    slopes = diffs / np.maximum(dist, 1e-12)
+    ok = valid_mask(field)[:, None] & valid_mask(field[neighbors])
+    out = np.full(grid.ncol, np.nan)
+    any_ok = ok.any(axis=1)
+    slopes = np.where(ok, slopes, 0.0)
+    counts = ok.sum(axis=1)
+    out[any_ok] = np.sqrt(
+        (slopes[any_ok] ** 2).sum(axis=1) / counts[any_ok]
+    )
+    return out
+
+
+def gradient_rmse(
+    grid: CubedSphereGrid,
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    k: int = 4,
+) -> float:
+    """RMSE between original and reconstructed gradient magnitudes."""
+    g_orig = gradient_magnitude(grid, original, k)
+    g_rec = gradient_magnitude(grid, reconstructed, k)
+    ok = np.isfinite(g_orig) & np.isfinite(g_rec)
+    if not ok.any():
+        raise ValueError("no valid gradient points")
+    return float(np.sqrt(np.mean((g_orig[ok] - g_rec[ok]) ** 2)))
+
+
+def gradient_impact(
+    grid: CubedSphereGrid,
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    k: int = 4,
+) -> float:
+    """Relative gradient degradation: grad-RMSE / RMS original gradient.
+
+    0.0 means gradients are untouched; values approaching 1 mean the
+    reconstruction's gradients are dominated by compression noise.
+    """
+    g_orig = gradient_magnitude(grid, original, k)
+    ok = np.isfinite(g_orig)
+    denom = float(np.sqrt(np.mean(g_orig[ok] ** 2)))
+    err = gradient_rmse(grid, original, reconstructed, k)
+    if denom == 0.0:
+        return 0.0 if err == 0.0 else float("inf")
+    return err / denom

@@ -1,0 +1,37 @@
+"""Synthetic CESM/CAM substrate.
+
+The paper's data source is CESM 1.1 with an active CAM5 atmosphere: 170
+history-file variables (83 two-dimensional + 87 three-dimensional) on the
+ne=30 spectral-element grid, and the CESM-PVT ensemble of 101 one-year
+simulations differing only by an O(1e-14) perturbation of the initial
+atmospheric temperature.
+
+This package substitutes a laptop-scale equivalent with the properties the
+methodology actually exercises:
+
+- a genuinely *chaotic* dynamical core (Lorenz-96, RK4-integrated,
+  vectorized across ensemble members) so that 1e-14 initial perturbations
+  diverge to independent-looking — but statistically identical — states;
+- a *diverse* variable catalog: magnitudes from O(1e-8) to O(1e4),
+  smooth winds and noisy concentrations, lognormal tracers, fields with
+  CESM's 1e35 fill values, and the paper's four featured variables (U, Z3,
+  FSDSC, CCN3) tuned to their Table 2 characteristics;
+- single-precision history output on the cubed-sphere grid.
+"""
+
+from repro.model.variables import VariableSpec, build_catalog, featured_variables
+from repro.model.dycore import Lorenz96, DycoreRun
+from repro.model.physics import FieldSynthesizer
+from repro.model.cam import CAMModel
+from repro.model.ensemble import CAMEnsemble
+
+__all__ = [
+    "VariableSpec",
+    "build_catalog",
+    "featured_variables",
+    "Lorenz96",
+    "DycoreRun",
+    "FieldSynthesizer",
+    "CAMModel",
+    "CAMEnsemble",
+]

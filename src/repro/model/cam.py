@@ -1,0 +1,106 @@
+"""The CAM-like history model: one object tying grid, levels, catalog,
+dycore, and field synthesis together.
+
+A :class:`CAMModel` owns everything that is *member-independent*.  Member
+fields and full history snapshots are produced on demand from a
+:class:`~repro.model.dycore.DycoreRun`'s coefficient rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.grid.cubed_sphere import CubedSphereGrid
+from repro.grid.levels import HybridLevels
+from repro.model.dycore import Lorenz96
+from repro.model.physics import FieldSynthesizer
+from repro.model.variables import VariableSpec, build_catalog
+
+__all__ = ["CAMModel"]
+
+
+@dataclass
+class CAMModel:
+    """Member-independent model state.
+
+    Build with :meth:`from_config`; then :meth:`run_dycore` integrates the
+    ensemble and per-member fields come from :meth:`fields_for`.
+    """
+
+    config: ReproConfig
+    grid: CubedSphereGrid
+    levels: HybridLevels
+    catalog: tuple[VariableSpec, ...]
+    dycore: Lorenz96
+    synthesizer: FieldSynthesizer
+    _by_name: dict[str, VariableSpec] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_name = {spec.name: spec for spec in self.catalog}
+
+    @classmethod
+    def from_config(cls, config: ReproConfig) -> "CAMModel":
+        """Build grid, levels, catalog, dycore, and synthesizer from ``config``."""
+        grid = CubedSphereGrid.create(config.ne)
+        levels = HybridLevels.create(config.nlev)
+        catalog = build_catalog(config.n_2d, config.n_3d)
+        dycore = Lorenz96(base_seed=config.base_seed)
+        synthesizer = FieldSynthesizer(
+            grid=grid,
+            levels=levels,
+            n_coefficients=3 * dycore.n_modes,
+            base_seed=config.base_seed,
+        )
+        return cls(
+            config=config,
+            grid=grid,
+            levels=levels,
+            catalog=catalog,
+            dycore=dycore,
+            synthesizer=synthesizer,
+        )
+
+    def spec(self, name: str) -> VariableSpec:
+        """Look up a catalog variable by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"variable {name!r} not in catalog "
+                f"({len(self.catalog)} variables)"
+            ) from None
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        """Catalog variable names, in catalog order."""
+        return tuple(spec.name for spec in self.catalog)
+
+    def run_dycore(self, n_members: int | None = None):
+        """Integrate the chaotic dycore for the configured ensemble."""
+        if n_members is None:
+            n_members = self.config.n_members
+        return self.dycore.run_ensemble(n_members)
+
+    def fields_for(
+        self,
+        spec: VariableSpec | str,
+        coefficients: np.ndarray,
+        member_ids,
+    ) -> np.ndarray:
+        """Synthesize fields for members given their coefficient rows."""
+        if isinstance(spec, str):
+            spec = self.spec(spec)
+        return self.synthesizer.synthesize(spec, coefficients, member_ids)
+
+    def history_snapshot(
+        self, coefficients_row: np.ndarray, member_id: int
+    ) -> dict[str, np.ndarray]:
+        """All catalog variables for one member (a CAM history time slice)."""
+        snapshot: dict[str, np.ndarray] = {}
+        coeff = np.atleast_2d(coefficients_row)
+        for spec in self.catalog:
+            snapshot[spec.name] = self.fields_for(spec, coeff, [member_id])[0]
+        return snapshot

@@ -1,0 +1,292 @@
+"""The CAM variable catalog.
+
+Each :class:`VariableSpec` describes one history-file variable: its
+dimensionality, units, target magnitude distribution, spatial smoothness,
+ensemble variability, and fill-value masking.  The catalog reproduces the
+paper's setup of 83 two-dimensional and 87 three-dimensional variables and
+pins the four featured variables (Table 2) to their published
+characteristics:
+
+=========  =====  ========  =========  ========  ========  =====
+Variable   units  x_min     x_max      mean      std       CR
+=========  =====  ========  =========  ========  ========  =====
+U          m/s    -2.56e1   5.45e1     6.39e0    1.22e1    .75
+FSDSC      W/m2   1.24e2    3.26e2     2.43e2    4.83e1    .66
+Z3         m      4.12e1    3.77e4     1.12e4    1.01e4    .58
+CCN3       #/cm3  3.37e-5   1.24e3     2.66e1    5.57e1    .71
+=========  =====  ========  =========  ========  ========  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VariableSpec", "build_catalog", "featured_variables", "FEATURED"]
+
+_KINDS = ("linear", "lognormal", "height")
+_MASKS = ("none", "land", "ocean")
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """Static description of one CAM history variable.
+
+    Parameters
+    ----------
+    name, long_name, units:
+        NetCDF-style identification.
+    dims:
+        ``"2D"`` (ncol) or ``"3D"`` (nlev x ncol).
+    kind:
+        ``"linear"``  — field = loc + scale * raw;
+        ``"lognormal"`` — field = exp(loc + scale * raw), for tracers and
+        concentrations spanning orders of magnitude (CCN3, SO2, Q);
+        ``"height"`` — vertical height profile + scale * raw, for
+        geopotential-like variables (Z3) whose std is set by the vertical
+        structure.
+    loc, scale:
+        Location/scale of the target distribution (log-space for
+        lognormal).
+    smoothness:
+        In (0, 1]; spectral decay of the spatial structure.  1.0 is very
+        smooth (planetary waves only), small values add fine-scale
+        structure.
+    variability:
+        Ensemble (member-to-member) anomaly amplitude as a fraction of
+        ``scale``.  Controls how forgiving the RMSZ test is: variables
+        with tiny internal variability are the ones coarse compression
+        fails on.
+    noise:
+        Grid-scale internal-variability noise amplitude (fraction of
+        ``scale``); guarantees nonzero ensemble variance at every point.
+    fill_mask:
+        ``"none"``, ``"land"``, or ``"ocean"``: where to place CESM's 1e35
+        fill values.
+    vert_decay:
+        For 3-D lognormal variables: how many e-foldings the field decays
+        from the surface to the model top.  Tracers like CCN3 or specific
+        humidity drop several orders of magnitude with height, which is
+        exactly what defeats GRIB2's single decimal scale factor
+        (Section 5.3: "CCN3 has quite a large range, and we find that
+        GRIB2 does not perform well on such variables").
+    """
+
+    name: str
+    long_name: str
+    units: str
+    dims: str
+    kind: str = "linear"
+    loc: float = 0.0
+    scale: float = 1.0
+    smoothness: float = 0.7
+    variability: float = 0.1
+    noise: float = 0.02
+    fill_mask: str = "none"
+    vert_decay: float = 0.0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.dims not in ("2D", "3D"):
+            raise ValueError(f"{self.name}: dims must be 2D or 3D, got {self.dims}")
+        if self.kind not in _KINDS:
+            raise ValueError(f"{self.name}: unknown kind {self.kind!r}")
+        if not 0.0 < self.smoothness <= 1.0:
+            raise ValueError(f"{self.name}: smoothness must be in (0, 1]")
+        if self.scale <= 0:
+            raise ValueError(f"{self.name}: scale must be positive")
+        if self.variability <= 0 or self.noise <= 0:
+            raise ValueError(
+                f"{self.name}: variability and noise must be positive "
+                "(the PVT needs nonzero ensemble variance everywhere)"
+            )
+        if self.fill_mask not in _MASKS:
+            raise ValueError(f"{self.name}: unknown fill_mask {self.fill_mask!r}")
+        if self.vert_decay < 0:
+            raise ValueError(f"{self.name}: vert_decay must be non-negative")
+        if self.vert_decay and (self.dims != "3D" or self.kind != "lognormal"):
+            raise ValueError(
+                f"{self.name}: vert_decay applies only to 3D lognormal fields"
+            )
+
+    @property
+    def is_3d(self) -> bool:
+        """True for (nlev, ncol) variables."""
+        return self.dims == "3D"
+
+
+#: The paper's four featured variables, tuned to Table 2.
+FEATURED: tuple[VariableSpec, ...] = (
+    VariableSpec(
+        name="U", long_name="Zonal wind", units="m/s", dims="3D",
+        kind="linear", loc=6.39, scale=12.2, smoothness=0.92,
+        variability=0.10, noise=0.01,
+    ),
+    VariableSpec(
+        name="FSDSC", long_name="Clearsky downwelling solar flux at surface",
+        units="W/m2", dims="2D", kind="linear", loc=243.0, scale=48.3,
+        smoothness=0.85, variability=0.04, noise=0.008,
+    ),
+    VariableSpec(
+        name="Z3", long_name="Geopotential height (above sea level)",
+        units="m", dims="3D", kind="height", loc=0.0, scale=60.0,
+        smoothness=0.95, variability=0.04, noise=0.015,
+    ),
+    VariableSpec(
+        name="CCN3", long_name="CCN concentration at S=0.1%",
+        units="#/cm3", dims="3D", kind="lognormal", loc=3.2, scale=1.4,
+        smoothness=0.55, variability=0.08, noise=0.04, vert_decay=10.0,
+    ),
+)
+
+#: Real CAM5 history variables used to give the catalog authentic names and
+#: a realistic diversity of magnitudes.  (name, long name, units, dims,
+#: kind, loc, scale, smoothness, variability, noise, fill_mask)
+_NAMED = (
+    ("T", "Temperature", "K", "3D", "linear", 250.0, 30.0, 0.93, 0.03, 0.004, "none"),
+    ("V", "Meridional wind", "m/s", "3D", "linear", 0.0, 9.5, 0.90, 0.12, 0.012, "none"),
+    ("OMEGA", "Vertical velocity (pressure)", "Pa/s", "3D", "linear", 0.0, 0.12, 0.55, 0.18, 0.05, "none"),
+    ("Q", "Specific humidity", "kg/kg", "3D", "lognormal", -4.6, 0.9, 0.80, 0.06, 0.02, "none"),
+    ("RELHUM", "Relative humidity", "percent", "3D", "linear", 55.0, 25.0, 0.70, 0.08, 0.03, "none"),
+    ("CLOUD", "Cloud fraction", "fraction", "3D", "linear", 0.3, 0.18, 0.60, 0.15, 0.05, "none"),
+    ("CLDLIQ", "Grid box averaged cloud liquid amount", "kg/kg", "3D", "lognormal", -11.0, 1.8, 0.55, 0.15, 0.06, "none"),
+    ("CLDICE", "Grid box averaged cloud ice amount", "kg/kg", "3D", "lognormal", -12.0, 1.7, 0.55, 0.15, 0.06, "none"),
+    ("SO2", "Sulfur dioxide", "mol/mol", "3D", "lognormal", -21.5, 1.6, 0.65, 0.10, 0.04, "none"),
+    ("SO4", "Sulfate aerosol", "kg/kg", "3D", "lognormal", -19.0, 1.8, 0.65, 0.10, 0.04, "none"),
+    ("DMS", "Dimethyl sulfide", "mol/mol", "3D", "lognormal", -22.0, 2.0, 0.60, 0.12, 0.05, "none"),
+    ("O3", "Ozone", "mol/mol", "3D", "lognormal", -13.5, 1.2, 0.85, 0.04, 0.01, "none"),
+    ("NUMLIQ", "Cloud liquid droplet number", "1/kg", "3D", "lognormal", 14.0, 2.4, 0.50, 0.15, 0.07, "none"),
+    ("NUMICE", "Cloud ice crystal number", "1/kg", "3D", "lognormal", 9.0, 2.2, 0.50, 0.15, 0.07, "none"),
+    ("AWNC", "Average cloud water number conc", "m-3", "3D", "lognormal", 16.0, 2.3, 0.50, 0.14, 0.06, "none"),
+    ("DTCOND", "T tendency - moist processes", "K/s", "3D", "linear", 0.0, 2.2e-5, 0.45, 0.20, 0.08, "none"),
+    ("QRL", "Longwave heating rate", "K/s", "3D", "linear", -1.6e-5, 1.1e-5, 0.75, 0.07, 0.02, "none"),
+    ("QRS", "Solar heating rate", "K/s", "3D", "linear", 1.2e-5, 0.9e-5, 0.78, 0.06, 0.02, "none"),
+    ("UU", "Zonal velocity squared", "m2/s2", "3D", "linear", 190.0, 170.0, 0.85, 0.10, 0.02, "none"),
+    ("VV", "Meridional velocity squared", "m2/s2", "3D", "linear", 95.0, 80.0, 0.85, 0.12, 0.02, "none"),
+    ("VQ", "Meridional water transport", "m/s kg/kg", "3D", "linear", 0.0, 0.011, 0.70, 0.14, 0.04, "none"),
+    ("VT", "Meridional heat transport", "K m/s", "3D", "linear", 0.0, 95.0, 0.80, 0.12, 0.03, "none"),
+    ("ICIMR", "Prognostic in-cloud ice mixing ratio", "kg/kg", "3D", "lognormal", -11.5, 1.5, 0.55, 0.15, 0.06, "none"),
+    ("ICWMR", "Prognostic in-cloud water mixing ratio", "kg/kg", "3D", "lognormal", -10.5, 1.5, 0.55, 0.15, 0.06, "none"),
+    ("PS", "Surface pressure", "Pa", "2D", "linear", 98000.0, 3500.0, 0.90, 0.03, 0.004, "none"),
+    ("FLNT", "Net longwave flux at top of model", "W/m2", "2D", "linear", 235.0, 45.0, 0.80, 0.04, 0.01, "none"),
+    ("FSNT", "Net solar flux at top of model", "W/m2", "2D", "linear", 240.0, 85.0, 0.82, 0.04, 0.01, "none"),
+    ("PSL", "Sea level pressure", "Pa", "2D", "linear", 101200.0, 1200.0, 0.90, 0.06, 0.008, "none"),
+    ("TS", "Surface temperature (radiative)", "K", "2D", "linear", 287.0, 16.0, 0.88, 0.03, 0.005, "none"),
+    ("TREFHT", "Reference height temperature", "K", "2D", "linear", 286.0, 15.5, 0.88, 0.03, 0.005, "none"),
+    ("SST", "Sea surface temperature", "K", "2D", "linear", 291.0, 8.0, 0.90, 0.02, 0.004, "land"),
+    ("ICEFRAC", "Fraction of sfc area covered by sea-ice", "fraction", "2D", "linear", 0.05, 0.12, 0.75, 0.10, 0.03, "land"),
+    ("SOILW", "Soil moisture", "m3/m3", "2D", "linear", 0.22, 0.10, 0.65, 0.08, 0.03, "ocean"),
+    ("PRECT", "Total precipitation rate", "m/s", "2D", "lognormal", -18.5, 1.4, 0.55, 0.15, 0.06, "none"),
+    ("PRECC", "Convective precipitation rate", "m/s", "2D", "lognormal", -19.5, 1.6, 0.50, 0.18, 0.07, "none"),
+    ("PRECL", "Large-scale precipitation rate", "m/s", "2D", "lognormal", -19.0, 1.5, 0.55, 0.15, 0.06, "none"),
+    ("FLNS", "Net longwave flux at surface", "W/m2", "2D", "linear", 60.0, 28.0, 0.75, 0.06, 0.02, "none"),
+    ("FSNS", "Net solar flux at surface", "W/m2", "2D", "linear", 165.0, 70.0, 0.78, 0.05, 0.015, "none"),
+    ("FSDS", "Downwelling solar flux at surface", "W/m2", "2D", "linear", 190.0, 75.0, 0.80, 0.05, 0.012, "none"),
+    ("FLDS", "Downwelling longwave flux at surface", "W/m2", "2D", "linear", 310.0, 60.0, 0.82, 0.04, 0.01, "none"),
+    ("LHFLX", "Surface latent heat flux", "W/m2", "2D", "linear", 85.0, 55.0, 0.65, 0.08, 0.03, "none"),
+    ("SHFLX", "Surface sensible heat flux", "W/m2", "2D", "linear", 18.0, 22.0, 0.62, 0.10, 0.04, "none"),
+    ("TAUX", "Zonal surface stress", "N/m2", "2D", "linear", 0.0, 0.09, 0.70, 0.12, 0.04, "none"),
+    ("TAUY", "Meridional surface stress", "N/m2", "2D", "linear", 0.0, 0.06, 0.70, 0.13, 0.04, "none"),
+    ("TMQ", "Total precipitable water", "kg/m2", "2D", "linear", 24.0, 14.0, 0.80, 0.06, 0.015, "none"),
+    ("CLDTOT", "Total cloud fraction", "fraction", "2D", "linear", 0.62, 0.20, 0.62, 0.10, 0.04, "none"),
+    ("CLDLOW", "Low cloud fraction", "fraction", "2D", "linear", 0.42, 0.22, 0.60, 0.12, 0.05, "none"),
+    ("CLDHGH", "High cloud fraction", "fraction", "2D", "linear", 0.35, 0.20, 0.62, 0.12, 0.05, "none"),
+    ("PBLH", "Planetary boundary layer height", "m", "2D", "linear", 650.0, 320.0, 0.60, 0.10, 0.04, "none"),
+    ("U10", "10m wind speed", "m/s", "2D", "linear", 6.2, 2.8, 0.72, 0.09, 0.03, "none"),
+    ("USTAR", "Surface friction velocity", "m/s", "2D", "linear", 0.28, 0.11, 0.68, 0.09, 0.03, "none"),
+    ("QFLX", "Surface water flux", "kg/m2/s", "2D", "lognormal", -10.6, 0.9, 0.65, 0.08, 0.03, "none"),
+    ("SNOWHLND", "Water equivalent snow depth", "m", "2D", "lognormal", -4.5, 1.8, 0.60, 0.10, 0.05, "ocean"),
+    ("AODVIS", "Aerosol optical depth (visible)", "1", "2D", "lognormal", -2.2, 0.8, 0.60, 0.10, 0.04, "none"),
+    ("BURDENSO4", "Sulfate aerosol burden", "kg/m2", "2D", "lognormal", -5.7, 0.9, 0.65, 0.09, 0.03, "none"),
+    ("TGCLDLWP", "Total grid-box cloud liquid water path", "kg/m2", "2D", "lognormal", -3.2, 1.1, 0.55, 0.13, 0.05, "none"),
+    ("TGCLDIWP", "Total grid-box cloud ice water path", "kg/m2", "2D", "lognormal", -3.8, 1.1, 0.55, 0.13, 0.05, "none"),
+)
+
+#: Surface-to-model-top decay (in e-foldings) for 3-D lognormal tracers:
+#: humidity and aerosol loadings fall off sharply with height, giving these
+#: variables the huge dynamic range that defeats GRIB2's linear scaling.
+_VERT_DECAY = {
+    "Q": 7.0,
+    "CLDLIQ": 5.0,
+    "CLDICE": 3.0,
+    "SO2": 4.0,
+    "SO4": 4.0,
+    "DMS": 6.0,
+    "NUMLIQ": 5.0,
+    "NUMICE": 2.0,
+    "AWNC": 5.0,
+    "ICIMR": 4.0,
+    "ICWMR": 4.0,
+}
+
+
+def featured_variables() -> tuple[VariableSpec, ...]:
+    """The paper's four case-study variables: U, FSDSC, Z3, CCN3."""
+    return FEATURED
+
+
+def build_catalog(n_2d: int = 83, n_3d: int = 87) -> tuple[VariableSpec, ...]:
+    """Build a catalog with exactly ``n_2d`` 2-D and ``n_3d`` 3-D variables.
+
+    The four featured variables and the named CAM variables come first (as
+    many as fit the requested counts); the remainder are synthetic tracers
+    (``TRC*``/``AER*``) whose parameters sweep magnitude, smoothness, and
+    variability so the catalog spans the diversity the paper emphasizes
+    (Section 3.1: SO2 at O(1e-8) vs CCN3 at O(1e3)).
+    """
+    if n_2d < 1 or n_3d < 3:
+        raise ValueError("need at least 1 two-dimensional and 3 three-"
+                         "dimensional variables (the featured set)")
+    base = list(FEATURED) + [
+        VariableSpec(name=n, long_name=ln, units=u, dims=d, kind=k, loc=lo,
+                     scale=s, smoothness=sm, variability=v, noise=nz,
+                     fill_mask=fm, vert_decay=_VERT_DECAY.get(n, 0.0))
+        for (n, ln, u, d, k, lo, s, sm, v, nz, fm) in _NAMED
+    ]
+    catalog_2d = [v for v in base if v.dims == "2D"][:n_2d]
+    catalog_3d = [v for v in base if v.dims == "3D"][:n_3d]
+
+    # Synthetic fillers sweep the parameter space deterministically.
+    def synth(i: int, dims: str) -> VariableSpec:
+        """Deterministic parameter sweep for the i-th synthetic tracer."""
+        kind = ("linear", "lognormal")[i % 2]
+        # Magnitudes from 1e-8 to 1e4 in log steps; alternate signs of loc.
+        decade = -8 + (i * 3) % 13
+        if kind == "linear":
+            loc = (-1.0 if i % 4 == 3 else 1.0) * 10.0**decade
+            scale = 0.5 * 10.0**decade
+        else:
+            loc = 2.302585 * decade  # ln(10**decade)
+            scale = 0.6 + (i % 5) * 0.45
+        smooth = 0.35 + 0.06 * (i % 11)
+        variability = 0.006 * (1 + (i * 7) % 29)
+        noise = 0.004 * (1 + (i * 5) % 11)
+        # Fill values stay confined to the named surface variables (SST,
+        # ICEFRAC, SOILW, SNOWHLND): the paper's 170 CAM-PVT variables
+        # behave like a fill-free set (APAX-2 passes the rho test on all
+        # of them, which block codecs cannot do through 1e35 fills).
+        fill = "none"
+        decay = float((i * 3) % 9) if (kind == "lognormal" and dims == "3D") \
+            else 0.0
+        prefix = "TRC" if kind == "lognormal" else "AER"
+        return VariableSpec(
+            name=f"{prefix}{dims[0]}{i:03d}",
+            long_name=f"Synthetic {kind} tracer {i} ({dims})",
+            units="kg/kg" if kind == "lognormal" else "units",
+            dims=dims, kind=kind, loc=loc, scale=scale, smoothness=smooth,
+            variability=variability, noise=noise, fill_mask=fill,
+            vert_decay=decay,
+        )
+
+    i = 0
+    while len(catalog_2d) < n_2d:
+        catalog_2d.append(synth(i, "2D"))
+        i += 1
+    while len(catalog_3d) < n_3d:
+        catalog_3d.append(synth(i, "3D"))
+        i += 1
+
+    catalog = tuple(catalog_2d + catalog_3d)
+    names = [v.name for v in catalog]
+    if len(set(names)) != len(names):
+        raise AssertionError("catalog produced duplicate variable names")
+    return catalog

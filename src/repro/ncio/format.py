@@ -1,0 +1,350 @@
+"""The NCH container: named dims, attributed variables, chunked storage.
+
+File layout::
+
+    "NCH1"  <8-byte footer offset>  <chunk bytes ...>  <JSON footer>
+
+The JSON footer holds dimensions, global attributes, and per-variable
+records (dims, dtype, attrs, codec, and a chunk table of byte ranges).
+Variables are chunked along their first axis so a reader can fetch a
+single vertical level (or a single time step in time-series files) without
+touching the rest — the partial-access pattern post-processing tools rely
+on.  Chunk payloads are either raw bytes, shuffle+DEFLATE (``codec:
+"zlib"``, the NetCDF-4 scheme), or any registered lossy codec's blob.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.encoding.deflate import deflate, inflate
+
+__all__ = ["HistoryFileWriter", "HistoryFile", "VariableInfo", "write_history"]
+
+_MAGIC = b"NCH1"
+_DTYPES = {"f4": np.float32, "f8": np.float64, "i4": np.int32, "i8": np.int64}
+
+
+@dataclass(frozen=True)
+class VariableInfo:
+    """Footer record for one variable."""
+
+    name: str
+    dims: tuple[str, ...]
+    shape: tuple[int, ...]
+    dtype: str
+    codec: str
+    attrs: dict
+    chunks: tuple[tuple[int, int], ...]  # (offset, nbytes) per first-axis slice
+
+    @property
+    def nbytes_stored(self) -> int:
+        """Bytes occupied on disk by this variable's chunks."""
+        return sum(size for _, size in self.chunks)
+
+    @property
+    def nbytes_logical(self) -> int:
+        """Uncompressed size of the variable's data."""
+        return int(np.prod(self.shape)) * np.dtype(_DTYPES[self.dtype]).itemsize
+
+
+class HistoryFileWriter:
+    """Writes an NCH file; use as a context manager.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    compression:
+        Default codec for :meth:`put_var`: ``None`` (raw), ``"zlib"``
+        (NetCDF-4-style shuffle+DEFLATE), or a
+        :class:`~repro.compressors.base.Compressor` instance for lossy
+        storage.
+    level:
+        DEFLATE level for ``"zlib"``.
+    """
+
+    def __init__(self, path, compression: str | Compressor | None = "zlib",
+                 level: int = 4):
+        if isinstance(compression, str) and compression != "zlib":
+            raise ValueError(
+                f"compression must be None, 'zlib', or a Compressor, "
+                f"got {compression!r}"
+            )
+        self.path = Path(path)
+        self.compression = compression
+        self.level = level
+        self._fh = open(self.path, "wb")
+        self._fh.write(_MAGIC + struct.pack("<Q", 0))
+        self._dims: dict[str, int] = {}
+        self._attrs: dict = {}
+        self._variables: dict[str, dict] = {}
+        self._closed = False
+
+    # -- schema ------------------------------------------------------------
+
+    def define_dim(self, name: str, size: int) -> None:
+        """Declare (or re-assert) a named dimension."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        if size <= 0:
+            raise ValueError(f"dimension {name!r} must be positive, got {size}")
+        if name in self._dims and self._dims[name] != size:
+            raise ValueError(
+                f"dimension {name!r} redefined: {self._dims[name]} -> {size}"
+            )
+        self._dims[name] = int(size)
+
+    def set_attr(self, key: str, value) -> None:
+        """Set a JSON-serializable global attribute."""
+        json.dumps(value)  # must be JSON-serializable
+        self._attrs[key] = value
+
+    # -- data ---------------------------------------------------------------
+
+    def put_var(
+        self,
+        name: str,
+        data: np.ndarray,
+        dims: tuple[str, ...],
+        attrs: dict | None = None,
+        compression: str | Compressor | None = "default",
+    ) -> None:
+        """Write one variable, chunked along its first axis."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        if name in self._variables:
+            raise ValueError(f"variable {name!r} already written")
+        data = np.asarray(data)
+        dtype_code = data.dtype.str.lstrip("<>|=")
+        if dtype_code not in _DTYPES:
+            raise TypeError(f"unsupported dtype {data.dtype}")
+        if len(dims) != data.ndim:
+            raise ValueError(
+                f"{name}: {data.ndim}-D data with {len(dims)} dim names"
+            )
+        for dim_name, size in zip(dims, data.shape):
+            if dim_name not in self._dims:
+                self.define_dim(dim_name, size)
+            elif self._dims[dim_name] != size:
+                raise ValueError(
+                    f"{name}: axis {dim_name!r} has size {size}, "
+                    f"dimension is {self._dims[dim_name]}"
+                )
+        codec = self.compression if compression == "default" else compression
+        if data.ndim == 0:
+            raise ValueError(f"{name}: scalars are stored as attributes")
+
+        # Multi-dimensional variables chunk along the first axis (level or
+        # time), enabling partial reads; 1-D variables are one chunk.
+        pieces = (
+            [data[i] for i in range(data.shape[0])] if data.ndim > 1
+            else [data]
+        )
+        chunks = []
+        for piece in pieces:
+            payload = self._encode_chunk(
+                np.ascontiguousarray(piece), codec, data.dtype
+            )
+            offset = self._fh.tell()
+            self._fh.write(payload)
+            chunks.append((offset, len(payload)))
+
+        self._variables[name] = {
+            "dims": list(dims),
+            "shape": list(data.shape),
+            "dtype": dtype_code,
+            "codec": self._codec_name(codec),
+            "attrs": attrs or {},
+            "chunks": chunks,
+        }
+
+    def _encode_chunk(self, chunk: np.ndarray, codec, dtype) -> bytes:
+        if codec is None:
+            return chunk.tobytes()
+        if codec == "zlib":
+            return deflate(chunk.tobytes(), self.level,
+                           itemsize=dtype.itemsize)
+        if isinstance(codec, Compressor):
+            # Lossy codecs need at least a 1-D array.
+            return codec.compress(np.atleast_1d(chunk))
+        raise TypeError(f"unsupported codec {codec!r}")
+
+    @staticmethod
+    def _codec_name(codec) -> str:
+        if codec is None:
+            return "raw"
+        if codec == "zlib":
+            return "zlib"
+        return f"lossy:{codec.variant}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Write the footer and close the file (idempotent)."""
+        if self._closed:
+            return
+        footer = json.dumps(
+            {
+                "dims": self._dims,
+                "attrs": self._attrs,
+                "variables": self._variables,
+            }
+        ).encode("utf-8")
+        footer_offset = self._fh.tell()
+        self._fh.write(footer)
+        self._fh.seek(len(_MAGIC))
+        self._fh.write(struct.pack("<Q", footer_offset))
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "HistoryFileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HistoryFile:
+    """Reads an NCH file; use as a context manager.
+
+    Lossy-coded variables need the matching codec instance passed to
+    :meth:`get` (the footer records which variant wrote them).
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        head = self._fh.read(len(_MAGIC) + 8)
+        if head[: len(_MAGIC)] != _MAGIC:
+            raise ValueError(f"{self.path} is not an NCH file")
+        (footer_offset,) = struct.unpack("<Q", head[len(_MAGIC):])
+        self._fh.seek(footer_offset)
+        footer = json.loads(self._fh.read().decode("utf-8"))
+        self.dims: dict[str, int] = footer["dims"]
+        self.attrs: dict = footer["attrs"]
+        self._records: dict[str, dict] = footer["variables"]
+
+    @property
+    def variables(self) -> dict[str, VariableInfo]:
+        """All variable records, keyed by name."""
+        return {name: self.info(name) for name in self._records}
+
+    def info(self, name: str) -> VariableInfo:
+        """Footer record for one variable."""
+        rec = self._lookup(name)
+        return VariableInfo(
+            name=name,
+            dims=tuple(rec["dims"]),
+            shape=tuple(rec["shape"]),
+            dtype=rec["dtype"],
+            codec=rec["codec"],
+            attrs=rec["attrs"],
+            chunks=tuple((int(a), int(b)) for a, b in rec["chunks"]),
+        )
+
+    def _lookup(self, name: str) -> dict:
+        try:
+            return self._records[name]
+        except KeyError:
+            known = ", ".join(sorted(self._records))
+            raise KeyError(f"no variable {name!r}; file has: {known}") from None
+
+    def get(self, name: str, first_axis: int | slice | None = None,
+            codec: Compressor | None = None) -> np.ndarray:
+        """Read a variable (or a first-axis subset of it)."""
+        rec = self._lookup(name)
+        shape = tuple(rec["shape"])
+        dtype = np.dtype(_DTYPES[rec["dtype"]])
+
+        if len(rec["chunks"]) == 1:
+            # 1-D variable stored as a single chunk: read, then slice.
+            offset, nbytes = rec["chunks"][0]
+            self._fh.seek(offset)
+            whole = self._decode_chunk(self._fh.read(nbytes), rec, shape,
+                                       dtype, codec)
+            if first_axis is None:
+                return whole
+            return whole[first_axis]
+
+        indices = list(range(shape[0]))
+        if isinstance(first_axis, int):
+            indices = [indices[first_axis]]
+        elif isinstance(first_axis, slice):
+            indices = indices[first_axis]
+        chunk_shape = shape[1:]
+        out = np.empty((len(indices),) + chunk_shape, dtype=dtype)
+        for k, i in enumerate(indices):
+            offset, nbytes = rec["chunks"][i]
+            self._fh.seek(offset)
+            payload = self._fh.read(nbytes)
+            out[k] = self._decode_chunk(payload, rec, chunk_shape, dtype,
+                                        codec)
+        if isinstance(first_axis, int):
+            return out[0]
+        return out
+
+    def _decode_chunk(self, payload: bytes, rec: dict, chunk_shape, dtype,
+                      codec: Compressor | None) -> np.ndarray:
+        kind = rec["codec"]
+        if kind == "raw":
+            return np.frombuffer(payload, dtype=dtype).reshape(chunk_shape)
+        if kind == "zlib":
+            raw = inflate(payload, itemsize=dtype.itemsize)
+            return np.frombuffer(raw, dtype=dtype).reshape(chunk_shape)
+        if kind.startswith("lossy:"):
+            variant = kind.split(":", 1)[1]
+            if codec is None:
+                from repro.compressors.registry import get_variant
+
+                codec = get_variant(variant)
+            if codec.variant != variant:
+                raise ValueError(
+                    f"chunk written by {variant!r}, decoder is "
+                    f"{codec.variant!r}"
+                )
+            return codec.decompress(payload).reshape(chunk_shape)
+        raise ValueError(f"unknown chunk codec {kind!r}")
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._fh.close()
+
+    def __enter__(self) -> "HistoryFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_history(
+    path,
+    snapshot: dict[str, np.ndarray],
+    nlev: int,
+    compression: str | Compressor | None = "zlib",
+    attrs: dict | None = None,
+) -> Path:
+    """Write a one-time-slice CAM history snapshot to an NCH file.
+
+    2-D variables get dims ``(ncol,)``; 3-D variables ``(lev, ncol)``.
+    """
+    path = Path(path)
+    with HistoryFileWriter(path, compression=compression) as writer:
+        for key, value in (attrs or {}).items():
+            writer.set_attr(key, value)
+        for name, data in snapshot.items():
+            if data.ndim == 1:
+                writer.put_var(name, data, dims=("ncol",))
+            elif data.ndim == 2 and data.shape[0] == nlev:
+                writer.put_var(name, data, dims=("lev", "ncol"))
+            else:
+                raise ValueError(
+                    f"{name}: unexpected shape {data.shape} for nlev={nlev}"
+                )
+    return path

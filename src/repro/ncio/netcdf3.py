@@ -1,0 +1,355 @@
+"""NetCDF classic (CDF-1/CDF-2) files, from scratch.
+
+CESM history files are NetCDF; the NCH container in
+:mod:`repro.ncio.format` adds chunk compression, but for interoperability
+with external analysis tools this module writes and reads the *real*
+NetCDF classic binary format (the 1989 CDF magic, big-endian, as specified
+in the NetCDF User Guide appendix) — no netCDF4/HDF5 library required.
+
+Supported: dimensions (no unlimited dimension), global and per-variable
+attributes (text and numeric), and variables of the classic external
+types.  This is the uncompressed interchange target for
+:func:`export_netcdf3`; compressed storage stays in NCH.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["NetCDF3Writer", "NetCDF3Reader", "export_netcdf3"]
+
+_MAGIC1 = b"CDF\x01"
+_MAGIC2 = b"CDF\x02"
+
+_NC_DIMENSION = 0x0A
+_NC_VARIABLE = 0x0B
+_NC_ATTRIBUTE = 0x0C
+_ABSENT = b"\x00" * 8
+
+#: External type codes: (nc_type, struct char, numpy dtype).
+_TYPES = {
+    np.dtype(np.int8): (1, "b"),
+    np.dtype(np.int16): (3, "h"),
+    np.dtype(np.int32): (4, "i"),
+    np.dtype(np.float32): (5, "f"),
+    np.dtype(np.float64): (6, "d"),
+}
+_TYPE_BY_CODE = {code: dt for dt, (code, _) in _TYPES.items()}
+_NC_CHAR = 2
+_SIZES = {1: 1, 2: 1, 3: 2, 4: 4, 5: 4, 6: 8}
+
+
+def _pad4(n: int) -> int:
+    return (4 - n % 4) % 4
+
+
+def _pack_name(name: str) -> bytes:
+    encoded = name.encode("utf-8")
+    return struct.pack(">I", len(encoded)) + encoded + b"\x00" * _pad4(
+        len(encoded)
+    )
+
+
+def _pack_attr_value(value) -> bytes:
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+        return struct.pack(">II", _NC_CHAR, len(data)) + data + b"\x00" * \
+            _pad4(len(data))
+    arr = np.atleast_1d(np.asarray(value))
+    if arr.dtype.kind == "i" and arr.dtype not in _TYPES:
+        arr = arr.astype(np.int32)
+    if arr.dtype.kind == "f" and arr.dtype not in _TYPES:
+        arr = arr.astype(np.float64)
+    if arr.dtype not in _TYPES:
+        raise TypeError(f"unsupported attribute dtype {arr.dtype}")
+    code, char = _TYPES[arr.dtype]
+    body = struct.pack(f">{arr.size}{char}", *arr.tolist())
+    return struct.pack(">II", code, arr.size) + body + b"\x00" * _pad4(
+        len(body)
+    )
+
+
+def _pack_attr_list(attrs: dict) -> bytes:
+    if not attrs:
+        return _ABSENT
+    parts = [struct.pack(">II", _NC_ATTRIBUTE, len(attrs))]
+    for name, value in attrs.items():
+        parts.append(_pack_name(name))
+        parts.append(_pack_attr_value(value))
+    return b"".join(parts)
+
+
+@dataclass
+class _Var:
+    name: str
+    dims: tuple[str, ...]
+    data: np.ndarray
+    attrs: dict
+
+
+class NetCDF3Writer:
+    """Accumulates dimensions/variables, then writes a classic file.
+
+    Offsets exceeding 2 GiB automatically switch the file to the CDF-2
+    (64-bit offset) variant.
+    """
+
+    def __init__(self) -> None:
+        self._dims: dict[str, int] = {}
+        self._vars: list[_Var] = []
+        self._attrs: dict = {}
+
+    def define_dim(self, name: str, size: int) -> None:
+        """Declare a fixed-size dimension."""
+        if size <= 0:
+            raise ValueError(
+                f"dimension {name!r} must be positive (no unlimited "
+                f"dimension support), got {size}"
+            )
+        if name in self._dims and self._dims[name] != size:
+            raise ValueError(f"dimension {name!r} redefined")
+        self._dims[name] = int(size)
+
+    def set_attr(self, name: str, value) -> None:
+        """Set a global attribute (text or numeric)."""
+        _pack_attr_value(value)  # validate now
+        self._attrs[name] = value
+
+    def add_variable(self, name: str, data: np.ndarray,
+                     dims: tuple[str, ...], attrs: dict | None = None):
+        """Queue a variable for the next :meth:`write`."""
+        data = np.asarray(data)
+        if data.dtype not in _TYPES:
+            raise TypeError(f"{name}: unsupported dtype {data.dtype}")
+        if len(dims) != data.ndim:
+            raise ValueError(
+                f"{name}: {data.ndim}-D data with {len(dims)} dims"
+            )
+        if any(v.name == name for v in self._vars):
+            raise ValueError(f"variable {name!r} already added")
+        for dim, size in zip(dims, data.shape):
+            if dim not in self._dims:
+                self.define_dim(dim, size)
+            elif self._dims[dim] != size:
+                raise ValueError(
+                    f"{name}: axis {dim!r} is {size}, dimension is "
+                    f"{self._dims[dim]}"
+                )
+        self._vars.append(_Var(name, tuple(dims), data, dict(attrs or {})))
+
+    # -- serialization -----------------------------------------------------
+
+    def write(self, path) -> Path:
+        """Serialize everything to a classic NetCDF file at ``path``."""
+        path = Path(path)
+        dim_ids = {name: i for i, name in enumerate(self._dims)}
+
+        # Dimension list.
+        dim_parts = [struct.pack(">II", _NC_DIMENSION, len(self._dims))]
+        for name, size in self._dims.items():
+            dim_parts.append(_pack_name(name) + struct.pack(">I", size))
+        dim_list = b"".join(dim_parts) if self._dims else _ABSENT
+
+        gatt_list = _pack_attr_list(self._attrs)
+
+        # Variable headers need data offsets; lay out data after a header
+        # whose size depends on the offset width.  Try CDF-1, upgrade to
+        # CDF-2 when any offset exceeds 32 bits.
+        for magic, off_fmt in ((_MAGIC1, ">I"), (_MAGIC2, ">Q")):
+            header_wo_vars = magic + struct.pack(">I", 0) + dim_list + \
+                gatt_list
+            var_headers_size = 8  # tag + count
+            metas = []
+            for var in self._vars:
+                code, _ = _TYPES[var.data.dtype]
+                vsize = var.data.nbytes + _pad4(var.data.nbytes)
+                head = (
+                    _pack_name(var.name)
+                    + struct.pack(">I", var.data.ndim)
+                    + b"".join(struct.pack(">I", dim_ids[d])
+                               for d in var.dims)
+                    + _pack_attr_list(var.attrs)
+                    + struct.pack(">I", code)
+                    + struct.pack(">I", vsize)
+                )
+                metas.append((head, vsize))
+                var_headers_size += len(head) + struct.calcsize(off_fmt)
+            data_start = len(header_wo_vars) + var_headers_size
+            offsets = []
+            pos = data_start
+            for _, vsize in metas:
+                offsets.append(pos)
+                pos += vsize
+            if magic == _MAGIC2 or pos < 2**31:
+                break
+
+        var_parts = [struct.pack(">II", _NC_VARIABLE, len(self._vars))] \
+            if self._vars else [_ABSENT]
+        if self._vars:
+            for (head, _), offset in zip(metas, offsets):
+                var_parts.append(head + struct.pack(off_fmt, offset))
+
+        with open(path, "wb") as fh:
+            fh.write(header_wo_vars)
+            fh.write(b"".join(var_parts))
+            for var in self._vars:
+                body = var.data.astype(var.data.dtype.newbyteorder(">"),
+                                       copy=False).tobytes()
+                fh.write(body + b"\x00" * _pad4(len(body)))
+        return path
+
+
+class NetCDF3Reader:
+    """Parses a classic NetCDF file written by anything."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        raw = self.path.read_bytes()
+        if raw[:4] == _MAGIC1:
+            self._off_fmt = ">I"
+        elif raw[:4] == _MAGIC2:
+            self._off_fmt = ">Q"
+        else:
+            raise ValueError(f"{path} is not a classic NetCDF file")
+        self._raw = raw
+        self._pos = 4
+        (self.numrecs,) = self._unpack(">I")
+        self.dims: dict[str, int] = {}
+        self._dim_order: list[str] = []
+        self._read_dim_list()
+        self.attrs = self._read_att_list()
+        self._variables: dict[str, dict] = {}
+        self._read_var_list()
+
+    # -- low-level ----------------------------------------------------------
+
+    def _unpack(self, fmt: str):
+        size = struct.calcsize(fmt)
+        out = struct.unpack_from(fmt, self._raw, self._pos)
+        self._pos += size
+        return out
+
+    def _read_name(self) -> str:
+        (n,) = self._unpack(">I")
+        name = self._raw[self._pos: self._pos + n].decode("utf-8")
+        self._pos += n + _pad4(n)
+        return name
+
+    def _read_dim_list(self) -> None:
+        tag, count = self._unpack(">II")
+        if tag == 0 and count == 0:
+            return
+        if tag != _NC_DIMENSION:
+            raise ValueError("malformed dimension list")
+        for _ in range(count):
+            name = self._read_name()
+            (size,) = self._unpack(">I")
+            self.dims[name] = size
+            self._dim_order.append(name)
+
+    def _read_att_list(self) -> dict:
+        tag, count = self._unpack(">II")
+        if tag == 0 and count == 0:
+            return {}
+        if tag != _NC_ATTRIBUTE:
+            raise ValueError("malformed attribute list")
+        attrs = {}
+        for _ in range(count):
+            name = self._read_name()
+            code, n = self._unpack(">II")
+            if code == _NC_CHAR:
+                data = self._raw[self._pos: self._pos + n]
+                attrs[name] = data.decode("utf-8")
+                self._pos += n + _pad4(n)
+            else:
+                dtype = _TYPE_BY_CODE[code]
+                nbytes = n * _SIZES[code]
+                values = np.frombuffer(
+                    self._raw, dtype=dtype.newbyteorder(">"),
+                    count=n, offset=self._pos,
+                )
+                attrs[name] = values[0].item() if n == 1 else \
+                    values.astype(dtype)
+                self._pos += nbytes + _pad4(nbytes)
+        return attrs
+
+    def _read_var_list(self) -> None:
+        tag, count = self._unpack(">II")
+        if tag == 0 and count == 0:
+            return
+        if tag != _NC_VARIABLE:
+            raise ValueError("malformed variable list")
+        for _ in range(count):
+            name = self._read_name()
+            (ndim,) = self._unpack(">I")
+            dim_ids = self._unpack(f">{ndim}I") if ndim else ()
+            attrs = self._read_att_list()
+            code, vsize = self._unpack(">II")
+            (offset,) = self._unpack(self._off_fmt)
+            dims = tuple(self._dim_order[i] for i in dim_ids)
+            self._variables[name] = {
+                "dims": dims,
+                "shape": tuple(self.dims[d] for d in dims),
+                "dtype": _TYPE_BY_CODE[code],
+                "attrs": attrs,
+                "offset": offset,
+                "vsize": vsize,
+            }
+
+    # -- public -------------------------------------------------------------
+
+    @property
+    def variables(self) -> dict[str, dict]:
+        """Per-variable metadata (dims, shape, dtype, attrs)."""
+        return {
+            k: {kk: vv for kk, vv in v.items()
+                if kk not in ("offset", "vsize")}
+            for k, v in self._variables.items()
+        }
+
+    def get(self, name: str) -> np.ndarray:
+        """Read one variable's full data array."""
+        try:
+            rec = self._variables[name]
+        except KeyError:
+            raise KeyError(f"no variable {name!r}") from None
+        count = int(np.prod(rec["shape"])) if rec["shape"] else 1
+        values = np.frombuffer(
+            self._raw, dtype=rec["dtype"].newbyteorder(">"),
+            count=count, offset=rec["offset"],
+        )
+        return values.astype(rec["dtype"]).reshape(rec["shape"])
+
+
+def export_netcdf3(
+    path,
+    snapshot: dict[str, np.ndarray],
+    nlev: int,
+    attrs: dict | None = None,
+    variable_attrs: dict[str, dict] | None = None,
+) -> Path:
+    """Export a CAM history snapshot as a real classic NetCDF file.
+
+    The layout mirrors CAM history files: 2-D variables on ``(ncol,)``,
+    3-D variables on ``(lev, ncol)``.
+    """
+    writer = NetCDF3Writer()
+    for key, value in (attrs or {}).items():
+        writer.set_attr(key, value)
+    variable_attrs = variable_attrs or {}
+    for name, data in snapshot.items():
+        if data.ndim == 1:
+            dims = ("ncol",)
+        elif data.ndim == 2 and data.shape[0] == nlev:
+            dims = ("lev", "ncol")
+        else:
+            raise ValueError(
+                f"{name}: unexpected shape {data.shape} for nlev={nlev}"
+            )
+        writer.add_variable(name, data, dims,
+                            attrs=variable_attrs.get(name))
+    return writer.write(path)

@@ -1,0 +1,18 @@
+"""Parallel execution substrate.
+
+The paper's workflow compresses 170 variables x 9 variants x up to 101
+members — embarrassingly parallel across variables.  This package provides
+a process-pool map with chunked work partitioning and deterministic result
+ordering, so the verification harness scales to paper-size runs on a
+multi-core node.
+"""
+
+from repro.parallel.executor import parallel_map, effective_workers
+from repro.parallel.partition import chunk_indices, partition_work
+
+__all__ = [
+    "parallel_map",
+    "effective_workers",
+    "chunk_indices",
+    "partition_work",
+]

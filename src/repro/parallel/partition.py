@@ -1,0 +1,44 @@
+"""Work partitioning helpers.
+
+Splitting a task list into contiguous, near-equal chunks is the standard
+MPI-style decomposition; keeping chunks contiguous preserves memory
+locality when tasks index into shared arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["chunk_indices", "partition_work"]
+
+T = TypeVar("T")
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges covering ``n_items``.
+
+    The first ``n_items % n_chunks`` chunks get one extra item (the usual
+    balanced block distribution); empty chunks are omitted, so fewer than
+    ``n_chunks`` ranges may be returned.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be non-negative, got {n_items}")
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+    base, extra = divmod(n_items, n_chunks)
+    ranges = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def partition_work(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous balanced lists."""
+    return [
+        list(items[a:b]) for a, b in chunk_indices(len(items), n_chunks)
+    ]

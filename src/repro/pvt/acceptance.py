@@ -1,0 +1,236 @@
+"""Per-variable acceptance testing: the four columns of Table 6.
+
+A (variable, codec) pair is evaluated by:
+
+1. **rho**     — Pearson correlation >= 0.99999 (eq. 5) for each of the
+   randomly chosen test members;
+2. **RMSZ ens.** — the reconstructed member's RMSZ falls within the
+   ensemble distribution *and* within 1/10 of the original's (eq. 8);
+3. **E_nmax ens.** — the original-vs-reconstructed e_nmax (eq. 2) is within
+   the ensemble's E_nmax range and at most 1/10 of it (eq. 11);
+4. **bias**    — all members are compressed, reconstructed RMSZ is
+   regressed on original RMSZ, and the 95% worst-case slope is within
+   0.05 of 1 (eq. 9).
+
+"all" (the right-most Table 6 column) requires every test to pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.config import (
+    BIAS_SLOPE_LIMIT,
+    ENMAX_RATIO_LIMIT,
+    RHO_THRESHOLD,
+    RMSZ_DIFF_LIMIT,
+)
+from repro.metrics.correlation import pearson
+from repro.metrics.pointwise import normalized_max_error
+from repro.pvt.bias import BiasResult, bias_regression
+from repro.pvt.enmax import enmax_distribution, enmax_ratio_test
+from repro.pvt.zscore import EnsembleStats, rmsz_closeness_test
+
+__all__ = [
+    "TestVerdict",
+    "VariableContext",
+    "VariableVerdict",
+    "evaluate_variable",
+]
+
+
+@dataclass(frozen=True)
+class TestVerdict:
+    """Outcome of one acceptance test, with its diagnostics."""
+
+    name: str
+    passed: bool
+    detail: dict = field(default_factory=dict, compare=False)
+
+
+@dataclass(frozen=True)
+class VariableContext:
+    """Per-variable ensemble statistics shared across codec evaluations.
+
+    Building these is O(n_members x n_points); when sweeping many codec
+    variants over the same variable (Table 6, hybrid selection) compute
+    them once via :meth:`from_ensemble` and pass to
+    :func:`evaluate_variable`.
+    """
+
+    stats: EnsembleStats
+    rmsz_dist: np.ndarray
+    enmax_dist: np.ndarray
+
+    @classmethod
+    def from_ensemble(cls, ensemble: np.ndarray) -> "VariableContext":
+        """Build the sufficient statistics and both distributions once."""
+        stats = EnsembleStats(ensemble)
+        return cls(
+            stats=stats,
+            rmsz_dist=stats.distribution(),
+            enmax_dist=enmax_distribution(ensemble),
+        )
+
+
+@dataclass(frozen=True)
+class VariableVerdict:
+    """All four verdicts for one (variable, codec) pair."""
+
+    variable: str
+    codec: str
+    rho: TestVerdict
+    rmsz: TestVerdict
+    enmax: TestVerdict
+    bias: TestVerdict | None
+    mean_cr: float
+
+    @property
+    def all_passed(self) -> bool:
+        """The Table 6 'all' column: every run test passed."""
+        verdicts = [self.rho, self.rmsz, self.enmax]
+        if self.bias is not None:
+            verdicts.append(self.bias)
+        return all(v.passed for v in verdicts)
+
+    def as_row(self) -> dict:
+        """Flatten into a pass/fail row for reporting."""
+        row = {
+            "variable": self.variable,
+            "codec": self.codec,
+            "rho": self.rho.passed,
+            "rmsz": self.rmsz.passed,
+            "enmax": self.enmax.passed,
+            "cr": self.mean_cr,
+            "all": self.all_passed,
+        }
+        row["bias"] = self.bias.passed if self.bias is not None else None
+        return row
+
+
+def _reconstruct_members(
+    ensemble: np.ndarray, codec: Compressor, members
+) -> tuple[dict[int, np.ndarray], dict[int, float]]:
+    recon: dict[int, np.ndarray] = {}
+    crs: dict[int, float] = {}
+    for m in members:
+        outcome = codec.roundtrip(np.ascontiguousarray(ensemble[m]))
+        recon[int(m)] = outcome.reconstructed
+        crs[int(m)] = outcome.cr
+    return recon, crs
+
+
+def evaluate_variable(
+    ensemble: np.ndarray,
+    codec: Compressor,
+    members,
+    variable: str = "?",
+    run_bias: bool = True,
+    rho_threshold: float = RHO_THRESHOLD,
+    rmsz_limit: float = RMSZ_DIFF_LIMIT,
+    enmax_limit: float = ENMAX_RATIO_LIMIT,
+    bias_limit: float = BIAS_SLOPE_LIMIT,
+    context: VariableContext | None = None,
+) -> VariableVerdict:
+    """Run the four acceptance tests for one variable and one codec.
+
+    Parameters
+    ----------
+    ensemble:
+        ``(n_members, ...)`` float32 member fields for this variable.
+    codec:
+        Configured compressor variant.
+    members:
+        The randomly chosen test member indices (the PVT uses 3).
+    run_bias:
+        The bias test compresses *all* members (Section 4.3); disable to
+        skip that cost when only the first three columns are needed.
+    """
+    ensemble = np.asarray(ensemble)
+    members = [int(m) for m in members]
+    if not members:
+        raise ValueError("need at least one test member")
+    if context is None:
+        context = VariableContext.from_ensemble(ensemble)
+    stats = context.stats
+    rmsz_dist = context.rmsz_dist
+    enmax_dist = context.enmax_dist
+
+    recon, crs = _reconstruct_members(ensemble, codec, members)
+
+    rho_values = {m: pearson(ensemble[m], recon[m]) for m in members}
+    rho_verdict = TestVerdict(
+        name="rho",
+        passed=all(r >= rho_threshold for r in rho_values.values()),
+        detail={"values": rho_values, "threshold": rho_threshold},
+    )
+
+    rmsz_detail: dict[int, dict] = {}
+    rmsz_ok = True
+    for m in members:
+        orig_score = stats.member_rmsz(m)
+        recon_score = stats.rmsz(recon[m].reshape(-1), m)
+        within, close = rmsz_closeness_test(
+            orig_score, recon_score, rmsz_dist, rmsz_limit
+        )
+        rmsz_detail[m] = {
+            "original": orig_score,
+            "reconstructed": recon_score,
+            "within": within,
+            "close": close,
+        }
+        rmsz_ok &= within and close
+    rmsz_verdict = TestVerdict(
+        name="rmsz", passed=rmsz_ok,
+        detail={"members": rmsz_detail, "distribution": rmsz_dist},
+    )
+
+    enmax_detail: dict[int, dict] = {}
+    enmax_ok = True
+    for m in members:
+        e_nmax = normalized_max_error(ensemble[m], recon[m])
+        within, small = enmax_ratio_test(e_nmax, enmax_dist, enmax_limit)
+        enmax_detail[m] = {"e_nmax": e_nmax, "within": within, "small": small}
+        enmax_ok &= within and small
+    enmax_verdict = TestVerdict(
+        name="enmax", passed=enmax_ok,
+        detail={"members": enmax_detail, "distribution": enmax_dist},
+    )
+
+    bias_verdict: TestVerdict | None = None
+    if run_bias:
+        result = _bias_for(ensemble, codec, stats, rmsz_dist)
+        bias_verdict = TestVerdict(
+            name="bias",
+            passed=result.passes(bias_limit),
+            detail={"regression": result},
+        )
+
+    return VariableVerdict(
+        variable=variable,
+        codec=codec.variant,
+        rho=rho_verdict,
+        rmsz=rmsz_verdict,
+        enmax=enmax_verdict,
+        bias=bias_verdict,
+        mean_cr=float(np.mean(list(crs.values()))),
+    )
+
+
+def _bias_for(
+    ensemble: np.ndarray,
+    codec: Compressor,
+    stats: EnsembleStats,
+    rmsz_original: np.ndarray,
+) -> BiasResult:
+    """Compress every member, rebuild E~, and regress RMSZ~ on RMSZ."""
+    n = ensemble.shape[0]
+    recon = np.empty_like(ensemble, dtype=np.float32)
+    for m in range(n):
+        recon[m] = codec.roundtrip(np.ascontiguousarray(ensemble[m])).reconstructed
+    recon_stats = EnsembleStats(recon)
+    rmsz_recon = recon_stats.distribution()
+    return bias_regression(rmsz_original, rmsz_recon)

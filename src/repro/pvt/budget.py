@@ -1,0 +1,73 @@
+"""Global energy-budget impact checks (paper Section 6 future work).
+
+"We plan to extend our verification metrics to evaluate the impact of
+compression on global energy budget calculations."  Two checks:
+
+- :func:`global_mean_shift` — the relative change in a variable's
+  area-weighted global mean caused by compression (global means feed every
+  budget term, so a biased codec shows up here first);
+- :func:`energy_budget_residual` — the top-of-model net radiation residual
+  ``FSNT - FLNT`` computed from original vs reconstructed fluxes; a good
+  codec must not change the budget by more than the tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.cubed_sphere import CubedSphereGrid
+from repro.metrics.characterize import valid_mask
+
+__all__ = ["global_mean_shift", "energy_budget_residual"]
+
+
+def _masked_global_mean(grid: CubedSphereGrid, field: np.ndarray) -> float:
+    field = np.asarray(field, dtype=np.float64)
+    mask = ~valid_mask(field)
+    return grid.global_mean(np.where(mask, 0.0, field), mask=mask)
+
+
+def global_mean_shift(
+    grid: CubedSphereGrid,
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+) -> float:
+    """|Δ global mean| normalized by the original field's spread.
+
+    Normalizing by the spatial standard deviation (not the mean) keeps the
+    measure meaningful for anomaly-like variables whose global mean is
+    near zero.
+    """
+    original = np.asarray(original, dtype=np.float64)
+    g_orig = _masked_global_mean(grid, original)
+    g_rec = _masked_global_mean(grid, reconstructed)
+    spread = float(original[valid_mask(original)].std())
+    if spread == 0.0:
+        return 0.0 if g_orig == g_rec else float("inf")
+    return abs(g_rec - g_orig) / spread
+
+
+def energy_budget_residual(
+    grid: CubedSphereGrid,
+    fsnt_original: np.ndarray,
+    flnt_original: np.ndarray,
+    fsnt_reconstructed: np.ndarray,
+    flnt_reconstructed: np.ndarray,
+) -> dict[str, float]:
+    """Top-of-model energy balance before and after compression.
+
+    Returns the original residual (W/m2), the reconstructed residual, and
+    the absolute budget shift |Δ(FSNT - FLNT)| — the quantity a climate
+    scientist would audit before accepting compressed history files.
+    """
+    res_orig = _masked_global_mean(grid, fsnt_original) - _masked_global_mean(
+        grid, flnt_original
+    )
+    res_rec = _masked_global_mean(
+        grid, fsnt_reconstructed
+    ) - _masked_global_mean(grid, flnt_reconstructed)
+    return {
+        "original_residual": res_orig,
+        "reconstructed_residual": res_rec,
+        "budget_shift": abs(res_rec - res_orig),
+    }

@@ -1,0 +1,103 @@
+"""Ensemble distribution of the normalized maximum pointwise error (eq. 10)
+and the eq. 11 acceptance ratio.
+
+For each member ``m`` the statistic is the largest pointwise deviation of
+``m`` from *any* other member, normalized by ``m``'s own range::
+
+    E_nmax^m = max_i ( max_{n != m} |x_i^m - x_i^n| ) / R_X^m
+
+The inner max over 100 members never needs pairwise differencing: for each
+grid point it is reached at the sub-ensemble's min or max, which we get
+from the ensemble's two largest / two smallest values per point (so the
+whole distribution costs one partial sort, not O(M^2 N)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ENMAX_RATIO_LIMIT
+from repro.metrics.characterize import valid_mask
+
+__all__ = ["enmax_distribution", "enmax_for_member", "enmax_ratio_test"]
+
+
+def _prepare(ensemble: np.ndarray) -> np.ndarray:
+    ensemble = np.asarray(ensemble, dtype=np.float64)
+    if ensemble.ndim < 2 or ensemble.shape[0] < 3:
+        raise ValueError("ensemble must be (n_members >= 3, ...)")
+    flat = ensemble.reshape(ensemble.shape[0], -1)
+    valid = valid_mask(flat).all(axis=0)
+    if not valid.any():
+        raise ValueError("no grid point is valid in every member")
+    return flat[:, valid]
+
+
+def enmax_distribution(ensemble: np.ndarray) -> np.ndarray:
+    """Eq. (10) for every member: the (n_members,) E_nmax distribution."""
+    data = _prepare(ensemble)
+    m = data.shape[0]
+
+    # Two largest and two smallest values per point, with the members that
+    # attain them (to handle "n != m" when m itself is the extremum).
+    top2_idx = np.argpartition(data, m - 2, axis=0)[m - 2:]
+    top2 = np.take_along_axis(data, top2_idx, axis=0)
+    order = np.argsort(top2, axis=0)
+    hi1_idx = np.take_along_axis(top2_idx, order[1:2], axis=0)[0]
+    hi1 = np.take_along_axis(top2, order[1:2], axis=0)[0]
+    hi2 = np.take_along_axis(top2, order[0:1], axis=0)[0]
+
+    bot2_idx = np.argpartition(data, 1, axis=0)[:2]
+    bot2 = np.take_along_axis(data, bot2_idx, axis=0)
+    order = np.argsort(bot2, axis=0)
+    lo1_idx = np.take_along_axis(bot2_idx, order[0:1], axis=0)[0]
+    lo1 = np.take_along_axis(bot2, order[0:1], axis=0)[0]
+    lo2 = np.take_along_axis(bot2, order[1:2], axis=0)[0]
+
+    out = np.empty(m)
+    members = np.arange(m)
+    for mem in members:
+        x = data[mem]
+        loo_hi = np.where(hi1_idx == mem, hi2, hi1)
+        loo_lo = np.where(lo1_idx == mem, lo2, lo1)
+        deviation = np.maximum(np.abs(x - loo_hi), np.abs(x - loo_lo))
+        r = x.max() - x.min()
+        if r == 0.0:
+            raise ZeroDivisionError(f"member {mem} has a constant field")
+        out[mem] = deviation.max() / r
+    return out
+
+
+def enmax_for_member(ensemble: np.ndarray, member: int) -> float:
+    """Eq. (10) for a single member."""
+    dist = enmax_distribution(ensemble)
+    if not 0 <= member < dist.shape[0]:
+        raise IndexError(
+            f"member {member} out of range 0..{dist.shape[0] - 1}"
+        )
+    return float(dist[member])
+
+
+def enmax_ratio_test(
+    e_nmax: float,
+    distribution: np.ndarray,
+    limit: float = ENMAX_RATIO_LIMIT,
+) -> tuple[bool, bool]:
+    """The two E_nmax acceptance criteria of Section 4.3.
+
+    Returns ``(within_range, small_ratio)``:
+
+    - at minimum, ``e_nmax`` (original vs reconstructed, eq. 2) "must
+      certainly be smaller than the range between the maximum and minimum
+      values" of the E_nmax distribution;
+    - eq. (11): ``e_nmax / R_{E_nmax} <= 1/10``.
+    """
+    distribution = np.asarray(distribution, dtype=np.float64)
+    if distribution.size < 2:
+        raise ValueError("distribution needs at least 2 values")
+    spread = float(distribution.max() - distribution.min())
+    if spread == 0.0:
+        raise ZeroDivisionError("degenerate E_nmax distribution (zero range)")
+    within = bool(e_nmax <= spread)
+    small = bool(e_nmax / spread <= limit)
+    return within, small

@@ -1,0 +1,210 @@
+"""Persisted ensemble summaries — the production PVT workflow.
+
+In practice (and in NCAR's later PyCECT tooling, which grew from this
+paper's methodology) the 101-member trusted ensemble is run *once*, reduced
+to a summary file, and every subsequent verification — new machine, new
+compiler, new compressor — checks its handful of runs against that file
+without touching the original ensemble.
+
+An :class:`EnsembleSummary` stores, per variable:
+
+- the per-grid-point ensemble mean and standard deviation (what Z-scores
+  of new runs are computed against);
+- the RMSZ distribution (eq. 7 over all members);
+- the E_nmax distribution (eq. 10);
+- the mean range (plain mean over valid points; the area-weighted
+  variant lives in :meth:`repro.pvt.tool.CesmPvt.verify_port`).
+
+Summaries serialize to the NCH container, so they are themselves ordinary
+(compressed) data files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.ensemble import CAMEnsemble
+from repro.ncio.format import HistoryFile, HistoryFileWriter
+from repro.pvt.enmax import enmax_distribution
+from repro.pvt.zscore import EnsembleStats
+
+__all__ = ["VariableSummary", "EnsembleSummary"]
+
+
+@dataclass(frozen=True)
+class VariableSummary:
+    """Reduced statistics for one variable."""
+
+    name: str
+    shape: tuple[int, ...]
+    mean: np.ndarray  # per valid grid point
+    std: np.ndarray
+    valid: np.ndarray  # boolean mask over the flattened field
+    rmsz_dist: np.ndarray
+    enmax_dist: np.ndarray
+    gmean_range: tuple[float, float]
+
+    def rmsz_of(self, field: np.ndarray) -> float:
+        """RMSZ of a new run's field against the stored statistics."""
+        field = np.asarray(field, dtype=np.float64).reshape(-1)
+        if field.shape[0] != self.valid.shape[0]:
+            raise ValueError(
+                f"{self.name}: field has {field.shape[0]} points, summary "
+                f"has {self.valid.shape[0]}"
+            )
+        v = field[self.valid]
+        ok = self.std > 0
+        if not ok.any():
+            raise ValueError(f"{self.name}: degenerate summary spread")
+        z = (v[ok] - self.mean[ok]) / self.std[ok]
+        return float(np.sqrt(np.mean(z**2)))
+
+    def verify(self, field: np.ndarray,
+               mean_tolerance_factor: float = 1.0) -> dict:
+        """Check one new run: RMSZ within distribution + mean-range test."""
+        score = self.rmsz_of(field)
+        lo, hi = float(self.rmsz_dist.min()), float(self.rmsz_dist.max())
+        tol = 1e-9 * (1.0 + abs(hi))
+        rmsz_ok = lo - tol <= score <= hi + tol
+
+        flat = np.asarray(field, dtype=np.float64).reshape(-1)
+        new_mean = float(flat[self.valid].mean())
+        g_lo, g_hi = self.gmean_range
+        center = (g_lo + g_hi) / 2.0
+        half = (g_hi - g_lo) / 2.0 * mean_tolerance_factor
+        mean_ok = center - half <= new_mean <= center + half
+        return {
+            "rmsz": score,
+            "rmsz_ok": bool(rmsz_ok),
+            "mean": new_mean,
+            "mean_ok": bool(mean_ok),
+            "passed": bool(rmsz_ok and mean_ok),
+        }
+
+
+class EnsembleSummary:
+    """A set of per-variable summaries with NCH (de)serialization."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, variables: dict[str, VariableSummary],
+                 n_members: int):
+        if not variables:
+            raise ValueError("summary needs at least one variable")
+        self.variables = variables
+        self.n_members = n_members
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_ensemble(cls, ensemble: CAMEnsemble,
+                      variables=None) -> "EnsembleSummary":
+        """Reduce a generated ensemble to its verification summary."""
+        names = (
+            [spec.name for spec in ensemble.catalog]
+            if variables is None
+            else [v if isinstance(v, str) else v.name for v in variables]
+        )
+        out: dict[str, VariableSummary] = {}
+        for name in names:
+            fields = ensemble.ensemble_field(name)
+            stats = EnsembleStats(fields)
+            m = fields.shape[0]
+            flat = fields.reshape(m, -1).astype(np.float64)
+            valid = stats.valid
+            mean = flat[:, valid].mean(axis=0)
+            std = flat[:, valid].std(axis=0, ddof=1)
+            gmeans = flat[:, valid].mean(axis=1)
+            out[name] = VariableSummary(
+                name=name,
+                shape=fields.shape[1:],
+                mean=mean,
+                std=std,
+                valid=valid,
+                rmsz_dist=stats.distribution(),
+                enmax_dist=enmax_distribution(fields),
+                gmean_range=(float(gmeans.min()), float(gmeans.max())),
+            )
+        return cls(out, n_members=ensemble.n_members)
+
+    # -- persistence ---------------------------------------------------------
+
+    def write(self, path) -> Path:
+        """Serialize to an NCH summary file (zlib-compressed)."""
+        path = Path(path)
+        with HistoryFileWriter(path, compression="zlib") as writer:
+            writer.set_attr("format", "repro-pvt-summary")
+            writer.set_attr("version", self.FORMAT_VERSION)
+            writer.set_attr("n_members", self.n_members)
+            writer.set_attr(
+                "variables",
+                {
+                    name: {"shape": list(s.shape),
+                           "gmean_range": list(s.gmean_range)}
+                    for name, s in self.variables.items()
+                },
+            )
+            for name, s in self.variables.items():
+                writer.put_var(f"{name}.mean", s.mean, (f"{name}.nvalid",))
+                writer.put_var(f"{name}.std", s.std, (f"{name}.nvalid",))
+                writer.put_var(
+                    f"{name}.valid", s.valid.astype(np.float32),
+                    (f"{name}.npoints",),
+                )
+                writer.put_var(f"{name}.rmsz", s.rmsz_dist, ("member",))
+                writer.put_var(f"{name}.enmax", s.enmax_dist, ("member",))
+        return path
+
+    @classmethod
+    def read(cls, path) -> "EnsembleSummary":
+        """Load a summary produced by :meth:`write`."""
+        with HistoryFile(path) as fh:
+            if fh.attrs.get("format") != "repro-pvt-summary":
+                raise ValueError(f"{path} is not a PVT summary file")
+            if fh.attrs.get("version") != cls.FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported summary version {fh.attrs.get('version')}"
+                )
+            meta = fh.attrs["variables"]
+            out: dict[str, VariableSummary] = {}
+            for name, info in meta.items():
+                out[name] = VariableSummary(
+                    name=name,
+                    shape=tuple(info["shape"]),
+                    mean=fh.get(f"{name}.mean"),
+                    std=fh.get(f"{name}.std"),
+                    valid=fh.get(f"{name}.valid").astype(bool),
+                    rmsz_dist=fh.get(f"{name}.rmsz"),
+                    enmax_dist=fh.get(f"{name}.enmax"),
+                    gmean_range=tuple(info["gmean_range"]),
+                )
+            return cls(out, n_members=int(fh.attrs["n_members"]))
+
+    # -- verification ---------------------------------------------------------
+
+    def verify_runs(
+        self,
+        new_fields: dict[str, np.ndarray],
+        mean_tolerance_factor: float = 1.0,
+    ) -> dict[str, list[dict]]:
+        """Verify new runs against the stored summary.
+
+        ``new_fields`` maps variable name to ``(k, ...)`` arrays of k runs;
+        returns per variable a list of per-run verdict dicts.
+        """
+        results: dict[str, list[dict]] = {}
+        for name, runs in new_fields.items():
+            try:
+                summary = self.variables[name]
+            except KeyError:
+                raise KeyError(
+                    f"summary has no variable {name!r}"
+                ) from None
+            runs = np.asarray(runs)
+            results[name] = [
+                summary.verify(run, mean_tolerance_factor) for run in runs
+            ]
+        return results

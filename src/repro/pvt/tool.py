@@ -1,0 +1,217 @@
+"""The CESM-PVT orchestrator.
+
+Two use cases, mirroring Section 4.3:
+
+- :meth:`CesmPvt.verify_port` — the tool's original purpose: decide
+  whether runs from a "new machine" (here: a differently-seeded or
+  perturbed model) are climate-changing, via the global-mean range-shift
+  check and the RMSZ distribution check;
+- :meth:`CesmPvt.evaluate_codec` — the paper's repurposing: run the four
+  acceptance tests of :mod:`repro.pvt.acceptance` for every requested
+  variable against a compressor, optionally in parallel across variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.metrics.characterize import valid_mask
+from repro.model.ensemble import CAMEnsemble
+from repro.pvt.acceptance import VariableVerdict, evaluate_variable
+from repro.pvt.zscore import EnsembleStats
+
+__all__ = ["CesmPvt", "PvtReport", "PortVerdict"]
+
+
+@dataclass(frozen=True)
+class PortVerdict:
+    """Port-verification outcome for one variable."""
+
+    variable: str
+    global_mean_ok: bool
+    rmsz_ok: bool
+    detail: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def passed(self) -> bool:
+        """Both the global-mean and RMSZ checks passed."""
+        return self.global_mean_ok and self.rmsz_ok
+
+
+@dataclass
+class PvtReport:
+    """Aggregated acceptance results for one codec over many variables."""
+
+    codec: str
+    verdicts: dict[str, VariableVerdict]
+
+    def pass_counts(self) -> dict[str, int]:
+        """A Table 6 row: passes per test plus the "all" column."""
+        counts = {"rho": 0, "rmsz": 0, "enmax": 0, "bias": 0, "all": 0}
+        for v in self.verdicts.values():
+            counts["rho"] += v.rho.passed
+            counts["rmsz"] += v.rmsz.passed
+            counts["enmax"] += v.enmax.passed
+            if v.bias is not None:
+                counts["bias"] += v.bias.passed
+            counts["all"] += v.all_passed
+        return counts
+
+    @property
+    def n_variables(self) -> int:
+        """Number of variables evaluated."""
+        return len(self.verdicts)
+
+
+class CesmPvt:
+    """Verification tool bound to a generated ensemble."""
+
+    def __init__(self, ensemble: CAMEnsemble, n_test_members: int = 3,
+                 selection_seed: int = 0):
+        self.ensemble = ensemble
+        self.test_members = ensemble.pick_members(
+            n_test_members, seed=selection_seed
+        )
+
+    # -- compression verification ----------------------------------------
+
+    def evaluate_codec(
+        self,
+        codec: Compressor,
+        variables=None,
+        run_bias: bool = True,
+        workers: int = 0,
+    ) -> PvtReport:
+        """Run the acceptance tests for ``codec`` over ``variables``.
+
+        ``workers > 1`` distributes variables across processes via
+        :mod:`repro.parallel` (each worker regenerates its fields from the
+        shared dycore coefficients, so nothing large is pickled).
+        """
+        names = self._variable_names(variables)
+        if workers and workers > 1:
+            from repro.parallel.executor import parallel_map
+
+            results = parallel_map(
+                _evaluate_one_remote,
+                [
+                    (self.ensemble.config, codec, name,
+                     tuple(int(m) for m in self.test_members), run_bias)
+                    for name in names
+                ],
+                workers=workers,
+            )
+            verdicts = dict(zip(names, results))
+        else:
+            verdicts = {
+                name: self._evaluate_one(codec, name, run_bias)
+                for name in names
+            }
+        return PvtReport(codec=codec.variant, verdicts=verdicts)
+
+    def _evaluate_one(self, codec: Compressor, name: str,
+                      run_bias: bool) -> VariableVerdict:
+        fields = self.ensemble.ensemble_field(name)
+        return evaluate_variable(
+            fields, codec, self.test_members, variable=name,
+            run_bias=run_bias,
+        )
+
+    def _variable_names(self, variables) -> list[str]:
+        if variables is None:
+            return [spec.name for spec in self.ensemble.catalog]
+        return [
+            v if isinstance(v, str) else v.name for v in variables
+        ]
+
+    # -- port verification -------------------------------------------------
+
+    def verify_port(
+        self,
+        new_fields: dict[str, np.ndarray],
+        mean_tolerance_factor: float = 1.0,
+    ) -> dict[str, PortVerdict]:
+        """The original CESM-PVT check for runs from a new machine.
+
+        ``new_fields`` maps variable name to ``(k, ...)`` arrays holding k
+        new runs.  For each variable:
+
+        - the new runs' global means must fall within the ensemble's
+          global-mean range (no "range shift"), stretched by
+          ``mean_tolerance_factor``;
+        - each new run's RMSZ against the ensemble must fall within the
+          ensemble's RMSZ distribution.
+        """
+        verdicts: dict[str, PortVerdict] = {}
+        for name, runs in new_fields.items():
+            runs = np.asarray(runs, dtype=np.float64)
+            fields = self.ensemble.ensemble_field(name)
+            ens_means = np.asarray(
+                [self._global_mean(f) for f in fields]
+            )
+            lo, hi = ens_means.min(), ens_means.max()
+            center = (lo + hi) / 2.0
+            half = (hi - lo) / 2.0 * mean_tolerance_factor
+            new_means = np.asarray([self._global_mean(r) for r in runs])
+            mean_ok = bool(
+                np.all((new_means >= center - half) & (new_means <= center + half))
+            )
+
+            stats = EnsembleStats(fields)
+            dist = stats.distribution()
+            # A foreign run excludes nothing; score it against the full
+            # ensemble by excluding an arbitrary member (statistically the
+            # sub-ensembles are interchangeable).
+            scores = np.asarray(
+                [stats.rmsz(r.reshape(-1), 0) for r in runs]
+            )
+            rmsz_ok = bool(
+                np.all((scores >= dist.min()) & (scores <= dist.max()))
+            )
+            verdicts[name] = PortVerdict(
+                variable=name,
+                global_mean_ok=mean_ok,
+                rmsz_ok=rmsz_ok,
+                detail={
+                    "ensemble_mean_range": (float(lo), float(hi)),
+                    "new_means": new_means,
+                    "rmsz_distribution": dist,
+                    "new_rmsz": scores,
+                },
+            )
+        return verdicts
+
+    def _global_mean(self, field: np.ndarray) -> float:
+        grid = self.ensemble.model.grid
+        mask = ~valid_mask(field)
+        return grid.global_mean(
+            np.where(mask, 0.0, field.astype(np.float64)),
+            mask=mask,
+        )
+
+
+def _evaluate_one_remote(args) -> VariableVerdict:
+    """Process-pool entry point: rebuild the ensemble field and evaluate."""
+    config, codec, name, members, run_bias = args
+    ensemble = _ensemble_for_config(config)
+    fields = ensemble.ensemble_field(name)
+    return evaluate_variable(
+        fields, codec, members, variable=name, run_bias=run_bias
+    )
+
+
+_ENSEMBLE_CACHE: dict = {}
+
+
+def _ensemble_for_config(config) -> CAMEnsemble:
+    key = (config.ne, config.nlev, config.n_members, config.n_2d,
+           config.n_3d, config.base_seed)
+    ens = _ENSEMBLE_CACHE.get(key)
+    if ens is None:
+        ens = CAMEnsemble(config)
+        _ENSEMBLE_CACHE.clear()
+        _ENSEMBLE_CACHE[key] = ens
+    return ens

@@ -1,0 +1,166 @@
+"""APAX-style fixed-rate block floating-point codec."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import Apax, ApaxProfiler
+from repro.metrics.correlation import pearson
+
+
+class TestFixedRate:
+    @pytest.mark.parametrize("rate", [2, 4, 5])
+    def test_cr_matches_rate(self, climate_field, rate):
+        out = Apax(rate=rate).roundtrip(climate_field)
+        assert abs(out.cr - 1.0 / rate) < 0.01
+
+    def test_rate_is_guaranteed_even_on_compressible_data(self):
+        # APAX pads: the CR equals the target even if the data is trivial.
+        data = np.zeros(100_000, dtype=np.float32)
+        out = Apax(rate=4).roundtrip(data)
+        assert abs(out.cr - 0.25) < 0.01
+
+    def test_quality_degrades_with_rate(self, climate_field):
+        rhos = [
+            pearson(
+                climate_field,
+                Apax(rate=r).roundtrip(climate_field).reconstructed,
+            )
+            for r in (2, 4, 5)
+        ]
+        assert rhos[0] > rhos[1] > rhos[2]
+
+    def test_rate_2_near_lossless_on_climate_data(self, climate_field):
+        out = Apax(rate=2).roundtrip(climate_field)
+        assert pearson(climate_field, out.reconstructed) > 0.9999999
+
+    def test_fractional_rate(self, climate_field):
+        out = Apax(rate=2.5).roundtrip(climate_field)
+        assert abs(out.cr - 0.4) < 0.01
+
+
+class TestFixedQuality:
+    def test_quality_mode_rate_floats(self, rng):
+        # Fixed quality: smooth (predictable) data costs fewer bits than
+        # noise at the same quality target.
+        codec = Apax(quality_db=40)
+        n = 32 * 400
+        smooth = (np.sin(np.linspace(0, 6 * np.pi, n)) * 40).astype(
+            np.float32
+        )
+        smooth_cr = codec.roundtrip(smooth).cr
+        noise_cr = codec.roundtrip(
+            rng.normal(0, 1, n).astype(np.float32)
+        ).cr
+        assert smooth_cr < noise_cr - 0.02
+
+    def test_quality_meets_target(self, climate_field):
+        codec = Apax(quality_db=48)
+        out = codec.roundtrip(climate_field)
+        x = climate_field.astype(np.float64)
+        err = out.reconstructed.astype(np.float64) - x
+        srr = 20 * np.log10(x.std() / err.std())
+        assert srr >= 40  # within ~8 dB of the per-block target
+
+    def test_variant_labels(self):
+        assert Apax(rate=4).variant == "APAX-4"
+        assert Apax(quality_db=42).variant == "APAX-q42dB"
+
+
+class TestPredictiveMode:
+    def test_smooth_blocks_use_delta(self):
+        # A very smooth signal should engage DPCM and beat raw block float
+        # quality at the same rate.
+        n = 32 * 512
+        smooth = (100 + np.sin(np.linspace(0, 8 * np.pi, n)) * 50).astype(
+            np.float32
+        )
+        out = Apax(rate=4).roundtrip(smooth)
+        err = np.abs(out.reconstructed.astype(np.float64) - smooth)
+        # Raw 7-bit block float would give err ~ 150/2^7 ~ 1.2; DPCM must
+        # do much better.
+        assert err.max() < 0.3
+
+    def test_rough_data_still_bounded(self, rng):
+        data = rng.normal(0, 1, 32 * 100).astype(np.float32)
+        out = Apax(rate=4).roundtrip(data)
+        err = np.abs(out.reconstructed.astype(np.float64) - data)
+        assert err.max() < 2.0 ** (1 - 6)  # raw mode, ~7-bit mantissas
+
+
+class TestEdgeCases:
+    def test_non_multiple_of_block(self, rng):
+        data = rng.normal(0, 1, 1001).astype(np.float32)
+        out = Apax(rate=2).roundtrip(data)
+        assert out.reconstructed.shape == data.shape
+
+    def test_tiny_input(self, rng):
+        data = rng.normal(0, 1, 3).astype(np.float32)
+        out = Apax(rate=2).roundtrip(data)
+        assert out.reconstructed.shape == (3,)
+
+    def test_all_zero(self):
+        data = np.zeros(500, dtype=np.float32)
+        out = Apax(rate=5).roundtrip(data)
+        assert np.array_equal(out.reconstructed, data)
+
+    def test_huge_float64_values(self, rng):
+        data = (rng.normal(0, 1, 640) * 1e300)
+        out = Apax(rate=2).roundtrip(data)
+        rel = np.abs(out.reconstructed - data) / np.abs(data).max()
+        assert rel.max() < 1e-3
+
+    def test_mixed_sign(self, rng):
+        data = rng.normal(0, 100, 4096).astype(np.float32)
+        out = Apax(rate=2).roundtrip(data)
+        err = np.abs(out.reconstructed.astype(np.float64) - data)
+        assert err.max() < 100 * 2.0**-10
+
+
+class TestValidation:
+    def test_both_modes_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Apax(rate=2, quality_db=40)
+        with pytest.raises(ValueError, match="exactly one"):
+            Apax()
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            Apax(rate=0.5)
+
+    def test_bad_quality(self):
+        with pytest.raises(ValueError):
+            Apax(quality_db=-3)
+
+
+class TestProfiler:
+    def test_profile_rows(self, climate_field_2d):
+        profiler = ApaxProfiler(rates=(2, 4))
+        rows = profiler.profile(climate_field_2d)
+        assert [r["rate"] for r in rows] == [2, 4]
+        assert rows[0]["rho"] >= rows[1]["rho"]
+
+    def test_recommend_meets_threshold(self, climate_field):
+        profiler = ApaxProfiler(rates=(2, 4, 5))
+        rate = profiler.recommend(climate_field)
+        out = Apax(rate=rate).roundtrip(climate_field)
+        assert pearson(climate_field, out.reconstructed) >= 0.99999
+
+    def test_recommend_falls_back_to_lowest(self, rng):
+        # Pure noise never meets the threshold above rate 2.
+        noise = rng.normal(0, 1, 10_000).astype(np.float32)
+        profiler = ApaxProfiler(rates=(4, 5, 8))
+        assert profiler.recommend(noise) == 4
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ApaxProfiler(rates=())
+
+
+class TestProperties:
+    def test_table1_row(self):
+        # APAX: the only method with fixed quality AND fixed CR modes, but
+        # commercial (not freely available).
+        p = Apax.properties()
+        assert p.fixed_quality and p.fixed_cr
+        assert not p.freely_available
+        assert not p.special_values

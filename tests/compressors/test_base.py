@@ -1,0 +1,112 @@
+"""Compressor base API: framing, dtype handling, special-value adapter."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import (
+    Fpzip,
+    Grib2Jpeg2000,
+    NetCDF4Zlib,
+    SpecialValueAdapter,
+    compression_ratio,
+)
+from repro.config import FILL_VALUE
+
+
+class TestFraming:
+    def test_shape_and_dtype_restored(self, rng):
+        codec = NetCDF4Zlib()
+        for shape in [(100,), (4, 25), (2, 5, 10)]:
+            data = rng.normal(0, 1, 100).astype(np.float32).reshape(shape)
+            out = codec.decompress(codec.compress(data))
+            assert out.shape == shape and out.dtype == np.float32
+
+    def test_float64_supported(self, rng):
+        codec = Fpzip(precision=64)
+        data = rng.normal(0, 1, 64)
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_wrong_codec_rejected(self, rng):
+        data = rng.normal(0, 1, 64).astype(np.float32)
+        blob = Fpzip(precision=16).compress(data)
+        with pytest.raises(ValueError, match="written by"):
+            Fpzip(precision=24).decompress(blob)
+
+    def test_int_input_rejected(self):
+        with pytest.raises(TypeError, match="float32/float64"):
+            NetCDF4Zlib().compress(np.arange(10))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NetCDF4Zlib().compress(np.array([], dtype=np.float32))
+
+    def test_float64_rejected_when_unsupported(self, rng):
+        # Table 1: GRIB2 does not handle 64-bit data.
+        with pytest.raises(TypeError, match="64-bit"):
+            Grib2Jpeg2000().compress(rng.normal(0, 1, 32))
+
+    def test_garbage_blob_rejected(self):
+        with pytest.raises(ValueError):
+            NetCDF4Zlib().decompress(b"not a blob")
+
+
+class TestOutcome:
+    def test_roundtrip_bookkeeping(self, climate_field):
+        outcome = NetCDF4Zlib().roundtrip(climate_field)
+        assert outcome.original_nbytes == climate_field.nbytes
+        assert outcome.compressed_nbytes == len(outcome.blob)
+        assert 0 < outcome.cr < 1
+        assert outcome.codec == "NetCDF-4"
+
+    def test_compression_ratio_eq1(self):
+        # Eq. (1): CR = compressed / original; smaller is better.
+        assert compression_ratio(100, 25) == 0.25
+        with pytest.raises(ValueError):
+            compression_ratio(0, 10)
+
+
+class TestSpecialValueAdapter:
+    def test_fill_values_restored_exactly(self, rng):
+        data = rng.normal(5, 1, 500).astype(np.float32)
+        data[::7] = FILL_VALUE
+        codec = SpecialValueAdapter(Fpzip(precision=16))
+        out = codec.decompress(codec.compress(data))
+        assert (out[::7] == np.float32(FILL_VALUE)).all()
+
+    def test_valid_values_not_poisoned_by_fill(self, rng):
+        data = rng.normal(5, 1, 500).astype(np.float32)
+        data[::7] = FILL_VALUE
+        plain = Fpzip(precision=16)
+        wrapped = SpecialValueAdapter(Fpzip(precision=16))
+        valid = data != np.float32(FILL_VALUE)
+        err_wrapped = np.abs(
+            wrapped.decompress(wrapped.compress(data))[valid] - data[valid]
+        ).max()
+        # The adapter keeps fpzip-16's relative-precision guarantee
+        # (7 mantissa bits) on valid data.
+        assert err_wrapped < np.abs(data[valid]).max() * 2**-7
+
+    def test_all_fill(self):
+        data = np.full(64, FILL_VALUE, dtype=np.float32)
+        codec = SpecialValueAdapter(Fpzip(precision=24))
+        out = codec.decompress(codec.compress(data))
+        assert (out == np.float32(FILL_VALUE)).all()
+
+    def test_no_fill(self, rng):
+        data = rng.normal(0, 1, 128).astype(np.float32)
+        codec = SpecialValueAdapter(NetCDF4Zlib())
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_nesting_rejected(self):
+        inner = SpecialValueAdapter(NetCDF4Zlib())
+        with pytest.raises(TypeError, match="nested"):
+            SpecialValueAdapter(inner)
+
+    def test_variant_label(self):
+        codec = SpecialValueAdapter(Fpzip(precision=16))
+        assert codec.variant == "fpzip-16+sv"
+
+    def test_properties_flip_special_values(self):
+        props = SpecialValueAdapter(Fpzip()).properties()
+        assert props.special_values is True
+        assert Fpzip.properties().special_values is False

@@ -1,0 +1,138 @@
+"""Cross-codec edge cases and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import (
+    Apax,
+    Fpzip,
+    Grib2Jpeg2000,
+    Isabela,
+    NetCDF4Zlib,
+    get_variant,
+    variant_names,
+)
+
+ALL_CODECS = [
+    NetCDF4Zlib(),
+    Fpzip(precision=16),
+    Fpzip(precision=32),
+    Isabela(rel_error_pct=1.0, window=64, n_coeffs=8),
+    Grib2Jpeg2000(decimal_scale="auto"),
+    Apax(rate=2),
+]
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.variant)
+class TestUniversalBehaviours:
+    def test_single_value(self, codec):
+        data = np.array([3.25], dtype=np.float32)
+        out = codec.decompress(codec.compress(data))
+        assert out.shape == (1,)
+        if not codec.properties().fixed_cr:
+            # A fixed-rate codec has a 2-byte budget for one float32 and
+            # legitimately cannot represent it; everyone else must.
+            np.testing.assert_allclose(out, data, rtol=0.05)
+
+    def test_constant_field(self, codec):
+        data = np.full(300, -7.5, dtype=np.float32)
+        out = codec.decompress(codec.compress(data))
+        np.testing.assert_allclose(out, data, rtol=0.02)
+
+    def test_all_zeros(self, codec):
+        data = np.zeros(256, dtype=np.float32)
+        out = codec.decompress(codec.compress(data))
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+    def test_negative_values_preserved(self, codec, rng):
+        data = -np.abs(rng.normal(5, 1, 500)).astype(np.float32)
+        out = codec.decompress(codec.compress(data))
+        assert (out <= 0).all()
+
+    def test_alternating_signs(self, codec, rng):
+        data = (rng.normal(0, 1, 400) *
+                np.resize([1, -1], 400)).astype(np.float32)
+        out = codec.decompress(codec.compress(data))
+        assert out.shape == data.shape
+
+    def test_truncated_blob_raises(self, codec, rng):
+        data = rng.normal(0, 1, 512).astype(np.float32)
+        blob = codec.compress(data)
+        with pytest.raises((ValueError, KeyError)):
+            codec.decompress(blob[: len(blob) // 3])
+
+    def test_blob_is_self_describing(self, codec, rng):
+        data = rng.normal(0, 1, 256).astype(np.float32).reshape(4, 64)
+        fresh = type(codec)
+        blob = codec.compress(data)
+        out = codec.decompress(blob)
+        assert out.shape == (4, 64) and out.dtype == np.float32
+
+
+class TestGrib2Widths:
+    @pytest.mark.parametrize("max_bits", [6, 12, 20])
+    def test_narrow_code_paths(self, rng, max_bits):
+        # Exercise u1/u2/u4 narrowed DEFLATE streams.
+        data = rng.normal(100, 10, 3000).astype(np.float32)
+        codec = Grib2Jpeg2000(decimal_scale=0, max_bits=max_bits)
+        out = codec.decompress(codec.compress(data))
+        span = float(data.max() - data.min())
+        # Quantization step: 10^-D scaled by the binary scale factor the
+        # encoder needs to fit max_bits (never finer than 10^-D).
+        binary_scale = max(0, int(np.ceil(np.log2(span) - max_bits)))
+        while span / 2.0**binary_scale >= 2.0**max_bits:
+            binary_scale += 1
+        step = 2.0**binary_scale
+        assert np.abs(out - data).max() <= step / 2 * 1.01
+
+
+class TestApaxEdge:
+    def test_float64_wide_exponents(self, rng):
+        # Exponents beyond int8 force the int16 side channel.
+        data = rng.normal(0, 1, 640) * 10.0 ** rng.integers(-200, 200, 640)
+        codec = Apax(rate=2)
+        out = codec.decompress(codec.compress(data))
+        assert out.shape == data.shape
+        assert np.isfinite(out).all()
+
+    def test_extreme_gain_blocks_fall_back_to_raw(self):
+        # Near-constant blocks with relative variation ~1e-14 would
+        # overflow the Rice head quantizer; they must take the raw path.
+        base = np.full(320, 1.0)
+        data = base + np.linspace(0, 1e-13, 320)
+        codec = Apax(rate=2)
+        out = codec.decompress(codec.compress(data))
+        np.testing.assert_allclose(out, data, rtol=1e-6)
+
+    def test_head_accuracy_matches_body(self, rng):
+        # The Rice-coded DPCM seed must be as accurate as the deltas: no
+        # per-block offset artifacts at block boundaries.
+        n = 32 * 64
+        smooth = np.sin(np.linspace(0, 6 * np.pi, n)).astype(np.float32)
+        out = Apax(rate=2).roundtrip(smooth)
+        err = np.abs(out.reconstructed.astype(np.float64) - smooth)
+        err_heads = err[::32]
+        err_body = err[np.arange(n) % 32 != 0]
+        assert err_heads.max() <= max(err_body.max() * 4, 1e-7)
+
+
+class TestIsabelaEdge:
+    def test_window_larger_than_data(self, rng):
+        data = rng.normal(0, 1, 100).astype(np.float32)
+        codec = Isabela(rel_error_pct=1.0, window=1024, n_coeffs=30)
+        out = codec.decompress(codec.compress(data))
+        assert out.shape == data.shape
+
+    def test_exact_window_multiple(self, rng):
+        data = rng.normal(0, 1, 512).astype(np.float32)
+        codec = Isabela(rel_error_pct=0.5, window=128, n_coeffs=16)
+        out = codec.decompress(codec.compress(data))
+        assert out.shape == data.shape
+
+
+class TestRegistryCoverage:
+    def test_every_variant_on_2d_field(self, climate_field_2d):
+        for name in variant_names():
+            codec = get_variant(name)
+            out = codec.roundtrip(climate_field_2d)
+            assert out.cr < 1.05, name

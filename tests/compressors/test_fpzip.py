@@ -1,0 +1,129 @@
+"""fpzip-style predictive codec."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import Fpzip
+from repro.metrics.pointwise import normalized_max_error
+
+
+class TestLossless:
+    def test_float32_precision_32_is_bit_exact(self, climate_field):
+        codec = Fpzip(precision=32)
+        out = codec.decompress(codec.compress(climate_field))
+        assert np.array_equal(out, climate_field)
+
+    def test_float64_precision_64_is_bit_exact(self, rng):
+        data = rng.normal(0, 100, 2000)
+        codec = Fpzip(precision=64)
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_random_noise_bit_exact(self, rng):
+        data = rng.normal(0, 1, 4096).astype(np.float32)
+        codec = Fpzip(precision=32)
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_is_lossless_property(self):
+        assert Fpzip(precision=32).is_lossless
+        assert not Fpzip(precision=24).is_lossless
+
+
+class TestLossy:
+    @pytest.mark.parametrize("precision,rel_bound", [(16, 2.0**-7),
+                                                     (24, 2.0**-15)])
+    def test_relative_error_bound(self, climate_field, precision, rel_bound):
+        # fpzip truncates mantissa bits -> bounded RELATIVE error.
+        codec = Fpzip(precision=precision)
+        out = codec.decompress(codec.compress(climate_field))
+        x = climate_field.astype(np.float64)
+        nonzero = np.abs(x) > 0
+        rel = np.abs(x - out.astype(np.float64))[nonzero] / np.abs(x[nonzero])
+        assert rel.max() <= rel_bound
+
+    def test_more_precision_less_error(self, climate_field):
+        errs = []
+        for precision in (8, 16, 24):
+            codec = Fpzip(precision=precision)
+            out = codec.decompress(codec.compress(climate_field))
+            errs.append(normalized_max_error(climate_field, out))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_more_precision_larger_blob(self, climate_field):
+        sizes = [
+            len(Fpzip(precision=p).compress(climate_field))
+            for p in (8, 16, 24, 32)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_smooth_data_compresses_below_precision_ratio(self):
+        # Prediction should beat the raw precision/32 ratio on smooth data.
+        x = np.sin(np.linspace(0, 20, 50_000)).astype(np.float32) * 10
+        out = Fpzip(precision=16).roundtrip(x)
+        assert out.cr < 16 / 32
+
+    def test_variant_labels(self):
+        assert Fpzip(precision=16).variant == "fpzip-16"
+        assert Fpzip(precision=24).variant == "fpzip-24"
+        assert Fpzip(precision=16,
+                     predictor="lorenzo").variant == "fpzip-16-lorenzo"
+
+
+class TestLorenzoPredictor:
+    def test_reconstruction_identical_to_delta(self, climate_field):
+        # The predictor changes only the residual statistics; truncation
+        # determines the reconstruction, so both predictors must return
+        # bit-identical output.
+        delta = Fpzip(precision=16)
+        lorenzo = Fpzip(precision=16, predictor="lorenzo")
+        out_d = delta.decompress(delta.compress(climate_field))
+        out_l = lorenzo.decompress(lorenzo.compress(climate_field))
+        assert np.array_equal(out_d, out_l)
+
+    def test_improves_cr_on_vertically_correlated_field(self, climate_field):
+        # (nlev, ncol) fields are correlated along both axes; the 2-D
+        # Lorenzo predictor should not do worse than 1-D delta by much
+        # and typically wins.
+        delta_cr = Fpzip(precision=16).roundtrip(climate_field).cr
+        lorenzo_cr = Fpzip(
+            precision=16, predictor="lorenzo"
+        ).roundtrip(climate_field).cr
+        assert lorenzo_cr < delta_cr * 1.15
+
+    def test_1d_falls_back_to_delta(self, rng):
+        # A 1-D input offers no second axis: the payloads match the delta
+        # predictor's up to the variant tag in the container header.
+        data = rng.normal(0, 1, 2048).astype(np.float32)
+        delta = Fpzip(precision=24)
+        lorenzo = Fpzip(precision=24, predictor="lorenzo")
+        assert lorenzo._encode_with_shape(data, data.shape) == \
+            delta._encode_with_shape(data, data.shape)
+
+    def test_lossless_mode(self, climate_field):
+        codec = Fpzip(precision=32, predictor="lorenzo")
+        out = codec.decompress(codec.compress(climate_field))
+        assert np.array_equal(out, climate_field)
+
+    def test_bad_predictor(self):
+        with pytest.raises(ValueError, match="predictor"):
+            Fpzip(predictor="cubic")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("precision", [0, 4, 12, 65])
+    def test_invalid_precision(self, precision):
+        with pytest.raises(ValueError, match="precision"):
+            Fpzip(precision=precision)
+
+    def test_truncated_payload(self, climate_field_2d):
+        blob = Fpzip(precision=16).compress(climate_field_2d)
+        with pytest.raises(ValueError):
+            Fpzip(precision=16).decompress(blob[: len(blob) // 2])
+
+
+class TestProperties:
+    def test_table1_row(self):
+        # Table 1: fpzip row = lossless Y, special N, free Y, fixed
+        # quality N, fixed CR N, 32&64 Y.
+        p = Fpzip.properties()
+        assert p.lossless_mode and p.freely_available and p.bits_32_and_64
+        assert not p.special_values and not p.fixed_quality and not p.fixed_cr

@@ -1,0 +1,114 @@
+"""ISOBAR- and MAFISC-style lossless methods (paper Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import NetCDF4Zlib
+from repro.compressors.lossless_related import Isobar, Mafisc
+
+
+class TestIsobar:
+    def test_bit_exact(self, climate_field):
+        codec = Isobar()
+        out = codec.decompress(codec.compress(climate_field))
+        assert np.array_equal(out, climate_field)
+
+    def test_bit_exact_on_noise(self, rng):
+        data = rng.random(20_000).astype(np.float32)
+        codec = Isobar()
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_float64(self, rng):
+        data = rng.normal(0, 1, 5000)
+        codec = Isobar()
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_special_values_survive(self, rng):
+        data = rng.normal(0, 1, 1000).astype(np.float32)
+        data[::5] = 1e35
+        codec = Isobar()
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_plane_partitioning_on_mixed_data(self, climate_field):
+        # Climate float32: exponent/sign planes compress, low mantissa
+        # planes are near-random.  ISOBAR should compress some planes and
+        # store at least one raw.
+        codec = Isobar()
+        payload = codec._encode_values(climate_field.reshape(-1))
+        itemsize = 4
+        flags = payload[1: 1 + itemsize]
+        assert 0 < sum(flags) < itemsize
+
+    def test_competitive_with_zlib(self, climate_field):
+        isobar = Isobar().roundtrip(climate_field)
+        nc = NetCDF4Zlib().roundtrip(climate_field)
+        # ISOBAR skips incompressible planes; its CR stays within ~15% of
+        # shuffle+DEFLATE while avoiding compressing noise.
+        assert isobar.cr < nc.cr * 1.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Isobar(level=0)
+        with pytest.raises(ValueError):
+            Isobar(sample_bytes=10)
+
+    def test_wrong_dtype_payload_rejected(self, rng):
+        data32 = rng.normal(0, 1, 256).astype(np.float32)
+        codec = Isobar()
+        payload = codec._encode_values(data32)
+        with pytest.raises(ValueError, match="dtype"):
+            codec._decode_values(payload, 128, np.float64)
+
+
+class TestMafisc:
+    def test_bit_exact(self, climate_field):
+        codec = Mafisc()
+        out = codec.decompress(codec.compress(climate_field))
+        assert np.array_equal(out, climate_field)
+
+    def test_all_filters_roundtrip(self, rng):
+        data = rng.normal(0, 1, 999).astype(np.float32)
+        codec = Mafisc()
+        for filter_id in range(4):
+            raw = codec._filtered(data, filter_id)
+            back = codec._unfiltered(raw, filter_id, np.float32)
+            assert np.array_equal(back, data), filter_id
+
+    def test_adaptive_beats_or_ties_plain_lzma(self, climate_field):
+        # The paper: "MAFISC slightly improves upon the standard lossless
+        # method lmza" — the adaptive filter stack can only help.
+        mafisc = Mafisc(adaptive=True).roundtrip(climate_field)
+        lzma_only = Mafisc(adaptive=False).roundtrip(climate_field)
+        assert mafisc.cr <= lzma_only.cr + 1e-9
+
+    def test_float64(self, rng):
+        data = np.cumsum(rng.normal(0, 1, 4000))
+        codec = Mafisc()
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_variant_labels(self):
+        assert Mafisc(adaptive=True).variant == "MAFISC"
+        assert Mafisc(adaptive=False).variant == "LZMA"
+
+    def test_bad_preset(self):
+        with pytest.raises(ValueError):
+            Mafisc(preset=10)
+
+    def test_smooth_data_picks_a_filter(self):
+        # On very smooth data the delta/shuffle filters beat identity, so
+        # the stored filter id should not be 0.
+        data = np.linspace(0, 1, 20_000, dtype=np.float32)
+        payload = Mafisc()._encode_values(data)
+        assert payload[0] != 0
+
+
+class TestRegistry:
+    def test_new_variants_resolve(self, rng):
+        from repro.compressors import get_variant
+
+        data = rng.normal(0, 1, 2048).astype(np.float32)
+        for name in ("ISOBAR", "MAFISC", "LZMA", "fpzip-32-lorenzo"):
+            codec = get_variant(name)
+            assert codec.is_lossless
+            out = codec.decompress(codec.compress(data))
+            assert np.array_equal(out, data), name

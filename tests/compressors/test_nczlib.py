@@ -1,0 +1,61 @@
+"""NetCDF-4-style lossless baseline."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import NetCDF4Zlib
+
+
+class TestLossless:
+    def test_bit_exact(self, climate_field):
+        codec = NetCDF4Zlib()
+        out = codec.decompress(codec.compress(climate_field))
+        assert np.array_equal(out, climate_field)
+
+    def test_bit_exact_on_noise(self, rng):
+        data = rng.normal(0, 1, 10_000).astype(np.float32)
+        codec = NetCDF4Zlib()
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_special_values_survive(self, rng):
+        data = rng.normal(0, 1, 100).astype(np.float32)
+        data[::3] = 1e35
+        codec = NetCDF4Zlib()
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_float64(self, rng):
+        data = rng.normal(0, 1, 1000)
+        codec = NetCDF4Zlib()
+        assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+    def test_is_lossless(self):
+        assert NetCDF4Zlib().is_lossless
+
+
+class TestCompressionBehaviour:
+    def test_climate_data_cr_below_one(self, climate_field):
+        # Table 2: lossless CRs on CAM variables land around 0.58-0.75.
+        out = NetCDF4Zlib().roundtrip(climate_field)
+        assert 0.3 < out.cr < 1.0
+
+    def test_noise_is_incompressible(self, rng):
+        # The motivation for lossy compression: random mantissas barely
+        # compress (CR close to 1).
+        data = rng.random(50_000).astype(np.float32)
+        out = NetCDF4Zlib().roundtrip(data)
+        assert out.cr > 0.75
+
+    def test_shuffle_helps_on_smooth_fields(self, climate_field):
+        with_shuffle = NetCDF4Zlib(shuffle=True).roundtrip(climate_field).cr
+        without = NetCDF4Zlib(shuffle=False).roundtrip(climate_field).cr
+        assert with_shuffle < without
+
+    def test_levels_roundtrip(self, climate_field_2d):
+        for level in (1, 6, 9):
+            codec = NetCDF4Zlib(level=level)
+            out = codec.decompress(codec.compress(climate_field_2d))
+            assert np.array_equal(out, climate_field_2d)
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            NetCDF4Zlib(level=10)

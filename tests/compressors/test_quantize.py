@@ -1,0 +1,89 @@
+"""GRIB2-style scale/offset quantization."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.quantize import (
+    decimal_scale_for,
+    dequantize,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.uniform(-50, 50, 10_000)
+        field = quantize(values, decimal_scale=2, max_bits=24)
+        back = dequantize(field)
+        # Error bound: half a quantization step.
+        step = 2.0**field.binary_scale / 10.0**2
+        assert np.abs(values - back).max() <= step / 2 + 1e-12
+
+    def test_codes_nonnegative_and_bounded(self, rng):
+        values = rng.normal(0, 1000, 5000)
+        field = quantize(values, decimal_scale=0, max_bits=16)
+        assert field.codes.min() >= 0
+        assert field.max_code < 2**16
+
+    def test_binary_scale_respects_max_bits(self, rng):
+        values = rng.uniform(0, 1e9, 1000)
+        for bits in (8, 16, 24):
+            field = quantize(values, decimal_scale=0, max_bits=bits)
+            assert field.max_code < 2**bits
+
+    def test_higher_decimal_scale_is_finer(self, rng):
+        values = rng.uniform(0, 1, 1000)
+        coarse = dequantize(quantize(values, 1, max_bits=30))
+        fine = dequantize(quantize(values, 5, max_bits=30))
+        assert np.abs(values - fine).max() < np.abs(values - coarse).max()
+
+    def test_constant_field(self):
+        values = np.full(100, 3.25)
+        field = quantize(values, 3)
+        assert (field.codes == 0).all()
+        np.testing.assert_allclose(dequantize(field), 3.25, rtol=1e-12)
+
+    def test_negative_values(self):
+        values = np.array([-5.0, 0.0, 5.0])
+        back = dequantize(quantize(values, 4))
+        np.testing.assert_allclose(back, values, atol=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([]), 0)
+
+    def test_out_of_range_scale_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(4), 40)
+
+    def test_bad_max_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.ones(4), 0, max_bits=0)
+
+
+class TestDecimalScaleFor:
+    def test_unit_magnitude(self):
+        assert decimal_scale_for(np.array([1.5, 2.5]), 4) == 3
+
+    def test_large_magnitude_negative_scale(self):
+        d = decimal_scale_for(np.array([1e8]), 4)
+        assert d < 0
+
+    def test_small_magnitude_positive_scale(self):
+        d = decimal_scale_for(np.array([1e-6]), 4)
+        assert d > 4
+
+    def test_zero_field(self):
+        assert decimal_scale_for(np.zeros(10)) == 0
+
+    def test_no_finite_values_rejected(self):
+        with pytest.raises(ValueError):
+            decimal_scale_for(np.array([np.inf]))
+
+    def test_scale_makes_quantization_accurate(self, rng):
+        # The chosen D should deliver roughly `significant_digits` digits.
+        values = rng.uniform(100, 999, 1000)
+        d = decimal_scale_for(values, significant_digits=5)
+        back = dequantize(quantize(values, d, max_bits=32))
+        rel = np.abs(values - back) / values
+        assert rel.max() < 1e-4

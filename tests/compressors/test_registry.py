@@ -1,0 +1,75 @@
+"""Variant registry."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import (
+    get_variant,
+    method_families,
+    paper_variants,
+    variant_names,
+)
+
+
+class TestGetVariant:
+    def test_all_registered_variants_roundtrip(self, rng):
+        data = rng.normal(10, 2, 2048).astype(np.float32)
+        for name in variant_names():
+            codec = get_variant(name)
+            out = codec.decompress(codec.compress(data))
+            assert out.shape == data.shape, name
+
+    def test_labels_match(self):
+        for name in variant_names():
+            assert get_variant(name).variant == name
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError, match="unknown variant"):
+            get_variant("zfp-16")
+
+    def test_fresh_instances(self):
+        assert get_variant("APAX-4") is not get_variant("APAX-4")
+
+
+class TestPaperVariants:
+    def test_table_row_order(self):
+        # Tables 3-6 list exactly these nine lossy variants in this order.
+        assert paper_variants() == (
+            "GRIB2", "APAX-2", "APAX-4", "APAX-5", "fpzip-24", "fpzip-16",
+            "ISA-0.1", "ISA-0.5", "ISA-1.0",
+        )
+
+    def test_all_resolvable(self):
+        for name in paper_variants():
+            get_variant(name)
+
+
+class TestFamilies:
+    def test_ladders_end_lossless(self):
+        for family, ladder in method_families().items():
+            last = get_variant(ladder[-1])
+            assert last.is_lossless, family
+
+    def test_ladder_order_most_compressive_first(self, climate_field):
+        # Walking a ladder must not decrease the CR (except the lossless
+        # fallback which may be anything).
+        for family, ladder in method_families().items():
+            crs = [
+                get_variant(v).roundtrip(climate_field).cr
+                for v in ladder[:-1]
+            ]
+            assert crs == sorted(crs), family
+
+    def test_extended_apax_adds_rates(self):
+        base = method_families()["APAX"]
+        extended = method_families(extended_apax=True)["APAX"]
+        assert "APAX-6" in extended and "APAX-7" in extended
+        assert len(extended) > len(base)
+
+    def test_isabela_and_grib2_fall_back_to_netcdf(self):
+        # Section 5.4: they cannot be lossless, so NetCDF-4 is their
+        # fallback.
+        families = method_families()
+        assert families["ISABELA"][-1] == "NetCDF-4"
+        assert families["GRIB2"][-1] == "NetCDF-4"
+        assert families["fpzip"][-1] == "fpzip-32"

@@ -1,0 +1,86 @@
+"""Integer lifting wavelet (CDF 5/3)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.wavelet import forward_53, inverse_53, max_levels
+
+
+class TestPerfectReconstruction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 17, 100, 1023, 1024])
+    def test_roundtrip_sizes(self, rng, n):
+        x = rng.integers(-(2**20), 2**20, n)
+        coeffs, lengths = forward_53(x)
+        assert np.array_equal(inverse_53(coeffs, lengths), x)
+
+    def test_roundtrip_single_level(self, rng):
+        x = rng.integers(0, 1000, 64)
+        coeffs, lengths = forward_53(x, levels=1)
+        assert len(lengths) == 2
+        assert np.array_equal(inverse_53(coeffs, lengths), x)
+
+    def test_zero_levels_is_identity(self, rng):
+        x = rng.integers(0, 100, 10)
+        coeffs, lengths = forward_53(x, levels=0)
+        assert np.array_equal(coeffs, x)
+        assert np.array_equal(inverse_53(coeffs, lengths), x)
+
+    def test_extreme_values(self):
+        x = np.array([2**40, -(2**40), 0, 1, -1] * 10, dtype=np.int64)
+        coeffs, lengths = forward_53(x)
+        assert np.array_equal(inverse_53(coeffs, lengths), x)
+
+
+class TestEnergyCompaction:
+    def test_smooth_signal_has_small_details(self):
+        x = np.rint(1000 * np.sin(np.linspace(0, 4 * np.pi, 512))).astype(
+            np.int64
+        )
+        coeffs, lengths = forward_53(x, levels=1)
+        approx_len = lengths[-1]
+        details = coeffs[approx_len:]
+        # Detail coefficients of a smooth signal are near zero.
+        assert np.abs(details).mean() < np.abs(x).mean() / 20
+
+    def test_coefficient_count_preserved(self, rng):
+        x = rng.integers(0, 100, 300)
+        coeffs, _ = forward_53(x)
+        assert coeffs.size == x.size
+
+
+class TestMaxLevels:
+    def test_values(self):
+        assert max_levels(1) == 0
+        assert max_levels(3) == 0
+        assert max_levels(4) == 1
+        assert max_levels(1024) == 9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_levels(0)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            forward_53(np.array([], dtype=np.int64))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            forward_53(np.zeros((3, 3), dtype=np.int64))
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            forward_53(np.zeros(10, dtype=np.int64), levels=-1)
+
+    def test_short_coeffs_rejected(self, rng):
+        x = rng.integers(0, 100, 64)
+        coeffs, lengths = forward_53(x)
+        with pytest.raises(ValueError, match="too short"):
+            inverse_53(coeffs[:-5], lengths)
+
+    def test_long_coeffs_rejected(self, rng):
+        x = rng.integers(0, 100, 64)
+        coeffs, lengths = forward_53(x)
+        with pytest.raises(ValueError, match="longer"):
+            inverse_53(np.concatenate([coeffs, [0]]), lengths)

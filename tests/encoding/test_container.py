@@ -1,0 +1,72 @@
+"""Length-prefixed section container."""
+
+import pytest
+
+from repro.encoding.container import SectionReader, SectionWriter
+
+
+def test_roundtrip_multiple_sections():
+    w = SectionWriter()
+    w.add("alpha", b"12345")
+    w.add("beta", b"")
+    w.add("gamma", bytes(range(256)))
+    r = SectionReader(w.tobytes())
+    assert r.get("alpha") == b"12345"
+    assert r.get("beta") == b""
+    assert r.get("gamma") == bytes(range(256))
+    assert set(r.names()) == {"alpha", "beta", "gamma"}
+
+
+def test_contains():
+    w = SectionWriter()
+    w.add("x", b"1")
+    r = SectionReader(w.tobytes())
+    assert "x" in r and "y" not in r
+
+
+def test_missing_section_raises_keyerror():
+    w = SectionWriter()
+    w.add("x", b"1")
+    with pytest.raises(KeyError, match="no section"):
+        SectionReader(w.tobytes()).get("nope")
+
+
+def test_duplicate_section_rejected():
+    w = SectionWriter()
+    w.add("x", b"1")
+    with pytest.raises(ValueError, match="duplicate"):
+        w.add("x", b"2")
+
+
+def test_bad_name_rejected():
+    w = SectionWriter()
+    with pytest.raises(ValueError):
+        w.add("", b"")
+    with pytest.raises(ValueError):
+        w.add("n" * 256, b"")
+
+
+def test_not_a_container_rejected():
+    with pytest.raises(ValueError, match="container"):
+        SectionReader(b"garbage!")
+    with pytest.raises(ValueError, match="container"):
+        SectionReader(b"")
+
+
+def test_truncated_container_rejected():
+    w = SectionWriter()
+    w.add("data", b"A" * 100)
+    blob = w.tobytes()
+    with pytest.raises(ValueError, match="truncated"):
+        SectionReader(blob[:-10])
+
+
+def test_empty_container():
+    r = SectionReader(SectionWriter().tobytes())
+    assert r.names() == []
+
+
+def test_unicode_names():
+    w = SectionWriter()
+    w.add("ensemblé", b"ok")
+    assert SectionReader(w.tobytes()).get("ensemblé") == b"ok"

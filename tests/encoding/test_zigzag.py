@@ -1,0 +1,40 @@
+"""Zigzag signed/unsigned mapping."""
+
+import numpy as np
+
+from repro.encoding.zigzag import zigzag_decode, zigzag_encode
+
+
+def test_small_values_map_to_small_codes():
+    values = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+    codes = zigzag_encode(values)
+    assert codes.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_roundtrip_extremes():
+    values = np.array(
+        [0, 1, -1, 2**62, -(2**62), 2**63 - 1, -(2**63)], dtype=np.int64
+    )
+    assert np.array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+
+def test_roundtrip_random(rng):
+    values = rng.integers(-(2**62), 2**62, 10_000, dtype=np.int64)
+    assert np.array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+
+def test_codes_are_unsigned():
+    codes = zigzag_encode(np.array([-5], dtype=np.int64))
+    assert codes.dtype == np.uint64
+
+
+def test_magnitude_ordering_preserved():
+    # |a| < |b| implies zigzag(a) < zigzag(b) + 1 (interleaving).
+    values = np.array([3, -3, 4, -4], dtype=np.int64)
+    codes = zigzag_encode(values)
+    assert codes[0] < codes[2] and codes[1] < codes[3]
+
+
+def test_empty():
+    out = zigzag_decode(zigzag_encode(np.array([], dtype=np.int64)))
+    assert out.size == 0 and out.dtype == np.int64

@@ -1,0 +1,95 @@
+"""Cubed-sphere grid geometry."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cubed_sphere import CubedSphereGrid, ncol_for_ne
+
+
+class TestPointCount:
+    def test_paper_resolution(self):
+        # Section 5.1: ne=30 -> 48,602 horizontal grid points.
+        assert ncol_for_ne(30) == 48602
+
+    @pytest.mark.parametrize("ne,expected", [(1, 56), (2, 218), (4, 866),
+                                             (8, 3458)])
+    def test_formula(self, ne, expected):
+        assert ncol_for_ne(ne) == expected
+
+    @pytest.mark.parametrize("ne", [2, 3, 5])
+    def test_construction_matches_formula(self, ne):
+        assert CubedSphereGrid.create(ne).ncol == ncol_for_ne(ne)
+
+    def test_invalid_ne(self):
+        with pytest.raises(ValueError):
+            ncol_for_ne(0)
+        with pytest.raises(ValueError):
+            ncol_for_ne(4, np_=1)
+
+
+class TestGeometry:
+    def test_points_on_unit_sphere(self, grid):
+        norms = np.linalg.norm(grid.xyz, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+
+    def test_coordinates_in_range(self, grid):
+        assert grid.lat.min() >= -90 and grid.lat.max() <= 90
+        assert grid.lon.min() >= 0 and grid.lon.max() < 360
+
+    def test_points_distinct(self, grid):
+        quant = np.round(grid.xyz / 1e-9).astype(np.int64)
+        assert np.unique(quant, axis=0).shape[0] == grid.ncol
+
+    def test_areas_sum_to_sphere(self, grid):
+        assert abs(grid.area.sum() - 4 * np.pi) < 1e-9
+
+    def test_areas_positive_and_balanced(self, grid):
+        assert (grid.area > 0).all()
+        # Quasi-uniform grid: no cell more than ~6x another.
+        assert grid.area.max() / grid.area.min() < 6
+
+    def test_quasi_uniform_coverage(self, grid):
+        # Roughly half the points in each hemisphere.
+        north = (grid.lat > 0).sum()
+        assert 0.4 < north / grid.ncol < 0.6
+
+    def test_storage_order_is_local(self):
+        # Element-major serpentine ordering: consecutive points are close
+        # (the property predictive compressors rely on).
+        g = CubedSphereGrid.create(6)
+        d = np.linalg.norm(np.diff(g.xyz, axis=0), axis=1)
+        typical = np.median(d)
+        assert np.quantile(d, 0.98) < 12 * typical
+
+    def test_cached_construction(self):
+        assert CubedSphereGrid.create(3) is CubedSphereGrid.create(3)
+
+
+class TestGlobalMean:
+    def test_constant_field(self, grid):
+        assert grid.global_mean(np.ones(grid.ncol)) == pytest.approx(1.0)
+
+    def test_leading_axes(self, grid):
+        field = np.ones((4, grid.ncol)) * np.arange(1, 5)[:, None]
+        assert grid.global_mean(field) == pytest.approx(2.5)
+
+    def test_mask_excludes_points(self, grid):
+        field = np.ones(grid.ncol)
+        field[:10] = 100.0
+        mask = np.zeros(grid.ncol, dtype=bool)
+        mask[:10] = True
+        assert grid.global_mean(field, mask=mask) == pytest.approx(1.0)
+
+    def test_mask_everything_rejected(self, grid):
+        with pytest.raises(ValueError, match="every grid point"):
+            grid.global_mean(np.ones(grid.ncol),
+                             mask=np.ones(grid.ncol, dtype=bool))
+
+    def test_wrong_size_rejected(self, grid):
+        with pytest.raises(ValueError, match="ncol"):
+            grid.global_mean(np.ones(grid.ncol + 1))
+
+    def test_zonal_field_integrates_to_zero(self, grid):
+        # sin(lon) integrates to ~0 over the sphere.
+        field = np.sin(np.deg2rad(grid.lon))
+        assert abs(grid.global_mean(field)) < 0.01

@@ -1,0 +1,65 @@
+"""Hybrid sigma-pressure vertical levels."""
+
+import numpy as np
+import pytest
+
+from repro.grid.levels import P0_PA, HybridLevels
+
+
+class TestCoefficients:
+    def test_count(self, levels):
+        assert levels.nlev == 10
+        assert levels.hyam.shape == levels.hybm.shape == (10,)
+
+    def test_paper_level_count(self):
+        assert HybridLevels.create(30).nlev == 30
+
+    def test_pure_pressure_at_top(self, levels):
+        # Top of model: hybm ~ 0 (pressure coordinate).
+        assert levels.hybm[0] == pytest.approx(0.0, abs=1e-12)
+        assert levels.hyam[0] > 0
+
+    def test_terrain_following_at_bottom(self, levels):
+        # Near-surface: sigma-dominated.
+        assert levels.hybm[-1] > 0.5 * (levels.hyam[-1] + levels.hybm[-1])
+
+    def test_coefficients_nonnegative(self, levels):
+        assert (levels.hyam >= 0).all() and (levels.hybm >= 0).all()
+
+    def test_invalid_nlev(self):
+        with pytest.raises(ValueError):
+            HybridLevels.create(0)
+
+    def test_cached(self):
+        assert HybridLevels.create(7) is HybridLevels.create(7)
+
+
+class TestPressure:
+    def test_monotone_increasing_downward(self, levels):
+        p = levels.pressure()
+        assert (np.diff(p) > 0).all()
+
+    def test_reference_surface_pressure(self, levels):
+        p = levels.pressure(P0_PA)
+        assert p[-1] < P0_PA  # midpoints sit above the surface
+        assert p[0] < 1000.0  # model top in the stratosphere (<10 hPa)
+
+    def test_broadcasts_over_columns(self, levels):
+        ps = np.array([95_000.0, 100_000.0, 103_000.0])
+        p = levels.pressure(ps)
+        assert p.shape == (levels.nlev, 3)
+        # Higher surface pressure -> higher pressure at every level with
+        # nonzero sigma component.
+        assert (p[-1, 2] > p[-1, 0])
+
+
+class TestHeights:
+    def test_decreasing_downward(self, levels):
+        z = levels.height_profile()
+        assert (np.diff(z) < 0).all()
+
+    def test_realistic_range(self):
+        z = HybridLevels.create(30).height_profile()
+        # Model top tens of km, lowest level near the surface.
+        assert 25_000 < z[0] < 60_000
+        assert 0 <= z[-1] < 1000

@@ -1,0 +1,35 @@
+"""ExperimentContext caching and helpers."""
+
+import numpy as np
+
+from repro.config import ReproConfig
+from repro.config import test_scale as _test_scale
+from repro.harness.experiments import FEATURED_NAMES, ExperimentContext
+
+
+class TestContext:
+    def test_cached_by_config(self):
+        a = ExperimentContext.test()
+        b = ExperimentContext.test()
+        assert a is b
+
+    def test_distinct_configs_distinct_contexts(self):
+        a = ExperimentContext.create(_test_scale())
+        b = ExperimentContext.create(
+            ReproConfig(ne=3, nlev=5, n_members=21, n_2d=6, n_3d=7)
+        )
+        assert a is not b
+
+    def test_featured_present(self):
+        ctx = ExperimentContext.test()
+        assert ctx.featured == FEATURED_NAMES
+
+    def test_member_field_uses_selected_member(self):
+        ctx = ExperimentContext.test()
+        m = int(ctx.test_members[1])
+        field = ctx.member_field("U", which=1)
+        assert np.array_equal(field, ctx.ensemble.member_field("U", m))
+
+    def test_three_test_members(self):
+        ctx = ExperimentContext.test()
+        assert len(ctx.test_members) == 3

@@ -1,0 +1,93 @@
+"""The published-numbers reference module."""
+
+import pytest
+
+from repro.harness.paper import (
+    TABLE2,
+    TABLE3_NRMSE,
+    TABLE4_ENMAX,
+    TABLE6,
+    TABLE7,
+    TABLE8,
+    VARIANT_ORDER,
+    shape_agreement,
+)
+
+
+class TestInternalConsistency:
+    def test_variant_coverage(self):
+        assert set(TABLE3_NRMSE) == set(VARIANT_ORDER)
+        assert set(TABLE4_ENMAX) == set(VARIANT_ORDER)
+        assert set(TABLE6) == set(VARIANT_ORDER)
+
+    def test_enmax_geq_nrmse(self):
+        # The paper's Section 5.2 observation holds within its own tables
+        # — except one cell: fpzip-24/Z3 is printed as NRMSE 5.1e-6 vs
+        # e_nmax 3.3e-6 in the paper, which is mathematically impossible
+        # (max |e| >= RMS |e| always) and therefore a typo in the source;
+        # we transcribe it faithfully and exempt it here.
+        known_typo = {("fpzip-24", "Z3")}
+        for variant in VARIANT_ORDER:
+            for var in ("U", "FSDSC", "Z3", "CCN3"):
+                if (variant, var) in known_typo:
+                    continue
+                assert TABLE4_ENMAX[variant][var][0] >= \
+                    TABLE3_NRMSE[variant][var][0]
+
+    def test_crs_match_between_tables(self):
+        for variant in VARIANT_ORDER:
+            for var in ("U", "FSDSC", "Z3", "CCN3"):
+                assert TABLE3_NRMSE[variant][var][1] == \
+                    TABLE4_ENMAX[variant][var][1]
+
+    def test_table6_all_bounded_by_components(self):
+        for variant, (rho, rmsz, enmax, bias, all_) in TABLE6.items():
+            assert all_ <= min(rho, rmsz, enmax, bias), variant
+
+    def test_table8_sums_to_170(self):
+        for family, comp in TABLE8.items():
+            assert sum(comp.values()) == 170, family
+
+    def test_table7_fpzip_wins(self):
+        crs = {f: d["avg_cr"] for f, d in TABLE7.items()}
+        assert min(crs, key=crs.get) == "fpzip"
+        assert max(crs, key=crs.get) == "NC"
+
+    def test_table2_ranges(self):
+        for var, (_, lo, hi, mean, std, cr) in TABLE2.items():
+            assert lo < mean < hi, var
+            assert 0 < cr < 1, var
+
+
+class TestShapeAgreement:
+    def test_perfect_agreement(self):
+        a = {"x": 1, "y": 2, "z": 3}
+        assert shape_agreement(a, {"x": 10, "y": 20, "z": 30}) == 1.0
+
+    def test_inverted(self):
+        a = {"x": 1, "y": 2, "z": 3}
+        assert shape_agreement(a, {"x": 3, "y": 2, "z": 1}) == 0.0
+
+    def test_partial(self):
+        a = {"x": 1, "y": 2, "z": 3}
+        b = {"x": 2, "y": 1, "z": 3}  # only the x/y pair flips
+        assert shape_agreement(a, b) == pytest.approx(2 / 3)
+
+    def test_requires_two_keys(self):
+        with pytest.raises(ValueError):
+            shape_agreement({"x": 1}, {"x": 2})
+
+    def test_repro_table6_shape_tracks_paper(self, ensemble):
+        # The real check at test scale on a fast subset: the 'all' column
+        # ordering of fpzip-24 vs fpzip-16 vs ISA-1.0 matches the paper.
+        from repro.compressors import get_variant
+        from repro.pvt.tool import CesmPvt
+
+        pvt = CesmPvt(ensemble)
+        measured = {}
+        for variant in ("fpzip-24", "fpzip-16", "ISA-1.0"):
+            report = pvt.evaluate_codec(get_variant(variant),
+                                        run_bias=False)
+            measured[variant] = report.pass_counts()["all"]
+        paper = {v: TABLE6[v][4] for v in measured}
+        assert shape_agreement(paper, measured) >= 0.5

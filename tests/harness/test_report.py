@@ -1,0 +1,87 @@
+"""ASCII rendering and CSV output."""
+
+import numpy as np
+import pytest
+
+from repro.harness.report import (
+    boxplot_stats,
+    format_value,
+    render_boxplot,
+    render_table,
+    write_csv,
+)
+
+
+class TestFormatValue:
+    def test_bools_as_yn(self):
+        assert format_value(True) == "Y" and format_value(False) == "N"
+
+    def test_none_as_dash(self):
+        assert format_value(None) == "-"
+
+    def test_scientific_for_tiny(self):
+        assert "e" in format_value(3.14159e-8)
+
+    def test_plain_for_moderate(self):
+        assert format_value(2.5) == "2.5"
+
+    def test_int(self):
+        assert format_value(np.int64(170)) == "170"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4e-9]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+        # All rows equally wide.
+        assert len(set(len(ln) for ln in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestBoxplotStats:
+    def test_five_numbers(self):
+        s = boxplot_stats([1, 2, 3, 4, 5])
+        assert s["min"] == 1 and s["max"] == 5 and s["median"] == 3
+        assert s["q1"] == 2 and s["q3"] == 4 and s["n"] == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+
+class TestRenderBoxplot:
+    def test_contains_summaries(self, rng):
+        cols = {"a": rng.normal(0, 1, 100), "b": rng.normal(5, 1, 100)}
+        text = render_boxplot(cols, title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "#" in text  # median marker
+
+    def test_log_scale(self, rng):
+        cols = {"x": 10.0 ** rng.uniform(-8, -1, 50)}
+        text = render_boxplot(cols, log=True)
+        assert "#" in text
+
+    def test_degenerate_single_value(self):
+        text = render_boxplot({"x": [2.0, 2.0]})
+        assert "x" in text
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "t.csv", ["a", "b"],
+                         [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+        assert len(content) == 3

@@ -1,0 +1,34 @@
+"""Table 6 driver: serial/parallel equivalence and bias column."""
+
+import pytest
+
+from repro.harness.experiments import ExperimentContext
+from repro.harness.tables import table6_passes
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.test()
+
+
+def test_parallel_matches_serial(ctx):
+    kwargs = dict(run_bias=False, variants=["fpzip-24", "APAX-2"])
+    _, serial = table6_passes(ctx, workers=0, **kwargs)
+    _, parallel = table6_passes(ctx, workers=2, **kwargs)
+    assert serial == parallel
+
+
+def test_bias_column_populated(ctx):
+    headers, rows = table6_passes(ctx, run_bias=True,
+                                  variants=["NetCDF-4"])
+    rec = dict(zip(headers, rows[0]))
+    n = ctx.config.n_variables
+    # Lossless: every variable passes every test including bias.
+    assert rec["bias"] == n and rec["all"] == n
+
+
+def test_bias_skipped_shows_none(ctx):
+    headers, rows = table6_passes(ctx, run_bias=False,
+                                  variants=["fpzip-24"])
+    rec = dict(zip(headers, rows[0]))
+    assert rec["bias"] is None

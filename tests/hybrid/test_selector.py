@@ -1,0 +1,88 @@
+"""Hybrid method construction (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.hybrid.selector import build_all_hybrids, build_hybrid
+
+
+@pytest.fixture(scope="module")
+def fpzip_hybrid(ensemble):
+    return build_hybrid(ensemble, "fpzip", run_bias=False)
+
+
+class TestBuildHybrid:
+    def test_every_variable_gets_a_choice(self, fpzip_hybrid, config):
+        assert len(fpzip_hybrid.choices) == config.n_variables
+
+    def test_choices_come_from_the_ladder(self, fpzip_hybrid):
+        allowed = {"fpzip-16", "fpzip-24", "fpzip-32"}
+        assert {c.variant for c in fpzip_hybrid.choices.values()} <= allowed
+
+    def test_chosen_variant_actually_passes(self, ensemble, fpzip_hybrid):
+        # Spot-check: re-run the acceptance test for a lossy choice.
+        from repro.pvt.acceptance import evaluate_variable
+
+        lossy = [c for c in fpzip_hybrid.choices.values() if not c.lossless]
+        assert lossy, "expected at least one lossy selection"
+        choice = lossy[0]
+        fields = ensemble.ensemble_field(choice.variable)
+        verdict = evaluate_variable(
+            fields, get_variant(choice.variant),
+            ensemble.pick_members(3), run_bias=False,
+        )
+        assert verdict.all_passed
+
+    def test_variables_subset(self, ensemble):
+        result = build_hybrid(ensemble, "fpzip", variables=["U", "Z3"],
+                              run_bias=False)
+        assert set(result.choices) == {"U", "Z3"}
+
+    def test_isabela_falls_back_to_netcdf(self, ensemble):
+        result = build_hybrid(ensemble, "ISABELA", run_bias=False)
+        variants = {c.variant for c in result.choices.values()}
+        assert variants <= {"ISA-1.0", "ISA-0.5", "ISA-0.1", "NetCDF-4"}
+
+    def test_unknown_family(self, ensemble):
+        with pytest.raises(KeyError, match="unknown family"):
+            build_hybrid(ensemble, "zfp")
+
+    def test_lossless_choices_marked(self, ensemble):
+        result = build_hybrid(ensemble, "NetCDF-4", run_bias=False)
+        assert all(c.lossless for c in result.choices.values())
+        assert all(c.rho == 1.0 and c.nrmse == 0.0
+                   for c in result.choices.values())
+
+
+class TestSummaryAndComposition:
+    def test_summary_fields(self, fpzip_hybrid):
+        s = fpzip_hybrid.summary()
+        assert set(s) == {"avg_cr", "best_cr", "worst_cr", "avg_rho",
+                          "avg_nrmse", "avg_enmax"}
+        assert 0 < s["best_cr"] <= s["avg_cr"] <= s["worst_cr"] <= 1.05
+        assert s["avg_rho"] > 0.999
+
+    def test_composition_sums_to_catalog(self, fpzip_hybrid, config):
+        assert sum(fpzip_hybrid.composition().values()) == config.n_variables
+
+    def test_plan_maps_to_codecs(self, fpzip_hybrid, config):
+        plan = fpzip_hybrid.plan()
+        assert len(plan) == config.n_variables
+        for name, codec in plan.items():
+            assert codec.variant == fpzip_hybrid.choices[name].variant
+
+
+class TestAllHybrids:
+    def test_table7_families(self, ensemble):
+        hybrids = build_all_hybrids(ensemble, variables=["U", "FSDSC"],
+                                    run_bias=False)
+        assert set(hybrids) == {"GRIB2", "ISABELA", "fpzip", "APAX",
+                                "NetCDF-4"}
+
+    def test_hybrid_beats_pure_lossless(self, ensemble):
+        # The entire point of Section 5.4: the hybrid fpzip CR must be
+        # better (smaller) than lossless-everything.
+        hybrids = build_all_hybrids(ensemble, run_bias=False)
+        assert hybrids["fpzip"].summary()["avg_cr"] < \
+            hybrids["NetCDF-4"].summary()["avg_cr"]

@@ -1,0 +1,106 @@
+"""End-to-end workflows: the paper's full pipeline at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.hybrid import build_hybrid
+from repro.metrics import nrmse, pearson
+from repro.ncio import (
+    HistoryFile,
+    TimeSeriesFile,
+    convert_to_timeseries,
+    write_history,
+)
+from repro.pvt import CesmPvt
+
+
+class TestFullWorkflow:
+    """Simulate -> write history -> verify codecs -> build hybrid ->
+    convert to compressed time series -> analyze."""
+
+    def test_pipeline(self, ensemble, config, tmp_path):
+        # 1. write history files for three "monthly" outputs.
+        paths = []
+        for m in range(3):
+            snap = ensemble.history_snapshot(m)
+            paths.append(
+                write_history(tmp_path / f"h{m}.nch", snap,
+                              nlev=config.nlev, attrs={"member": m})
+            )
+
+        # 2. build the fpzip hybrid plan against the PVT ensemble.
+        hybrid = build_hybrid(
+            ensemble, "fpzip", variables=["U", "FSDSC", "PS"],
+            run_bias=False,
+        )
+        plan = hybrid.plan()
+
+        # 3. convert to per-variable compressed time series.
+        out = convert_to_timeseries(
+            paths, tmp_path / "ts", plan=plan,
+            variables=["U", "FSDSC", "PS"],
+        )
+
+        # 4. post-processing analysis on the reconstructed data matches
+        # the original within the hybrid's quality guarantees.
+        for name in ("U", "FSDSC", "PS"):
+            with TimeSeriesFile(out[name]) as ts:
+                for step in range(3):
+                    orig = ensemble.member_field(name, step)
+                    recon = ts.read_step(step)
+                    assert pearson(orig, recon) > 0.99999
+                    assert nrmse(orig, recon) < 1e-2
+
+        # 5. storage actually shrank relative to the raw history files.
+        raw_bytes = sum(
+            ensemble.member_field(n, 0).nbytes for n in ("U", "FSDSC", "PS")
+        ) * 3
+        ts_bytes = sum(out[n].stat().st_size for n in ("U", "FSDSC", "PS"))
+        assert ts_bytes < raw_bytes
+
+    def test_verification_report_consistency(self, pvt):
+        # The Table 6 pass counts must agree with per-variable verdicts.
+        report = pvt.evaluate_codec(
+            get_variant("fpzip-24"), variables=["U", "FSDSC", "Z3"],
+            run_bias=False,
+        )
+        counts = report.pass_counts()
+        assert counts["rho"] == sum(
+            v.rho.passed for v in report.verdicts.values()
+        )
+        assert counts["all"] <= counts["rho"]
+
+    def test_compression_error_invisible_in_ensemble(self, ensemble):
+        # The headline claim: a passing codec's reconstruction is
+        # statistically indistinguishable — its RMSZ matches the
+        # original's within eq. 8's tolerance.
+        from repro.pvt.zscore import EnsembleStats
+
+        fields = ensemble.ensemble_field("U")
+        stats = EnsembleStats(fields)
+        codec = get_variant("fpzip-24")
+        for m in (0, 4):
+            recon = codec.decompress(
+                codec.compress(np.ascontiguousarray(fields[m]))
+            )
+            orig_score = stats.member_rmsz(m)
+            recon_score = stats.rmsz(recon.astype(np.float64).reshape(-1), m)
+            assert abs(orig_score - recon_score) <= 0.1
+
+
+class TestRestartFilePathway:
+    def test_double_precision_lossless(self, ensemble, config, tmp_path):
+        # Restart files are 8-byte floats and must stay bit-for-bit
+        # (Section 1: lossless only for restart data).
+        snap = {
+            name: data.astype(np.float64)
+            for name, data in ensemble.history_snapshot(0).items()
+        }
+        path = write_history(tmp_path / "restart.nch", snap,
+                             nlev=config.nlev, compression="zlib")
+        with HistoryFile(path) as f:
+            for name, data in snap.items():
+                out = f.get(name)
+                assert out.dtype == np.float64
+                assert np.array_equal(out, data)

@@ -1,0 +1,114 @@
+"""Post-processing analysis reductions and the comparison bundle."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    anomaly,
+    compare,
+    meridional_profile,
+    vertical_profile,
+    zonal_mean,
+)
+from repro.analysis.climatology import latitude_band_edges
+from repro.compressors import get_variant
+from repro.config import FILL_VALUE
+
+
+class TestZonalMean:
+    def test_constant_field(self, grid):
+        zm = zonal_mean(grid, np.full(grid.ncol, 4.0), n_bands=12)
+        filled = zm[np.isfinite(zm)]
+        np.testing.assert_allclose(filled, 4.0)
+
+    def test_latitude_gradient_monotone(self, grid):
+        field = grid.lat.astype(np.float64)
+        zm = zonal_mean(grid, field, n_bands=12)
+        ok = np.isfinite(zm)
+        assert (np.diff(zm[ok]) > 0).all()
+
+    def test_3d_shape(self, grid):
+        field = np.ones((5, grid.ncol))
+        assert zonal_mean(grid, field, n_bands=10).shape == (5, 10)
+
+    def test_fill_values_excluded(self, grid):
+        field = np.full(grid.ncol, 2.0)
+        field[grid.lat > 0] = FILL_VALUE
+        zm = zonal_mean(grid, field, n_bands=6)
+        south = zm[:3]
+        np.testing.assert_allclose(south[np.isfinite(south)], 2.0)
+
+    def test_bad_shapes(self, grid):
+        with pytest.raises(ValueError):
+            zonal_mean(grid, np.ones(5))
+        with pytest.raises(ValueError):
+            zonal_mean(grid, np.ones((2, 3, 4)))
+
+    def test_band_edges(self):
+        edges = latitude_band_edges(4)
+        np.testing.assert_allclose(edges, [-90, -45, 0, 45, 90])
+        with pytest.raises(ValueError):
+            latitude_band_edges(0)
+
+
+class TestProfiles:
+    def test_meridional_profile_centers(self, grid):
+        lat, zm = meridional_profile(grid, np.ones(grid.ncol), n_bands=6)
+        assert lat.shape == zm.shape == (6,)
+        assert lat[0] == -75.0 and lat[-1] == 75.0
+
+    def test_vertical_profile(self, grid):
+        field = np.arange(4)[:, None] * np.ones((4, grid.ncol))
+        prof = vertical_profile(grid, field)
+        np.testing.assert_allclose(prof, [0, 1, 2, 3], atol=1e-12)
+
+    def test_vertical_profile_validates(self, grid):
+        with pytest.raises(ValueError):
+            vertical_profile(grid, np.ones(grid.ncol))
+
+
+class TestAnomaly:
+    def test_basic(self):
+        f = np.array([3.0, 5.0, FILL_VALUE])
+        c = np.array([1.0, 5.0, 2.0])
+        out = anomaly(f, c)
+        np.testing.assert_allclose(out[:2], [2.0, 0.0])
+        assert np.isnan(out[2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            anomaly(np.ones(3), np.ones(4))
+
+
+class TestCompare:
+    def test_exact_reconstruction(self, ensemble):
+        grid = ensemble.model.grid
+        f = ensemble.member_field("FSDSC", 0)
+        report = compare(f, f.copy(), grid=grid, variable="FSDSC")
+        assert report.rho == 1.0
+        assert report.rmse == 0.0
+        assert report.global_mean_shift == 0.0
+        assert report.max_zonal_mean_shift == 0.0
+        assert report.passes_correlation
+
+    def test_lossy_reconstruction(self, ensemble):
+        grid = ensemble.model.grid
+        f = ensemble.member_field("FSDSC", 0)
+        codec = get_variant("fpzip-16")
+        recon = codec.decompress(codec.compress(f))
+        report = compare(f, recon, grid=grid, variable="FSDSC")
+        assert 0 < report.e_nmax < 0.1
+        assert report.nrmse <= report.e_nmax
+        assert report.max_zonal_mean_shift < f.std()
+        rows = report.as_rows()
+        assert any("zonal" in r[0] for r in rows)
+
+    def test_without_grid(self, rng):
+        x = rng.normal(0, 1, 500)
+        report = compare(x, x + 1e-6)
+        assert report.global_mean_shift is None
+        assert report.max_zonal_mean_shift is None
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compare(np.ones(3), np.ones(4))

@@ -1,0 +1,84 @@
+"""Average error metrics (eqs. 3-4), PSNR, SRR."""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE
+from repro.metrics.average import (
+    nrmse,
+    psnr,
+    rmse,
+    signal_to_residual_ratio,
+)
+
+
+class TestRmse:
+    def test_eq3(self):
+        x = np.array([0.0, 0.0, 0.0, 0.0])
+        y = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rmse(x, y) == 1.0
+
+    def test_exact(self, climate_field):
+        assert rmse(climate_field, climate_field.copy()) == 0.0
+
+    def test_special_values_ignored(self):
+        x = np.array([1.0, FILL_VALUE])
+        y = np.array([1.0, 12345.0])
+        assert rmse(x, y) == 0.0
+
+
+class TestNrmse:
+    def test_eq4(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([1.0, 10.0])
+        assert nrmse(x, y) == pytest.approx(np.sqrt(0.5) / 10.0)
+
+    def test_nrmse_below_enmax(self, climate_field, rng):
+        from repro.metrics.pointwise import normalized_max_error
+
+        noisy = climate_field + rng.normal(
+            0, 0.01, climate_field.shape
+        ).astype(np.float32)
+        assert nrmse(climate_field, noisy) <= normalized_max_error(
+            climate_field, noisy
+        )
+
+    def test_constant_exact(self):
+        x = np.full(5, 2.0)
+        assert nrmse(x, x.copy()) == 0.0
+
+    def test_constant_inexact_rejected(self):
+        x = np.full(5, 2.0)
+        with pytest.raises(ZeroDivisionError):
+            nrmse(x, x + 0.1)
+
+
+class TestPsnr:
+    def test_infinite_for_exact(self):
+        x = np.array([1.0, 2.0])
+        assert psnr(x, x.copy()) == float("inf")
+
+    def test_known_value(self):
+        x = np.array([10.0, 10.0])
+        y = np.array([11.0, 9.0])
+        assert psnr(x, y) == pytest.approx(20.0)
+
+    def test_zero_signal_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            psnr(np.zeros(4), np.ones(4))
+
+
+class TestSrr:
+    def test_infinite_for_exact(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert signal_to_residual_ratio(x, x.copy()) == float("inf")
+
+    def test_20db_per_decade(self, rng):
+        x = rng.normal(0, 1, 100_000)
+        y = x + rng.normal(0, 0.1, 100_000)
+        assert signal_to_residual_ratio(x, y) == pytest.approx(20.0, abs=0.5)
+
+    def test_zero_variance_signal_rejected(self):
+        x = np.full(10, 3.0)
+        with pytest.raises(ZeroDivisionError):
+            signal_to_residual_ratio(x, x + np.arange(10.0))

@@ -1,0 +1,52 @@
+"""Data characterization (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE
+from repro.metrics.characterize import characterize, valid_mask
+
+
+class TestValidMask:
+    def test_special_values_excluded(self):
+        data = np.array([1.0, FILL_VALUE, -FILL_VALUE, 2.0, np.inf, np.nan])
+        mask = valid_mask(data)
+        assert mask.tolist() == [True, False, False, True, False, False]
+
+    def test_large_but_valid_kept(self):
+        data = np.array([9e33, 1e34])
+        assert valid_mask(data).tolist() == [True, False]
+
+
+class TestCharacterize:
+    def test_basic_stats(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        c = characterize(data, with_lossless_cr=False)
+        assert c.x_min == 1.0 and c.x_max == 4.0
+        assert c.mean == pytest.approx(2.5)
+        assert c.std == pytest.approx(np.std([1, 2, 3, 4]))
+        assert c.value_range == 3.0
+        assert c.n_valid == 4 and c.n_special == 0
+        assert c.lossless_cr is None
+
+    def test_special_values_ignored(self):
+        data = np.array([1.0, FILL_VALUE, 3.0], dtype=np.float32)
+        c = characterize(data, with_lossless_cr=False)
+        assert c.x_max == 3.0
+        assert c.n_special == 1
+
+    def test_lossless_cr_recorded(self, climate_field):
+        c = characterize(climate_field)
+        assert 0 < c.lossless_cr < 1
+
+    def test_all_special_rejected(self):
+        with pytest.raises(ValueError, match="no valid"):
+            characterize(np.full(5, FILL_VALUE, dtype=np.float32),
+                         with_lossless_cr=False)
+
+    def test_featured_variable_realistic(self, ensemble):
+        # Table 2's U row shape: mean ~6, std ~12, lossless CR in (0.5, 1).
+        c = characterize(ensemble.member_field("U", 0))
+        assert 0 < c.mean < 15
+        assert 5 < c.std < 20
+        assert 0.4 < c.lossless_cr < 1.0

@@ -1,0 +1,61 @@
+"""Pearson correlation (eq. 5) and its acceptance threshold."""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE, RHO_THRESHOLD
+from repro.metrics.correlation import passes_correlation_test, pearson
+
+
+class TestPearson:
+    def test_perfect_positive(self, rng):
+        x = rng.normal(0, 1, 1000)
+        assert pearson(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_perfect_negative(self, rng):
+        x = rng.normal(0, 1, 1000)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, rng):
+        x = rng.normal(0, 1, 100_000)
+        y = rng.normal(0, 1, 100_000)
+        assert abs(pearson(x, y)) < 0.02
+
+    def test_matches_numpy(self, rng):
+        x = rng.normal(0, 1, 500)
+        y = x + rng.normal(0, 0.5, 500)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_exact_reconstruction_of_constant(self):
+        x = np.full(10, 7.0)
+        assert pearson(x, x.copy()) == 1.0
+
+    def test_one_sided_constant_is_zero(self):
+        x = np.full(10, 7.0)
+        y = np.arange(10.0)
+        assert pearson(x, y) == 0.0
+
+    def test_special_values_ignored(self, rng):
+        x = rng.normal(0, 1, 1000)
+        y = x.copy()
+        x_f = x.copy()
+        x_f[::10] = FILL_VALUE
+        assert pearson(x_f, y) == pytest.approx(1.0)
+
+    def test_clipped_to_unit_interval(self, rng):
+        x = rng.normal(0, 1, 10)
+        assert -1.0 <= pearson(x, x * 1.0000001) <= 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(3), np.zeros(4))
+
+
+class TestAcceptance:
+    def test_threshold_matches_paper(self):
+        assert RHO_THRESHOLD == 0.99999
+
+    def test_pass_and_fail(self, rng):
+        x = rng.normal(0, 1, 100_000)
+        assert passes_correlation_test(x, x + rng.normal(0, 1e-4, x.size))
+        assert not passes_correlation_test(x, x + rng.normal(0, 0.1, x.size))

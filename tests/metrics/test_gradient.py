@@ -1,0 +1,63 @@
+"""Field-gradient impact metric (Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE
+from repro.metrics.gradient import (
+    gradient_impact,
+    gradient_magnitude,
+    gradient_rmse,
+)
+
+
+class TestGradientMagnitude:
+    def test_constant_field_zero_gradient(self, grid):
+        g = gradient_magnitude(grid, np.full(grid.ncol, 5.0))
+        np.testing.assert_allclose(g, 0.0, atol=1e-12)
+
+    def test_latitude_field_has_uniform_gradient(self, grid):
+        field = np.deg2rad(grid.lat)
+        g = gradient_magnitude(grid, field)
+        # d(lat)/ds along a meridian is 1 (radian per radian); kNN-RMS
+        # mixes in zonal neighbours, so expect O(1) with spread.
+        assert 0.2 < np.nanmedian(g) < 1.2
+
+    def test_special_values_to_nan(self, grid):
+        field = np.ones(grid.ncol)
+        field[0] = FILL_VALUE
+        g = gradient_magnitude(grid, field)
+        assert np.isnan(g[0])
+
+    def test_wrong_shape(self, grid):
+        with pytest.raises(ValueError):
+            gradient_magnitude(grid, np.ones(5))
+
+
+class TestGradientImpact:
+    def test_exact_reconstruction_zero_impact(self, grid, rng):
+        field = rng.normal(0, 1, grid.ncol)
+        assert gradient_rmse(grid, field, field.copy()) == 0.0
+        assert gradient_impact(grid, field, field.copy()) == 0.0
+
+    def test_noise_amplification(self, grid, ensemble):
+        # Gradients amplify compression error relative to the field
+        # itself: a small relative field error becomes a much larger
+        # relative gradient error.
+        from repro.compressors import get_variant
+        from repro.metrics.average import nrmse
+
+        g = ensemble.model.grid
+        field = ensemble.member_field("FSDSC", 0)
+        codec = get_variant("fpzip-16")
+        recon = codec.decompress(codec.compress(field))
+        impact = gradient_impact(g, field, recon)
+        assert impact > nrmse(field, recon)
+
+    def test_monotone_in_error(self, grid, rng):
+        field = np.cumsum(rng.normal(0, 1, grid.ncol))
+        small = field + rng.normal(0, 0.01, grid.ncol)
+        large = field + rng.normal(0, 0.5, grid.ncol)
+        assert gradient_impact(grid, field, small) < gradient_impact(
+            grid, field, large
+        )

@@ -1,0 +1,68 @@
+"""Pointwise error metrics (eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE
+from repro.metrics.pointwise import (
+    max_pointwise_error,
+    normalized_max_error,
+    pointwise_errors,
+)
+
+
+class TestMaxError:
+    def test_exact(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert max_pointwise_error(x, x) == 0.0
+
+    def test_known_value(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([0.5, 9.0])
+        assert max_pointwise_error(x, y) == 1.0
+
+    def test_sign_irrelevant(self):
+        x = np.array([0.0, 0.0])
+        y = np.array([-3.0, 2.0])
+        assert max_pointwise_error(x, y) == 3.0
+
+    def test_special_values_ignored(self):
+        x = np.array([1.0, FILL_VALUE, 2.0])
+        y = np.array([1.0, 0.0, 2.0])  # huge error at the fill point
+        assert max_pointwise_error(x, y) == 0.0
+
+
+class TestNormalizedMaxError:
+    def test_eq2(self):
+        x = np.array([0.0, 100.0])
+        y = np.array([1.0, 100.0])
+        assert normalized_max_error(x, y) == pytest.approx(0.01)
+
+    def test_scale_invariant(self, rng):
+        # e_nmax "facilitates comparisons of error between variable types".
+        x = rng.normal(0, 1, 1000)
+        y = x + rng.normal(0, 0.01, 1000)
+        a = normalized_max_error(x, y)
+        b = normalized_max_error(x * 1e6, y * 1e6)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_constant_exact_field(self):
+        x = np.full(10, 5.0)
+        assert normalized_max_error(x, x.copy()) == 0.0
+
+    def test_constant_inexact_field_rejected(self):
+        x = np.full(10, 5.0)
+        with pytest.raises(ZeroDivisionError):
+            normalized_max_error(x, x + 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            normalized_max_error(np.zeros(3), np.zeros(4))
+
+
+class TestPointwiseErrors:
+    def test_values(self):
+        x = np.array([1.0, 2.0, FILL_VALUE])
+        y = np.array([0.5, 2.5, FILL_VALUE])
+        e = pointwise_errors(x, y)
+        np.testing.assert_allclose(e, [0.5, -0.5])

@@ -1,0 +1,72 @@
+"""Zonal power spectra and the compression noise floor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectra import (
+    spectral_noise_floor_ratio,
+    zonal_power_spectrum,
+)
+from repro.compressors import get_variant
+
+
+class TestZonalPowerSpectrum:
+    def test_shapes(self, grid):
+        k, p = zonal_power_spectrum(grid, np.ones(grid.ncol), nlat=16,
+                                    nlon=32)
+        assert k.shape == p.shape == (17,)
+        assert (p >= 0).all()
+
+    def test_constant_field_is_pure_dc(self, grid):
+        _, p = zonal_power_spectrum(grid, np.full(grid.ncol, 5.0))
+        assert p[0] > 0
+        np.testing.assert_allclose(p[1:], 0.0, atol=1e-20)
+
+    def test_single_wave_peaks_at_its_wavenumber(self, grid):
+        field = np.cos(3 * np.deg2rad(grid.lon))
+        k, p = zonal_power_spectrum(grid, field, nlat=16, nlon=64)
+        assert np.argmax(p[1:]) + 1 == 3
+
+    def test_smooth_field_spectrum_decays(self, ensemble):
+        grid = ensemble.model.grid
+        field = ensemble.member_field("FSDSC", 0).astype(np.float64)
+        _, p = zonal_power_spectrum(grid, field)
+        low = p[1:5].mean()
+        high = p[-8:].mean()
+        assert high < low / 10
+
+    def test_empty_band_rejected(self, grid):
+        with pytest.raises(ValueError):
+            zonal_power_spectrum(grid, np.ones(grid.ncol),
+                                 lat_band=(50.0, 40.0))
+
+
+class TestNoiseFloor:
+    def test_exact_reconstruction_unity(self, ensemble):
+        grid = ensemble.model.grid
+        f = ensemble.member_field("FSDSC", 0)
+        assert spectral_noise_floor_ratio(grid, f, f.copy()) == \
+            pytest.approx(1.0)
+
+    def test_codec_signatures(self, ensemble):
+        # The diagnostic separates codec families: fine predictive codecs
+        # leave the tail alone (~1); block quantizers inject a noise floor
+        # (>> 1); extreme mantissa truncation *smooths* small scales away
+        # (<< 1, values collapse onto a few exponent levels).
+        grid = ensemble.model.grid
+        f = ensemble.member_field("FSDSC", 0)
+
+        def ratio(variant):
+            codec = get_variant(variant)
+            return spectral_noise_floor_ratio(
+                grid, f, codec.decompress(codec.compress(f))
+            )
+
+        assert abs(ratio("fpzip-24") - 1.0) < 0.2
+        assert ratio("APAX-5") > 3.0
+        assert ratio("fpzip-8") < 0.5
+
+    def test_bad_tail_fraction(self, grid, rng):
+        f = rng.normal(0, 1, grid.ncol)
+        with pytest.raises(ValueError):
+            spectral_noise_floor_ratio(grid, f, f, tail_fraction=0.0)

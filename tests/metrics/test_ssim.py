@@ -1,0 +1,76 @@
+"""SSIM and lat/lon rasterization (Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ssim import rasterize, ssim
+
+
+class TestSsim:
+    def test_identical_images(self, rng):
+        img = rng.normal(0, 1, (32, 64))
+        assert ssim(img, img.copy()) == pytest.approx(1.0)
+
+    def test_decreases_with_noise(self, rng):
+        img = np.cumsum(rng.normal(0, 1, (64, 64)), axis=1)
+        s_small = ssim(img, img + rng.normal(0, 0.05, img.shape))
+        s_large = ssim(img, img + rng.normal(0, 2.0, img.shape))
+        assert 1.0 > s_small > s_large
+
+    def test_symmetric_enough(self, rng):
+        a = np.cumsum(rng.normal(0, 1, (32, 32)), axis=0)
+        b = a + rng.normal(0, 0.5, a.shape)
+        da = a.max() - a.min()
+        assert ssim(a, b, dynamic_range=da) == pytest.approx(
+            ssim(b, a, dynamic_range=da), abs=1e-6
+        )
+
+    def test_constant_images(self):
+        a = np.full((16, 16), 3.0)
+        assert ssim(a, a.copy()) == 1.0
+        assert ssim(a, a + 1.0) == 0.0
+
+    def test_validation(self, rng):
+        img = rng.normal(0, 1, (16, 16))
+        with pytest.raises(ValueError):
+            ssim(img, rng.normal(0, 1, (8, 8)))
+        with pytest.raises(ValueError):
+            ssim(img, img, window=1)
+        with pytest.raises(ValueError):
+            ssim(img, img, window=99)
+
+
+class TestRasterize:
+    def test_shape(self, grid):
+        img = rasterize(grid, np.ones(grid.ncol), nlat=16, nlon=32)
+        assert img.shape == (16, 32)
+
+    def test_constant_field(self, grid):
+        img = rasterize(grid, np.full(grid.ncol, 7.0), nlat=12, nlon=24)
+        np.testing.assert_allclose(img, 7.0)
+
+    def test_no_nans(self, grid, rng):
+        img = rasterize(grid, rng.normal(0, 1, grid.ncol), nlat=24, nlon=48)
+        assert np.isfinite(img).all()
+
+    def test_zonal_gradient_preserved(self, grid):
+        field = np.deg2rad(grid.lat)
+        img = rasterize(grid, field, nlat=16, nlon=32)
+        # Southern rows below northern rows.
+        assert img[0].mean() < img[-1].mean()
+
+    def test_wrong_size_rejected(self, grid):
+        with pytest.raises(ValueError):
+            rasterize(grid, np.ones(3))
+
+    def test_ssim_on_compressed_field(self, grid, ensemble):
+        # End-to-end: the paper's planned visualization check.
+        from repro.compressors import get_variant
+
+        field = ensemble.member_field("FSDSC", 0)
+        codec = get_variant("fpzip-24")
+        recon = codec.decompress(codec.compress(field))
+        g = ensemble.model.grid
+        a = rasterize(g, field.astype(np.float64), 16, 32)
+        b = rasterize(g, recon.astype(np.float64), 16, 32)
+        assert ssim(a, b) > 0.999

@@ -1,0 +1,85 @@
+"""Lorenz-96 chaotic dycore."""
+
+import numpy as np
+import pytest
+
+from repro.model.dycore import PERTURBATION_SCALE, Lorenz96
+
+
+class TestIntegration:
+    def test_conserves_shape(self):
+        model = Lorenz96(n_modes=12)
+        x = np.ones((5, 12))
+        out = model.integrate(x, 10)
+        assert out.shape == (5, 12)
+
+    def test_stays_bounded_on_attractor(self):
+        model = Lorenz96()
+        x = model.base_state()
+        x = model.integrate(x, 2000)
+        assert np.abs(x).max() < 30  # the F=8 attractor is bounded
+
+    def test_deterministic(self):
+        model = Lorenz96(base_seed=7)
+        a = model.integrate(model.base_state(), 100)
+        b = model.integrate(model.base_state(), 100)
+        assert np.array_equal(a, b)
+
+    def test_minimum_modes(self):
+        with pytest.raises(ValueError):
+            Lorenz96(n_modes=3)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            Lorenz96().integrate(np.ones(40), -1)
+
+
+class TestChaos:
+    def test_tiny_perturbations_diverge(self):
+        # The PVT's foundational fact: O(1e-14) initial differences grow
+        # to O(attractor) within the simulated year.
+        model = Lorenz96(base_seed=3)
+        run = model.run_ensemble(4, scale=PERTURBATION_SCALE)
+        spread = run.final_states.std(axis=0).mean()
+        assert spread > 1.0
+
+    def test_perturbation_magnitude(self):
+        model = Lorenz96(base_seed=3)
+        states = model.perturbed_states(5, scale=1e-14)
+        diffs = np.abs(states - states[0]).max(axis=1)
+        assert (diffs[1:] < 1e-12).all()
+        assert (diffs[1:] > 0).all()
+
+    def test_statistics_shared_across_members(self):
+        # Trajectories diverge; climatology does not: standardized
+        # coefficients should be O(1), not O(perturbation) or O(huge).
+        run = Lorenz96(base_seed=3).run_ensemble(8)
+        assert np.abs(run.coefficients).max() < 10.0
+        assert run.coefficients.std() > 0.1
+
+    def test_zero_perturbation_gives_identical_members(self):
+        run = Lorenz96(base_seed=3).run_ensemble(3, scale=0.0)
+        assert np.allclose(run.coefficients[0], run.coefficients[1])
+
+
+class TestEnsembleRun:
+    def test_shapes(self):
+        model = Lorenz96(n_modes=16, base_seed=1)
+        run = model.run_ensemble(6)
+        assert run.coefficients.shape == (6, 48)
+        assert run.final_states.shape == (6, 16)
+        assert run.n_members == 6
+        assert run.n_coefficients == 48
+
+    def test_members_reproducible(self):
+        # Same seed, same member -> same coefficients, regardless of the
+        # ensemble size it is embedded in.
+        small = Lorenz96(base_seed=5).run_ensemble(3)
+        large = Lorenz96(base_seed=5).run_ensemble(6)
+        np.testing.assert_allclose(
+            small.coefficients, large.coefficients[:3], rtol=1e-12
+        )
+
+    def test_invalid_member_count(self):
+        with pytest.raises(ValueError):
+            Lorenz96().perturbed_states(0)

@@ -1,0 +1,138 @@
+"""Field synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE
+from repro.grid.cubed_sphere import CubedSphereGrid
+from repro.grid.levels import HybridLevels
+from repro.model.physics import FieldSynthesizer
+from repro.model.variables import VariableSpec
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return FieldSynthesizer(
+        grid=CubedSphereGrid.create(2),
+        levels=HybridLevels.create(4),
+        n_coefficients=48,
+        base_seed=11,
+    )
+
+
+def spec_2d(**kw):
+    defaults = dict(name="TEST2D", long_name="t", units="1", dims="2D",
+                    loc=10.0, scale=2.0)
+    defaults.update(kw)
+    return VariableSpec(**defaults)
+
+
+def coeffs(rng, n_members=3, n=48):
+    return rng.standard_normal((n_members, n))
+
+
+class TestShapes:
+    def test_2d_shape(self, synth, rng):
+        out = synth.synthesize(spec_2d(), coeffs(rng), [0, 1, 2])
+        assert out.shape == (3, synth.grid.ncol)
+        assert out.dtype == np.float32
+
+    def test_3d_shape(self, synth, rng):
+        spec = spec_2d(name="TEST3D", dims="3D")
+        out = synth.synthesize(spec, coeffs(rng), [0, 1, 2])
+        assert out.shape == (3, 4, synth.grid.ncol)
+
+    def test_mismatched_members_rejected(self, synth, rng):
+        with pytest.raises(ValueError, match="member ids"):
+            synth.synthesize(spec_2d(), coeffs(rng, 3), [0, 1])
+
+    def test_wrong_coefficient_count_rejected(self, synth, rng):
+        with pytest.raises(ValueError, match="coefficients"):
+            synth.synthesize(spec_2d(), coeffs(rng, 2, 10), [0, 1])
+
+
+class TestStatisticalTargets:
+    def test_linear_location_scale(self, synth, rng):
+        spec = spec_2d(loc=100.0, scale=5.0, variability=0.05, noise=0.01)
+        out = synth.synthesize(spec, coeffs(rng, 8), range(8)).astype(
+            np.float64
+        )
+        assert abs(out.mean() - 100.0) < 5.0
+        assert 2.0 < out.std() < 10.0
+
+    def test_lognormal_positive(self, synth, rng):
+        spec = spec_2d(name="LOG", kind="lognormal", loc=0.0, scale=1.5)
+        out = synth.synthesize(spec, coeffs(rng, 4), range(4))
+        assert (out > 0).all()
+
+    def test_height_kind_tracks_profile(self, synth, rng):
+        spec = spec_2d(name="ZZ", dims="3D", kind="height", scale=5.0,
+                       variability=0.01, noise=0.01)
+        out = synth.synthesize(spec, coeffs(rng, 2), [0, 1])
+        profile = synth.levels.height_profile()
+        level_means = out.mean(axis=(0, 2))
+        np.testing.assert_allclose(level_means, profile, atol=30.0)
+
+    def test_height_requires_3d(self, synth, rng):
+        spec = spec_2d(name="ZBAD", kind="height")
+        with pytest.raises(ValueError, match="3D"):
+            synth.synthesize(spec, coeffs(rng, 1), [0])
+
+    def test_vert_decay_reduces_upper_levels(self, synth, rng):
+        spec = spec_2d(name="TRC", dims="3D", kind="lognormal", loc=0.0,
+                       scale=1.0, vert_decay=8.0)
+        out = synth.synthesize(spec, coeffs(rng, 2), [0, 1]).astype(
+            np.float64
+        )
+        top = np.median(out[:, 0, :])
+        surface = np.median(out[:, -1, :])
+        assert top < surface / 100.0
+
+
+class TestDeterminismAndVariability:
+    def test_same_member_same_field(self, synth, rng):
+        c = coeffs(rng, 1)
+        a = synth.synthesize(spec_2d(), c, [5])
+        b = synth.synthesize(spec_2d(), c, [5])
+        assert np.array_equal(a, b)
+
+    def test_noise_differs_across_members(self, synth, rng):
+        c = coeffs(rng, 1)
+        a = synth.synthesize(spec_2d(), c, [0])
+        b = synth.synthesize(spec_2d(), c, [1])
+        # Same coefficients, different member id -> noise differs.
+        assert not np.array_equal(a, b)
+
+    def test_different_variables_decorrelated(self, synth, rng):
+        c = coeffs(rng, 1)
+        a = synth.synthesize(spec_2d(name="VARA"), c, [0]).ravel()
+        b = synth.synthesize(spec_2d(name="VARB"), c, [0]).ravel()
+        rho = np.corrcoef(a, b)[0, 1]
+        assert abs(rho) < 0.9
+
+    def test_every_point_has_ensemble_spread(self, synth, rng):
+        spec = spec_2d(noise=0.01)
+        out = synth.synthesize(spec, coeffs(rng, 6), range(6))
+        assert (out.std(axis=0) > 0).all()
+
+
+class TestFillMasks:
+    def test_land_mask_fraction(self, synth, rng):
+        spec = spec_2d(name="SSTX", fill_mask="land")
+        out = synth.synthesize(spec, coeffs(rng, 2), [0, 1])
+        frac = (out[0] == np.float32(FILL_VALUE)).mean()
+        assert 0.1 < frac < 0.5
+
+    def test_mask_identical_across_members(self, synth, rng):
+        spec = spec_2d(name="SSTY", fill_mask="ocean")
+        out = synth.synthesize(spec, coeffs(rng, 3), range(3))
+        masks = out == np.float32(FILL_VALUE)
+        assert np.array_equal(masks[0], masks[1])
+        assert np.array_equal(masks[0], masks[2])
+
+    def test_3d_mask_is_columnar(self, synth, rng):
+        spec = spec_2d(name="SSTZ", dims="3D", fill_mask="land")
+        out = synth.synthesize(spec, coeffs(rng, 1), [0])
+        mask = out[0] == np.float32(FILL_VALUE)
+        # Same horizontal mask at every level.
+        assert np.array_equal(mask[0], mask[-1])

@@ -1,0 +1,59 @@
+"""Scale-model invariants: what must NOT change with grid resolution.
+
+The whole reproduction strategy rests on the synthetic model behaving the
+same *statistically* at every resolution, so the verification machinery's
+behaviour at bench scale transfers to the paper's ne=30.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.model import CAMEnsemble
+
+
+@pytest.fixture(scope="module")
+def coarse():
+    return CAMEnsemble(ReproConfig(ne=3, nlev=5, n_members=9, n_2d=5,
+                                   n_3d=5))
+
+
+@pytest.fixture(scope="module")
+def fine():
+    return CAMEnsemble(ReproConfig(ne=6, nlev=5, n_members=9, n_2d=5,
+                                   n_3d=5))
+
+
+class TestStatisticalInvariance:
+    @pytest.mark.parametrize("name", ["U", "FSDSC", "T"])
+    def test_moments_match_across_resolution(self, coarse, fine, name):
+        a = coarse.ensemble_field(name).astype(np.float64)
+        b = fine.ensemble_field(name).astype(np.float64)
+        assert a.mean() == pytest.approx(b.mean(), rel=0.05, abs=0.5)
+        assert a.std() == pytest.approx(b.std(), rel=0.15)
+
+    def test_dycore_independent_of_grid(self, coarse, fine):
+        # The chaotic driver knows nothing about the grid: identical
+        # coefficients at any resolution.
+        np.testing.assert_allclose(
+            coarse.dycore_run.coefficients, fine.dycore_run.coefficients
+        )
+
+    def test_rmsz_distribution_centered_at_any_scale(self, coarse, fine):
+        from repro.pvt.zscore import rmsz_distribution
+
+        for ens in (coarse, fine):
+            dist = rmsz_distribution(ens.ensemble_field("U"))
+            assert 0.3 < np.median(dist) < 2.0
+
+    def test_gridscale_smoothness_improves_with_resolution(self, coarse,
+                                                           fine):
+        # Absolute wavenumber content: a finer grid samples the same
+        # spectrum more densely, so adjacent-point deltas shrink relative
+        # to the field spread — the property behind the Table 6
+        # resolution note in EXPERIMENTS.md.
+        def rel_delta(ens):
+            f = ens.member_field("U", 0).astype(np.float64)
+            return np.abs(np.diff(f, axis=-1)).mean() / f.std()
+
+        assert rel_delta(fine) < rel_delta(coarse)

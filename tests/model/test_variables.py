@@ -1,0 +1,109 @@
+"""Variable catalog."""
+
+import numpy as np
+import pytest
+
+from repro.model.variables import (
+    FEATURED,
+    VariableSpec,
+    build_catalog,
+    featured_variables,
+)
+
+
+class TestCatalogStructure:
+    def test_paper_counts(self):
+        catalog = build_catalog(83, 87)
+        assert len(catalog) == 170
+        assert sum(v.dims == "2D" for v in catalog) == 83
+        assert sum(v.dims == "3D" for v in catalog) == 87
+
+    def test_unique_names(self):
+        catalog = build_catalog(83, 87)
+        names = [v.name for v in catalog]
+        assert len(set(names)) == len(names)
+
+    def test_featured_always_present(self):
+        catalog = build_catalog(6, 6)
+        names = {v.name for v in catalog}
+        assert {"U", "FSDSC", "Z3", "CCN3"} <= names
+
+    def test_small_catalog(self):
+        catalog = build_catalog(2, 3)
+        assert len(catalog) == 5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_catalog(0, 3)
+        with pytest.raises(ValueError):
+            build_catalog(5, 2)
+
+    def test_magnitude_diversity(self):
+        # Section 3.1: magnitudes span O(1e-8)..O(1e3) and beyond.
+        catalog = build_catalog(83, 87)
+        locs = [abs(v.loc) for v in catalog if v.kind == "linear" and v.loc]
+        assert min(locs) < 1e-6
+        assert max(locs) > 1e3
+
+    def test_fill_variables_are_minority(self):
+        catalog = build_catalog(83, 87)
+        n_fill = sum(v.fill_mask != "none" for v in catalog)
+        assert 0 < n_fill <= 8
+
+    def test_deterministic(self):
+        assert build_catalog(10, 10) == build_catalog(10, 10)
+
+
+class TestFeatured:
+    def test_table2_parameters(self):
+        by_name = {v.name: v for v in featured_variables()}
+        u = by_name["U"]
+        assert u.units == "m/s" and u.dims == "3D"
+        assert u.loc == pytest.approx(6.39)
+        assert u.scale == pytest.approx(12.2)
+        fsdsc = by_name["FSDSC"]
+        assert fsdsc.dims == "2D" and fsdsc.units == "W/m2"
+        z3 = by_name["Z3"]
+        assert z3.kind == "height"
+        ccn3 = by_name["CCN3"]
+        assert ccn3.kind == "lognormal" and ccn3.vert_decay > 0
+
+    def test_featured_is_tuple(self):
+        assert isinstance(FEATURED, tuple) and len(FEATURED) == 4
+
+
+class TestSpecValidation:
+    def base(self, **kw):
+        defaults = dict(name="X", long_name="x", units="1", dims="2D")
+        defaults.update(kw)
+        return VariableSpec(**defaults)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError, match="dims"):
+            self.base(dims="4D")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            self.base(kind="uniform")
+
+    def test_bad_smoothness(self):
+        with pytest.raises(ValueError):
+            self.base(smoothness=0.0)
+        with pytest.raises(ValueError):
+            self.base(smoothness=1.5)
+
+    def test_zero_variability_rejected(self):
+        # The PVT needs nonzero ensemble variance everywhere.
+        with pytest.raises(ValueError, match="positive"):
+            self.base(variability=0.0)
+
+    def test_bad_fill_mask(self):
+        with pytest.raises(ValueError, match="fill_mask"):
+            self.base(fill_mask="sea")
+
+    def test_vert_decay_requires_3d_lognormal(self):
+        with pytest.raises(ValueError, match="vert_decay"):
+            self.base(vert_decay=3.0)
+        # Valid on a 3-D lognormal variable.
+        spec = self.base(dims="3D", kind="lognormal", vert_decay=3.0)
+        assert spec.vert_decay == 3.0

@@ -1,0 +1,39 @@
+"""Codec identity checks in the NCH container."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.ncio.format import HistoryFile, HistoryFileWriter
+
+
+def test_wrong_decoder_rejected(tmp_path, rng):
+    data = rng.normal(0, 1, (2, 64)).astype(np.float32)
+    path = tmp_path / "x.nch"
+    with HistoryFileWriter(path, compression=get_variant("fpzip-24")) as w:
+        w.put_var("X", data, dims=("a", "b"))
+    with HistoryFile(path) as f:
+        with pytest.raises(ValueError, match="decoder"):
+            f.get("X", codec=get_variant("fpzip-16"))
+
+
+def test_matching_decoder_accepted(tmp_path, rng):
+    data = rng.normal(0, 1, (2, 64)).astype(np.float32)
+    path = tmp_path / "x.nch"
+    with HistoryFileWriter(path, compression=get_variant("APAX-2")) as w:
+        w.put_var("X", data, dims=("a", "b"))
+    with HistoryFile(path) as f:
+        out = f.get("X", codec=get_variant("APAX-2"))
+        assert out.shape == data.shape
+
+
+def test_bad_compression_argument():
+    with pytest.raises(ValueError, match="compression"):
+        HistoryFileWriter("/tmp/never-written.nch", compression="gzip")
+
+
+def test_non_serializable_attr_rejected(tmp_path):
+    with HistoryFileWriter(tmp_path / "x.nch") as w:
+        with pytest.raises(TypeError):
+            w.set_attr("bad", object())
+        w.put_var("X", np.zeros(4, dtype=np.float32), dims=("n",))

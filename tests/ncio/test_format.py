@@ -1,0 +1,158 @@
+"""NCH container format."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import Fpzip, get_variant
+from repro.ncio.format import HistoryFile, HistoryFileWriter, write_history
+
+
+@pytest.fixture()
+def tmp_nch(tmp_path):
+    return tmp_path / "test.nch"
+
+
+class TestBasicRoundtrip:
+    def test_raw_variable(self, tmp_nch, rng):
+        data = rng.normal(0, 1, (4, 100)).astype(np.float32)
+        with HistoryFileWriter(tmp_nch, compression=None) as w:
+            w.put_var("X", data, dims=("lev", "ncol"))
+        with HistoryFile(tmp_nch) as f:
+            assert np.array_equal(f.get("X"), data)
+
+    def test_zlib_variable(self, tmp_nch, rng):
+        data = rng.normal(0, 1, (3, 50)).astype(np.float32)
+        with HistoryFileWriter(tmp_nch, compression="zlib") as w:
+            w.put_var("X", data, dims=("lev", "ncol"))
+        with HistoryFile(tmp_nch) as f:
+            assert np.array_equal(f.get("X"), data)
+            assert f.info("X").codec == "zlib"
+
+    def test_lossy_variable(self, tmp_nch, climate_field):
+        codec = Fpzip(precision=24)
+        with HistoryFileWriter(tmp_nch, compression=codec) as w:
+            w.put_var("U", climate_field, dims=("lev", "ncol"))
+        with HistoryFile(tmp_nch) as f:
+            out = f.get("U")
+            assert f.info("U").codec == "lossy:fpzip-24"
+            rel = np.abs(out - climate_field).max()
+            assert rel < np.abs(climate_field).max() * 2**-15
+
+    def test_lossy_decoder_resolved_from_registry(self, tmp_nch, rng):
+        data = rng.normal(0, 1, (2, 64)).astype(np.float32)
+        with HistoryFileWriter(tmp_nch, compression=get_variant("APAX-2")) as w:
+            w.put_var("X", data, dims=("a", "b"))
+        with HistoryFile(tmp_nch) as f:
+            out = f.get("X")  # no codec passed; footer names APAX-2
+            assert out.shape == data.shape
+
+    def test_1d_variable(self, tmp_nch):
+        data = np.arange(50, dtype=np.float64)
+        with HistoryFileWriter(tmp_nch) as w:
+            w.put_var("time", data, dims=("t",))
+        with HistoryFile(tmp_nch) as f:
+            assert np.array_equal(f.get("time"), data)
+            assert np.array_equal(f.get("time", first_axis=slice(3, 6)),
+                                  data[3:6])
+
+
+class TestPartialReads:
+    def test_single_level(self, tmp_nch, rng):
+        data = rng.normal(0, 1, (6, 40)).astype(np.float32)
+        with HistoryFileWriter(tmp_nch) as w:
+            w.put_var("X", data, dims=("lev", "ncol"))
+        with HistoryFile(tmp_nch) as f:
+            assert np.array_equal(f.get("X", first_axis=4), data[4])
+
+    def test_level_slice(self, tmp_nch, rng):
+        data = rng.normal(0, 1, (6, 40)).astype(np.float32)
+        with HistoryFileWriter(tmp_nch) as w:
+            w.put_var("X", data, dims=("lev", "ncol"))
+        with HistoryFile(tmp_nch) as f:
+            assert np.array_equal(f.get("X", first_axis=slice(1, 4)),
+                                  data[1:4])
+
+
+class TestSchema:
+    def test_dims_and_attrs(self, tmp_nch, rng):
+        with HistoryFileWriter(tmp_nch) as w:
+            w.set_attr("title", "test history")
+            w.define_dim("ncol", 20)
+            w.put_var("X", rng.normal(0, 1, 20).astype(np.float32),
+                      dims=("ncol",), attrs={"units": "m/s"})
+        with HistoryFile(tmp_nch) as f:
+            assert f.dims == {"ncol": 20}
+            assert f.attrs["title"] == "test history"
+            assert f.info("X").attrs["units"] == "m/s"
+
+    def test_dim_size_conflict(self, tmp_nch, rng):
+        with HistoryFileWriter(tmp_nch) as w:
+            w.define_dim("ncol", 20)
+            with pytest.raises(ValueError, match="size"):
+                w.put_var("X", rng.normal(0, 1, 21).astype(np.float32),
+                          dims=("ncol",))
+
+    def test_duplicate_variable(self, tmp_nch, rng):
+        data = rng.normal(0, 1, 10).astype(np.float32)
+        with HistoryFileWriter(tmp_nch) as w:
+            w.put_var("X", data, dims=("n",))
+            with pytest.raises(ValueError, match="already"):
+                w.put_var("X", data, dims=("n",))
+
+    def test_unknown_variable(self, tmp_nch, rng):
+        with HistoryFileWriter(tmp_nch) as w:
+            w.put_var("X", rng.normal(0, 1, 10).astype(np.float32),
+                      dims=("n",))
+        with HistoryFile(tmp_nch) as f:
+            with pytest.raises(KeyError, match="no variable"):
+                f.get("Y")
+
+    def test_unsupported_dtype(self, tmp_nch):
+        with HistoryFileWriter(tmp_nch) as w:
+            with pytest.raises(TypeError):
+                w.put_var("X", np.zeros(4, dtype=np.complex128), dims=("n",))
+
+    def test_write_after_close_rejected(self, tmp_nch, rng):
+        w = HistoryFileWriter(tmp_nch)
+        w.close()
+        with pytest.raises(ValueError, match="closed"):
+            w.put_var("X", rng.normal(0, 1, 4).astype(np.float32),
+                      dims=("n",))
+
+    def test_not_an_nch_file(self, tmp_path):
+        bad = tmp_path / "bad.nch"
+        bad.write_bytes(b"GARBAGE---")
+        with pytest.raises(ValueError, match="not an NCH"):
+            HistoryFile(bad)
+
+
+class TestWriteHistory:
+    def test_full_snapshot(self, tmp_path, ensemble, config):
+        snap = ensemble.history_snapshot(0)
+        path = write_history(tmp_path / "h0.nch", snap, nlev=config.nlev,
+                             attrs={"member": 0})
+        with HistoryFile(path) as f:
+            assert len(f.variables) == config.n_variables
+            assert f.attrs["member"] == 0
+            for name, data in snap.items():
+                assert np.array_equal(f.get(name), data), name
+
+    def test_compression_saves_space(self, tmp_path, ensemble, config):
+        snap = ensemble.history_snapshot(0)
+        raw = write_history(tmp_path / "raw.nch", snap, nlev=config.nlev,
+                            compression=None)
+        zlb = write_history(tmp_path / "zlib.nch", snap, nlev=config.nlev,
+                            compression="zlib")
+        assert zlb.stat().st_size < raw.stat().st_size
+
+    def test_bad_shape_rejected(self, tmp_path, config):
+        snap = {"X": np.zeros((3, 4, 5), dtype=np.float32)}
+        with pytest.raises(ValueError, match="shape"):
+            write_history(tmp_path / "x.nch", snap, nlev=config.nlev)
+
+    def test_stored_sizes_tracked(self, tmp_path, ensemble, config):
+        snap = ensemble.history_snapshot(0)
+        path = write_history(tmp_path / "h.nch", snap, nlev=config.nlev)
+        with HistoryFile(path) as f:
+            info = f.info("U")
+            assert 0 < info.nbytes_stored < info.nbytes_logical

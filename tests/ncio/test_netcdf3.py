@@ -1,0 +1,146 @@
+"""Classic NetCDF (CDF-1/CDF-2) writer and reader."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.ncio.netcdf3 import (
+    NetCDF3Reader,
+    NetCDF3Writer,
+    export_netcdf3,
+)
+
+
+class TestRoundtrip:
+    def test_basic_variable(self, tmp_path, rng):
+        w = NetCDF3Writer()
+        data = rng.normal(0, 1, (4, 30)).astype(np.float32)
+        w.add_variable("T", data, ("lev", "ncol"),
+                       attrs={"units": "K", "scale": 1.0})
+        path = w.write(tmp_path / "t.nc")
+        r = NetCDF3Reader(path)
+        assert r.dims == {"lev": 4, "ncol": 30}
+        out = r.get("T")
+        assert out.dtype == np.float32
+        assert np.array_equal(out, data)
+        assert r.variables["T"]["attrs"]["units"] == "K"
+        assert r.variables["T"]["attrs"]["scale"] == 1.0
+
+    def test_magic_bytes(self, tmp_path):
+        w = NetCDF3Writer()
+        w.add_variable("x", np.zeros(4, dtype=np.float64), ("n",))
+        path = w.write(tmp_path / "m.nc")
+        assert path.read_bytes()[:4] == b"CDF\x01"
+
+    @pytest.mark.parametrize(
+        "dtype", [np.int8, np.int16, np.int32, np.float32, np.float64]
+    )
+    def test_all_types(self, tmp_path, rng, dtype):
+        w = NetCDF3Writer()
+        data = rng.integers(-100, 100, 25).astype(dtype)
+        w.add_variable("v", data, ("n",))
+        r = NetCDF3Reader(w.write(tmp_path / "x.nc"))
+        out = r.get("v")
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, data)
+
+    def test_multiple_variables_share_dims(self, tmp_path, rng):
+        w = NetCDF3Writer()
+        a = rng.normal(0, 1, (3, 10)).astype(np.float32)
+        b = rng.normal(0, 1, 10).astype(np.float64)
+        w.add_variable("A", a, ("lev", "ncol"))
+        w.add_variable("B", b, ("ncol",))
+        r = NetCDF3Reader(w.write(tmp_path / "multi.nc"))
+        assert np.array_equal(r.get("A"), a)
+        assert np.array_equal(r.get("B"), b)
+
+    def test_global_attributes(self, tmp_path):
+        w = NetCDF3Writer()
+        w.set_attr("title", "CAM history")
+        w.set_attr("ne", 30)
+        w.set_attr("levels", np.array([1.0, 2.0]))
+        w.add_variable("x", np.zeros(2, dtype=np.float32), ("n",))
+        r = NetCDF3Reader(w.write(tmp_path / "attrs.nc"))
+        assert r.attrs["title"] == "CAM history"
+        assert r.attrs["ne"] == 30
+        np.testing.assert_allclose(r.attrs["levels"], [1.0, 2.0])
+
+    def test_odd_length_names_padded(self, tmp_path):
+        w = NetCDF3Writer()
+        w.add_variable("abc", np.ones(3, dtype=np.float32), ("xyz",))
+        r = NetCDF3Reader(w.write(tmp_path / "pad.nc"))
+        assert np.array_equal(r.get("abc"), np.ones(3, dtype=np.float32))
+
+    def test_big_endian_payload(self, tmp_path):
+        # Spec: classic NetCDF data is big-endian on disk.
+        w = NetCDF3Writer()
+        w.add_variable("v", np.array([1.0], dtype=np.float64), ("n",))
+        raw = w.write(tmp_path / "be.nc").read_bytes()
+        assert struct.pack(">d", 1.0) in raw
+
+
+class TestValidation:
+    def test_bad_dtype(self):
+        with pytest.raises(TypeError):
+            NetCDF3Writer().add_variable(
+                "x", np.zeros(3, dtype=np.complex64), ("n",)
+            )
+
+    def test_dim_conflict(self):
+        w = NetCDF3Writer()
+        w.define_dim("n", 5)
+        with pytest.raises(ValueError, match="axis"):
+            w.add_variable("x", np.zeros(4, dtype=np.float32), ("n",))
+
+    def test_duplicate_variable(self):
+        w = NetCDF3Writer()
+        w.add_variable("x", np.zeros(3, dtype=np.float32), ("n",))
+        with pytest.raises(ValueError, match="already"):
+            w.add_variable("x", np.zeros(3, dtype=np.float32), ("n",))
+
+    def test_unlimited_dimension_unsupported(self):
+        with pytest.raises(ValueError, match="positive"):
+            NetCDF3Writer().define_dim("time", 0)
+
+    def test_not_a_netcdf_file(self, tmp_path):
+        bad = tmp_path / "bad.nc"
+        bad.write_bytes(b"HDF\x01 nope")
+        with pytest.raises(ValueError, match="classic NetCDF"):
+            NetCDF3Reader(bad)
+
+    def test_missing_variable(self, tmp_path):
+        w = NetCDF3Writer()
+        w.add_variable("x", np.zeros(3, dtype=np.float32), ("n",))
+        r = NetCDF3Reader(w.write(tmp_path / "x.nc"))
+        with pytest.raises(KeyError):
+            r.get("y")
+
+
+class TestExport:
+    def test_history_snapshot_export(self, tmp_path, ensemble, config):
+        snap = ensemble.history_snapshot(0)
+        path = export_netcdf3(tmp_path / "cam.h0.nc", snap,
+                              nlev=config.nlev,
+                              attrs={"source": "repro CAM"})
+        r = NetCDF3Reader(path)
+        assert r.attrs["source"] == "repro CAM"
+        assert r.dims["ncol"] == config.ncol
+        assert r.dims["lev"] == config.nlev
+        for name, data in snap.items():
+            assert np.array_equal(r.get(name), data), name
+
+    def test_variable_attrs_forwarded(self, tmp_path, ensemble, config):
+        snap = {"U": ensemble.member_field("U", 0)}
+        path = export_netcdf3(
+            tmp_path / "u.nc", snap, nlev=config.nlev,
+            variable_attrs={"U": {"units": "m/s"}},
+        )
+        r = NetCDF3Reader(path)
+        assert r.variables["U"]["attrs"]["units"] == "m/s"
+
+    def test_bad_shape(self, tmp_path, config):
+        with pytest.raises(ValueError, match="shape"):
+            export_netcdf3(tmp_path / "b.nc",
+                           {"X": np.zeros((2, 3, 4), dtype=np.float32)},
+                           nlev=config.nlev)

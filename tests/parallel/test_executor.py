@@ -1,0 +1,66 @@
+"""Process-pool map."""
+
+import os
+
+import pytest
+
+from repro.parallel.executor import effective_workers, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def failing(x):
+    if x == 3:
+        raise RuntimeError("boom")
+    return x
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        assert parallel_map(square, range(20), workers=4) == [
+            i * i for i in range(20)
+        ]
+
+    def test_serial_fallback(self):
+        assert parallel_map(square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_single_task_stays_in_process(self):
+        marker = []
+
+        def record(x):
+            marker.append(x)
+            return x
+
+        # Non-picklable closure works because a single task never leaves
+        # the calling process.
+        assert parallel_map(record, [7], workers=8) == [7]
+        assert marker == [7]
+
+    def test_empty(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(failing, [1, 2, 3, 4], workers=2)
+
+    def test_chunksize(self):
+        assert parallel_map(square, range(50), workers=2, chunksize=10) == [
+            i * i for i in range(50)
+        ]
+
+    def test_bad_chunksize(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], chunksize=0)
+
+
+class TestEffectiveWorkers:
+    def test_default_is_cpu_count(self):
+        assert effective_workers() == (os.cpu_count() or 1)
+
+    def test_capped_by_tasks(self):
+        assert effective_workers(8, n_tasks=3) == 3
+
+    def test_minimum_one(self):
+        assert effective_workers(0, n_tasks=0) == 1

@@ -1,0 +1,43 @@
+"""Work partitioning."""
+
+import pytest
+
+from repro.parallel.partition import chunk_indices, partition_work
+
+
+class TestChunkIndices:
+    def test_even_split(self):
+        assert chunk_indices(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_split_front_loaded(self):
+        assert chunk_indices(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_chunks_than_items(self):
+        ranges = chunk_indices(2, 5)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_covers_everything_exactly(self):
+        for n, k in [(17, 4), (100, 7), (3, 3), (1, 1)]:
+            ranges = chunk_indices(n, k)
+            covered = [i for a, b in ranges for i in range(a, b)]
+            assert covered == list(range(n))
+
+    def test_zero_items(self):
+        assert chunk_indices(0, 3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+
+
+class TestPartitionWork:
+    def test_preserves_order(self):
+        parts = partition_work(list("abcdefg"), 3)
+        assert [x for p in parts for x in p] == list("abcdefg")
+
+    def test_balanced(self):
+        parts = partition_work(list(range(10)), 3)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1

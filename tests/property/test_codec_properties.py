@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on the codec and encoding invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors import Apax, Fpzip, Isabela, NetCDF4Zlib
+from repro.compressors.prediction import (
+    delta_decode,
+    delta_encode,
+    float_to_ordered_int,
+    ordered_int_to_float,
+)
+from repro.compressors.wavelet import forward_53, inverse_53
+from repro.encoding.rice import rice_decode, rice_encode
+from repro.encoding.zigzag import zigzag_decode, zigzag_encode
+
+finite_f32 = hnp.arrays(
+    np.float32,
+    st.integers(min_value=1, max_value=400),
+    elements=st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_f32)
+def test_nczlib_lossless_on_anything(data):
+    codec = NetCDF4Zlib()
+    assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_f32)
+def test_fpzip32_lossless_on_anything(data):
+    codec = Fpzip(precision=32)
+    assert np.array_equal(codec.decompress(codec.compress(data)), data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_f32)
+def test_fpzip16_relative_error_bound(data):
+    codec = Fpzip(precision=16)
+    out = codec.decompress(codec.compress(data)).astype(np.float64)
+    x = data.astype(np.float64)
+    # The relative bound holds for normal floats; denormals have fewer
+    # mantissa bits than the truncation keeps (true of fpzip as well).
+    normal = np.abs(x) >= np.finfo(np.float32).tiny
+    if normal.any():
+        rel = np.abs(x - out)[normal] / np.abs(x[normal])
+        assert rel.max() <= 2.0**-7
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_f32, st.sampled_from([2.0, 4.0, 5.0]))
+def test_apax_shape_and_rate(data, rate):
+    codec = Apax(rate=rate)
+    out = codec.roundtrip(data)
+    assert out.reconstructed.shape == data.shape
+    # Fixed-rate contract holds once the payload dwarfs the framing.
+    if data.nbytes > 20_000:
+        assert abs(out.cr - 1.0 / rate) < 0.02
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        st.integers(min_value=32, max_value=600),
+        elements=st.floats(
+            min_value=0.0078125, max_value=1048576.0, allow_nan=False,
+            width=32,
+        ),
+    )
+)
+def test_isabela_relative_error_bound(data):
+    codec = Isabela(rel_error_pct=1.0, window=128, n_coeffs=16)
+    out = codec.decompress(codec.compress(data)).astype(np.float64)
+    x = data.astype(np.float64)
+    rel = np.abs(x - out) / np.maximum(np.abs(x), 1e-6 * np.abs(x).max())
+    assert rel.max() <= 0.03
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        np.uint64,
+        st.integers(min_value=0, max_value=500),
+        elements=st.integers(min_value=0, max_value=2**63),
+    ),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=40)),
+)
+def test_rice_roundtrip(values, k):
+    assert np.array_equal(rice_decode(rice_encode(values, k=k)), values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        np.int64,
+        st.integers(min_value=0, max_value=500),
+        elements=st.integers(min_value=-(2**62), max_value=2**62),
+    )
+)
+def test_zigzag_delta_roundtrip(codes):
+    z = zigzag_decode(zigzag_encode(codes))
+    assert np.array_equal(z, codes)
+    assert np.array_equal(delta_decode(delta_encode(codes)), codes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        np.int64,
+        st.integers(min_value=1, max_value=300),
+        elements=st.integers(min_value=-(2**40), max_value=2**40),
+    )
+)
+def test_wavelet_perfect_reconstruction(x):
+    coeffs, lengths = forward_53(x)
+    assert np.array_equal(inverse_53(coeffs, lengths), x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_f32)
+def test_ordered_int_monotone(values):
+    order = np.argsort(values, kind="stable")
+    codes = float_to_ordered_int(values)
+    assert (np.diff(codes[order]) >= 0).all()
+    assert np.array_equal(
+        ordered_int_to_float(codes, np.float32), values
+    )

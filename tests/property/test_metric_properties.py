@@ -1,0 +1,79 @@
+"""Property-based tests on the verification metrics and PVT invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.average import nrmse, rmse
+from repro.metrics.correlation import pearson
+from repro.metrics.pointwise import normalized_max_error
+from repro.pvt.zscore import EnsembleStats
+
+fields = hnp.arrays(
+    np.float64,
+    st.integers(min_value=4, max_value=200),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fields)
+def test_metrics_zero_on_identity(x):
+    assert rmse(x, x.copy()) == 0.0
+    assert normalized_max_error(x, x.copy()) == 0.0
+    assert pearson(x, x.copy()) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(fields, st.floats(min_value=-10, max_value=10),
+       st.floats(min_value=0.1, max_value=10))
+def test_enmax_scale_and_shift_invariant(x, shift, scale):
+    y = x + np.linspace(0, 1, x.size)
+    # Affine invariance only holds away from catastrophic cancellation:
+    # when the field's range is tiny relative to the shift, R_X itself is
+    # dominated by floating-point rounding of the shifted values.
+    assume(x.max() - x.min() > 1e-6 * (abs(shift) + 1.0))
+    a = normalized_max_error(x, y)
+    b = normalized_max_error(scale * x + shift, scale * y + shift)
+    assert np.isclose(a, b, rtol=1e-6, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fields)
+def test_rmse_bounded_by_max_error(x):
+    y = x + np.linspace(-1, 1, x.size)
+    err = np.abs(x - y)
+    assert rmse(x, y) <= err.max() + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(
+            st.integers(min_value=4, max_value=12),
+            st.integers(min_value=5, max_value=60),
+        ),
+        elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+)
+def test_loo_stats_match_naive(ensemble):
+    stats = EnsembleStats(ensemble)
+    m = ensemble.shape[0] // 2
+    rest = np.delete(ensemble, m, axis=0)
+    mean, std = stats.loo_mean_std(m)
+    scale = np.abs(ensemble).max() + 1.0
+    assert np.allclose(mean, rest.mean(axis=0), rtol=1e-9,
+                       atol=1e-9 * scale)
+    # Sub-resolution spreads are clamped to zero by design; tolerate them.
+    assert np.allclose(std, rest.std(axis=0, ddof=1), rtol=1e-6,
+                       atol=2e-7 * scale)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_rmsz_distribution_near_one_for_gaussian(seed):
+    rng = np.random.default_rng(seed)
+    ens = rng.normal(0, 1, (20, 400))
+    dist = EnsembleStats(ens).distribution()
+    assert 0.7 < dist.mean() < 1.3

@@ -1,0 +1,88 @@
+"""Combined acceptance testing (Table 6 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import NetCDF4Zlib, get_variant
+from repro.pvt.acceptance import (
+    VariableContext,
+    evaluate_variable,
+)
+
+
+@pytest.fixture(scope="module")
+def u_fields(ensemble):
+    return ensemble.ensemble_field("U")
+
+
+class TestLosslessAlwaysPasses:
+    def test_netcdf4(self, u_fields):
+        verdict = evaluate_variable(
+            u_fields, NetCDF4Zlib(), [0, 1, 2], variable="U"
+        )
+        assert verdict.rho.passed
+        assert verdict.rmsz.passed
+        assert verdict.enmax.passed
+        assert verdict.bias.passed
+        assert verdict.all_passed
+        assert 0 < verdict.mean_cr < 1
+
+    def test_rmsz_scores_identical(self, u_fields):
+        verdict = evaluate_variable(
+            u_fields, NetCDF4Zlib(), [3], variable="U"
+        )
+        d = verdict.rmsz.detail["members"][3]
+        assert d["original"] == pytest.approx(d["reconstructed"])
+
+
+class TestLossyOutcomes:
+    def test_good_codec_passes_u(self, u_fields):
+        verdict = evaluate_variable(
+            u_fields, get_variant("fpzip-24"), [0, 1, 2], variable="U"
+        )
+        assert verdict.all_passed
+
+    def test_destructive_codec_fails(self, u_fields):
+        verdict = evaluate_variable(
+            u_fields, get_variant("fpzip-8"), [0, 1, 2], variable="U"
+        )
+        assert not verdict.all_passed
+        assert not verdict.rho.passed  # 8-bit floats are very lossy
+
+    def test_verdict_row(self, u_fields):
+        verdict = evaluate_variable(
+            u_fields, get_variant("APAX-2"), [0], variable="U"
+        )
+        row = verdict.as_row()
+        assert row["variable"] == "U" and row["codec"] == "APAX-2"
+        assert set(row) >= {"rho", "rmsz", "enmax", "bias", "all", "cr"}
+
+
+class TestOptions:
+    def test_run_bias_false_skips(self, u_fields):
+        verdict = evaluate_variable(
+            u_fields, NetCDF4Zlib(), [0], run_bias=False
+        )
+        assert verdict.bias is None
+        assert verdict.all_passed  # bias ignored when skipped
+
+    def test_context_reuse_equivalent(self, u_fields):
+        ctx = VariableContext.from_ensemble(u_fields)
+        a = evaluate_variable(u_fields, get_variant("fpzip-24"), [0, 1],
+                              run_bias=False, context=ctx)
+        b = evaluate_variable(u_fields, get_variant("fpzip-24"), [0, 1],
+                              run_bias=False)
+        assert a.as_row() == b.as_row()
+
+    def test_no_members_rejected(self, u_fields):
+        with pytest.raises(ValueError):
+            evaluate_variable(u_fields, NetCDF4Zlib(), [])
+
+    def test_custom_thresholds(self, u_fields):
+        # Infinitely forgiving thresholds turn failures into passes
+        # (except the hard "within distribution" requirements).
+        strict = evaluate_variable(
+            u_fields, get_variant("APAX-5"), [0], run_bias=False,
+            rho_threshold=0.5, rmsz_limit=np.inf, enmax_limit=np.inf,
+        )
+        assert strict.rho.passed

@@ -1,0 +1,67 @@
+"""Global-mean and energy-budget impact checks."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.config import FILL_VALUE
+from repro.pvt.budget import energy_budget_residual, global_mean_shift
+
+
+class TestGlobalMeanShift:
+    def test_zero_for_exact(self, ensemble):
+        grid = ensemble.model.grid
+        f = ensemble.member_field("FSDSC", 0)
+        assert global_mean_shift(grid, f, f.copy()) == 0.0
+
+    def test_detects_uniform_bias(self, ensemble):
+        grid = ensemble.model.grid
+        f = ensemble.member_field("FSDSC", 0).astype(np.float64)
+        shifted = f + 0.5 * f.std()
+        assert global_mean_shift(grid, f, shifted) == pytest.approx(
+            0.5, rel=0.01
+        )
+
+    def test_small_for_good_codec(self, ensemble):
+        grid = ensemble.model.grid
+        f = ensemble.member_field("FSDSC", 0)
+        codec = get_variant("fpzip-24")
+        recon = codec.decompress(codec.compress(f))
+        assert global_mean_shift(grid, f, recon) < 1e-4
+
+    def test_fill_values_excluded(self, ensemble):
+        grid = ensemble.model.grid
+        f = np.ones(grid.ncol)
+        f[:5] = FILL_VALUE
+        assert global_mean_shift(grid, f, f.copy()) == 0.0
+
+
+class TestEnergyBudget:
+    def test_exact_reconstruction_zero_shift(self, ensemble):
+        grid = ensemble.model.grid
+        fsnt = ensemble.member_field("FSNT", 0)
+        flnt = ensemble.member_field("FLNT", 0)
+        out = energy_budget_residual(grid, fsnt, flnt, fsnt.copy(),
+                                     flnt.copy())
+        assert out["budget_shift"] == 0.0
+        assert out["original_residual"] == out["reconstructed_residual"]
+
+    def test_compressed_budget_shift_small(self, ensemble):
+        grid = ensemble.model.grid
+        fsnt = ensemble.member_field("FSNT", 0)
+        flnt = ensemble.member_field("FLNT", 0)
+        codec = get_variant("APAX-2")
+        out = energy_budget_residual(
+            grid, fsnt, flnt,
+            codec.decompress(codec.compress(fsnt)),
+            codec.decompress(codec.compress(flnt)),
+        )
+        # W/m2-scale budget must move by far less than 1 W/m2.
+        assert out["budget_shift"] < 0.05
+
+    def test_biased_codec_visible(self, ensemble):
+        grid = ensemble.model.grid
+        fsnt = ensemble.member_field("FSNT", 0).astype(np.float64)
+        flnt = ensemble.member_field("FLNT", 0).astype(np.float64)
+        out = energy_budget_residual(grid, fsnt, flnt, fsnt + 1.0, flnt)
+        assert out["budget_shift"] == pytest.approx(1.0, rel=1e-6)

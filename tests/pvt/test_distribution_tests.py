@@ -1,0 +1,81 @@
+"""KS-based distribution indistinguishability tests."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.pvt.distribution_tests import (
+    ks_statistic,
+    ks_test,
+    rmsz_distribution_test,
+)
+
+
+class TestKsStatistic:
+    def test_identical_samples(self, rng):
+        a = rng.normal(0, 1, 200)
+        assert ks_statistic(a, a.copy()) == 0.0
+
+    def test_disjoint_samples(self):
+        assert ks_statistic(np.zeros(50), np.ones(50)) == 1.0
+
+    def test_matches_known_value(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([3.0, 4.0, 5.0, 6.0])
+        assert ks_statistic(a, b) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.ones(3))
+
+
+class TestKsTest:
+    def test_same_distribution_high_p(self, rng):
+        a = rng.normal(0, 1, 300)
+        b = rng.normal(0, 1, 300)
+        result = ks_test(a, b)
+        assert result.p_value > 0.01
+        assert result.indistinguishable()
+
+    def test_shifted_distribution_low_p(self, rng):
+        a = rng.normal(0, 1, 300)
+        b = rng.normal(1.0, 1, 300)
+        result = ks_test(a, b)
+        assert result.p_value < 1e-6
+        assert not result.indistinguishable()
+
+    def test_p_value_calibration(self):
+        # Under the null, p-values should be roughly uniform: ~5% of
+        # trials below 0.05.
+        hits = 0
+        trials = 200
+        for seed in range(trials):
+            local = np.random.default_rng(seed)
+            a = local.normal(0, 1, 80)
+            b = local.normal(0, 1, 80)
+            hits += ks_test(a, b).p_value < 0.05
+        assert hits / trials < 0.12
+
+    def test_sample_sizes_recorded(self, rng):
+        result = ks_test(rng.normal(0, 1, 10), rng.normal(0, 1, 20))
+        assert result.n_a == 10 and result.n_b == 20
+
+
+class TestRmszDistributionTest:
+    def test_lossless_indistinguishable(self, ensemble):
+        fields = ensemble.ensemble_field("U")
+        result = rmsz_distribution_test(fields, get_variant("NetCDF-4"))
+        # Scores equal the originals up to floating-point path differences,
+        # so the empirical CDFs can disagree by at most one step.
+        assert result.statistic <= 1.0 / ensemble.n_members + 1e-12
+        assert result.p_value > 0.99
+
+    def test_good_codec_indistinguishable(self, ensemble):
+        fields = ensemble.ensemble_field("U")
+        result = rmsz_distribution_test(fields, get_variant("fpzip-24"))
+        assert result.indistinguishable()
+
+    def test_destructive_codec_detected(self, ensemble):
+        fields = ensemble.ensemble_field("Z3")
+        result = rmsz_distribution_test(fields, get_variant("fpzip-8"))
+        assert not result.indistinguishable()

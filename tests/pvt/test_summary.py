@@ -1,0 +1,95 @@
+"""Persisted ensemble summaries (the PyCECT-style workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.pvt.summary import EnsembleSummary
+
+
+@pytest.fixture(scope="module")
+def summary(ensemble):
+    return EnsembleSummary.from_ensemble(ensemble,
+                                         variables=["U", "FSDSC", "Z3"])
+
+
+class TestConstruction:
+    def test_variables_present(self, summary, ensemble):
+        assert set(summary.variables) == {"U", "FSDSC", "Z3"}
+        assert summary.n_members == ensemble.n_members
+
+    def test_distributions_shape(self, summary, ensemble):
+        s = summary.variables["U"]
+        assert s.rmsz_dist.shape == (ensemble.n_members,)
+        assert s.enmax_dist.shape == (ensemble.n_members,)
+        assert s.mean.shape == s.std.shape
+        assert (s.std > 0).all()
+
+    def test_members_score_inside_own_distribution(self, summary,
+                                                   ensemble):
+        # Scoring a member against the full-ensemble stats lands near the
+        # leave-one-out distribution (slightly low, since the member is
+        # included in the stats).
+        s = summary.variables["U"]
+        score = s.rmsz_of(ensemble.member_field("U", 0))
+        assert 0.2 < score < s.rmsz_dist.max() + 0.5
+
+
+class TestRoundtrip:
+    def test_write_read(self, summary, tmp_path):
+        path = summary.write(tmp_path / "summary.nch")
+        loaded = EnsembleSummary.read(path)
+        assert set(loaded.variables) == set(summary.variables)
+        for name in summary.variables:
+            a, b = summary.variables[name], loaded.variables[name]
+            np.testing.assert_allclose(a.mean, b.mean)
+            np.testing.assert_allclose(a.std, b.std)
+            np.testing.assert_allclose(a.rmsz_dist, b.rmsz_dist)
+            np.testing.assert_allclose(a.enmax_dist, b.enmax_dist)
+            assert a.gmean_range == pytest.approx(b.gmean_range)
+            assert np.array_equal(a.valid, b.valid)
+            assert a.shape == b.shape
+
+    def test_not_a_summary_rejected(self, tmp_path, ensemble, config):
+        from repro.ncio import write_history
+
+        path = write_history(tmp_path / "h.nch",
+                             ensemble.history_snapshot(0),
+                             nlev=config.nlev)
+        with pytest.raises(ValueError, match="summary"):
+            EnsembleSummary.read(path)
+
+
+class TestVerification:
+    def test_own_members_pass(self, summary, ensemble):
+        runs = ensemble.ensemble_field("U")[:3]
+        results = summary.verify_runs({"U": runs})
+        assert all(r["passed"] for r in results["U"])
+
+    def test_good_reconstruction_passes(self, summary, ensemble):
+        codec = get_variant("fpzip-24")
+        field = ensemble.member_field("U", 2)
+        recon = codec.decompress(codec.compress(field))
+        results = summary.verify_runs({"U": recon[None]})
+        assert results["U"][0]["passed"]
+
+    def test_destroyed_run_fails(self, summary, ensemble, rng):
+        field = ensemble.member_field("U", 2).astype(np.float64)
+        spread = ensemble.ensemble_field("U").std(axis=0)
+        bad = field + 5.0 * spread * rng.standard_normal(field.shape)
+        results = summary.verify_runs({"U": bad[None]},
+                                      mean_tolerance_factor=10.0)
+        assert not results["U"][0]["rmsz_ok"]
+
+    def test_mean_shift_fails(self, summary, ensemble):
+        field = ensemble.member_field("FSDSC", 1).astype(np.float64)
+        results = summary.verify_runs({"FSDSC": (field + 30.0)[None]})
+        assert not results["FSDSC"][0]["mean_ok"]
+
+    def test_unknown_variable(self, summary, rng):
+        with pytest.raises(KeyError, match="no variable"):
+            summary.verify_runs({"NOPE": rng.normal(0, 1, (1, 10))})
+
+    def test_wrong_size_field(self, summary):
+        with pytest.raises(ValueError, match="points"):
+            summary.variables["U"].rmsz_of(np.zeros(7))

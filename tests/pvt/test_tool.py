@@ -1,0 +1,89 @@
+"""CesmPvt orchestrator and port verification."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.model.ensemble import CAMEnsemble
+from repro.pvt.tool import CesmPvt
+
+
+class TestEvaluateCodec:
+    def test_report_structure(self, pvt):
+        report = pvt.evaluate_codec(
+            get_variant("fpzip-24"), variables=["U", "FSDSC"],
+            run_bias=False,
+        )
+        assert report.codec == "fpzip-24"
+        assert set(report.verdicts) == {"U", "FSDSC"}
+        counts = report.pass_counts()
+        assert set(counts) == {"rho", "rmsz", "enmax", "bias", "all"}
+        assert report.n_variables == 2
+
+    def test_all_variables_default(self, pvt, config):
+        report = pvt.evaluate_codec(
+            get_variant("NetCDF-4"), run_bias=False
+        )
+        assert report.n_variables == config.n_variables
+        assert report.pass_counts()["all"] == config.n_variables
+
+    def test_spec_objects_accepted(self, pvt, ensemble):
+        spec = ensemble.spec("U")
+        report = pvt.evaluate_codec(
+            get_variant("NetCDF-4"), variables=[spec], run_bias=False
+        )
+        assert "U" in report.verdicts
+
+    def test_members_are_fixed_random_triple(self, pvt, config):
+        assert len(pvt.test_members) == 3
+        assert all(0 <= m < config.n_members for m in pvt.test_members)
+
+
+class TestPortVerification:
+    def test_members_of_same_climate_pass(self, pvt, ensemble):
+        # Runs drawn from the same model must not be flagged.
+        new = {"U": ensemble.ensemble_field("U")[:2]}
+        verdicts = pvt.verify_port(new)
+        assert verdicts["U"].passed
+
+    def test_shifted_climate_fails_global_mean(self, pvt, ensemble):
+        fields = ensemble.ensemble_field("U")[:2].astype(np.float64)
+        shifted = fields + 5.0  # half a standard deviation shift
+        verdicts = pvt.verify_port({"U": shifted})
+        assert not verdicts["U"].global_mean_ok
+        assert not verdicts["U"].passed
+
+    def test_noisy_run_fails_rmsz(self, pvt, ensemble, rng):
+        fields = ensemble.ensemble_field("U")[:1].astype(np.float64)
+        # Per-point noise at 5x the ensemble spread blows up the Z-scores
+        # without moving the global mean.
+        spread = ensemble.ensemble_field("U").std(axis=0)
+        noisy = fields + 5.0 * spread[None] * rng.standard_normal(
+            fields.shape
+        )
+        verdicts = pvt.verify_port({"U": noisy},
+                                   mean_tolerance_factor=10.0)
+        assert not verdicts["U"].rmsz_ok
+
+    def test_detail_payload(self, pvt, ensemble):
+        verdicts = pvt.verify_port({"U": ensemble.ensemble_field("U")[:1]})
+        d = verdicts["U"].detail
+        assert "ensemble_mean_range" in d and "new_rmsz" in d
+
+
+class TestParallelEvaluation:
+    def test_parallel_matches_serial(self, config):
+        # Fresh ensembles on both sides (workers rebuild from config).
+        ensemble = CAMEnsemble(config)
+        pvt = CesmPvt(ensemble)
+        serial = pvt.evaluate_codec(
+            get_variant("fpzip-24"), variables=["U", "FSDSC"],
+            run_bias=False, workers=0,
+        )
+        parallel = pvt.evaluate_codec(
+            get_variant("fpzip-24"), variables=["U", "FSDSC"],
+            run_bias=False, workers=2,
+        )
+        for name in ("U", "FSDSC"):
+            assert serial.verdicts[name].as_row() == \
+                parallel.verdicts[name].as_row()

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--ne", "3", "--nlev", "5", "--members", "21"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestCommands:
+    def test_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "fpzip-24" in out and "APAX-5" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "U", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "U" in out and "lossless CR" in out
+
+    def test_verify_pass(self, capsys):
+        code = main(["verify", "NetCDF-4", "U", "--no-bias", *SCALE])
+        assert code == 0
+        assert "NetCDF-4" in capsys.readouterr().out
+
+    def test_verify_fail_exit_code(self, capsys):
+        code = main(["verify", "fpzip-8", "U", "--no-bias", *SCALE])
+        assert code == 1
+
+    def test_table1(self, capsys):
+        assert main(["table", "1", *SCALE]) == 0
+        assert "GRIB2 + jpeg2000" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "FSDSC" in out
+
+    def test_hybrid(self, capsys):
+        assert main(["hybrid", "fpzip", "--no-bias", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "avg CR" in out and "fpzip-" in out

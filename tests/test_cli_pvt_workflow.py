@@ -1,0 +1,57 @@
+"""CLI two-step PVT workflow: summary then check."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import test_scale as _test_scale
+from repro.model import CAMEnsemble
+from repro.ncio import write_history
+
+SCALE = ["--ne", "3", "--nlev", "5", "--members", "21"]
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("pvtwf")
+    summary_path = tmp / "summary.nch"
+    code = main(["summary", str(summary_path), "U", "FSDSC", *SCALE])
+    assert code == 0
+
+    config = _test_scale()
+    ensemble = CAMEnsemble(config)
+    good = write_history(tmp / "good.nch", ensemble.history_snapshot(4),
+                         nlev=config.nlev)
+    snap = ensemble.history_snapshot(5)
+    snap["U"] = (snap["U"].astype(np.float64) + 8.0).astype(np.float32)
+    bad = write_history(tmp / "bad.nch", snap, nlev=config.nlev)
+    return summary_path, good, bad
+
+
+def test_summary_written(workflow, capsys):
+    summary_path, _, _ = workflow
+    assert summary_path.exists()
+
+
+def test_check_passes_good_run(workflow, capsys):
+    summary_path, good, _ = workflow
+    code = main(["check", str(summary_path), str(good)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out and "U" in out
+
+
+def test_check_fails_shifted_run(workflow, capsys):
+    summary_path, _, bad = workflow
+    code = main(["check", str(summary_path), str(bad),
+                 "--variables", "U"])
+    assert code == 1
+
+
+def test_check_subset_of_variables(workflow, capsys):
+    summary_path, good, _ = workflow
+    code = main(["check", str(summary_path), str(good),
+                 "--variables", "FSDSC"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "FSDSC" in out and "U |" not in out

@@ -1,0 +1,39 @@
+"""CLI table commands (the fast ones at test scale)."""
+
+import pytest
+
+from repro.cli import main
+
+SCALE = ["--ne", "3", "--nlev", "5", "--members", "21"]
+
+
+def test_table3_renders(capsys):
+    assert main(["table", "3", *SCALE]) == 0
+    out = capsys.readouterr().out
+    assert "GRIB2" in out and "ISA-1.0" in out
+    assert out.count("(") > 30  # NRMSE (CR) cells
+
+
+def test_table4_renders(capsys):
+    assert main(["table", "4", *SCALE]) == 0
+    out = capsys.readouterr().out
+    assert "fpzip-24" in out
+
+
+def test_verify_multiple_variables(capsys):
+    code = main(["verify", "fpzip-24", "U", "FSDSC", "--no-bias", *SCALE])
+    out = capsys.readouterr().out
+    assert "U" in out and "FSDSC" in out
+    assert code in (0, 1)
+
+
+def test_characterize_default_featured(capsys):
+    assert main(["characterize", *SCALE]) == 0
+    out = capsys.readouterr().out
+    for name in ("U", "FSDSC", "Z3", "CCN3"):
+        assert name in out
+
+
+def test_unknown_variant_raises():
+    with pytest.raises(KeyError):
+        main(["verify", "zfp-8", "U", "--no-bias", *SCALE])

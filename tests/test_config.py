@@ -1,0 +1,76 @@
+"""Configuration scaffolding."""
+
+import pytest
+
+from repro.config import (
+    ENMAX_RATIO_LIMIT,
+    FILL_VALUE,
+    RHO_THRESHOLD,
+    RMSZ_DIFF_LIMIT,
+    BIAS_SLOPE_LIMIT,
+    ReproConfig,
+    bench_scale,
+    get_config,
+    paper_scale,
+    set_config,
+)
+from repro.config import test_scale as _test_scale
+
+
+class TestPaperConstants:
+    def test_acceptance_thresholds(self):
+        # Section 4: rho >= .99999; eq. 8: 1/10; eq. 11: 1/10; eq. 9: .05.
+        assert RHO_THRESHOLD == 0.99999
+        assert RMSZ_DIFF_LIMIT == 0.1
+        assert ENMAX_RATIO_LIMIT == 0.1
+        assert BIAS_SLOPE_LIMIT == 0.05
+        assert FILL_VALUE == 1.0e35
+
+    def test_paper_scale(self):
+        cfg = paper_scale()
+        assert cfg.ne == 30 and cfg.nlev == 30
+        assert cfg.n_members == 101
+        assert cfg.n_variables == 170
+        assert cfg.ncol == 48602
+
+
+class TestConfig:
+    def test_with_scale(self):
+        cfg = paper_scale().with_scale(ne=4, n_members=11)
+        assert cfg.ne == 4 and cfg.n_members == 11
+        assert cfg.nlev == 30  # untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReproConfig(ne=0)
+        with pytest.raises(ValueError):
+            ReproConfig(n_members=2)
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NE", "5")
+        monkeypatch.setenv("REPRO_MEMBERS", "31")
+        cfg = bench_scale()
+        assert cfg.ne == 5 and cfg.n_members == 31
+
+    def test_bad_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NE", "huge")
+        with pytest.raises(ValueError, match="integer"):
+            bench_scale()
+        monkeypatch.setenv("REPRO_NE", "-2")
+        with pytest.raises(ValueError, match="positive"):
+            bench_scale()
+
+    def test_get_set_config(self):
+        original = get_config()
+        try:
+            replacement = _test_scale()
+            set_config(replacement)
+            assert get_config() is replacement
+            with pytest.raises(TypeError):
+                set_config("nope")
+        finally:
+            set_config(original)
+
+    def test_test_scale_is_small(self):
+        cfg = _test_scale()
+        assert cfg.ncol < 1000 and cfg.n_members <= 30
