@@ -1,0 +1,41 @@
+"""Numeric-safety checking for the compression/PVT pipeline.
+
+Two cooperating halves:
+
+- :mod:`repro.check.engine` / :mod:`repro.check.rules` — an AST-based
+  static analyzer (``python -m repro.check lint src/``) with repo-specific
+  rules (REP001..REP008) that machine-check the invariants the paper's
+  methodology depends on: dtype preservation through codecs, seeded
+  randomness, tolerance-based float comparisons in the verification
+  metrics, picklable parallel entry points, and canonical fill values.
+- :mod:`repro.check.sanitize` — a ``REPRO_SANITIZE=1`` runtime sanitizer
+  that guards ``Compressor.compress``/``decompress``, the PVT
+  z-score/E_nmax paths, and ``parallel_map`` with cheap invariant checks,
+  raising structured :class:`SanitizerError`\\ s when a codec or metric
+  path silently violates its contract.
+
+The static half never imports production modules (it parses them); the
+runtime half hooks into them through :mod:`repro.check.hooks`, which is
+dependency-free so that low-level packages can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.check.engine import Finding, lint_file, lint_paths, render_json, render_text
+from repro.check.hooks import SanitizerError
+from repro.check.rules import RULES, Rule
+from repro.check.sanitize import sanitize_active, sanitize_guard, sanitized
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "SanitizerError",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "sanitize_active",
+    "sanitize_guard",
+    "sanitized",
+]

@@ -1,0 +1,91 @@
+"""``python -m repro.check`` — the static analyzer's CLI.
+
+Commands:
+
+- ``lint <paths...>`` — lint files/trees; exit 0 iff no findings.
+  ``--format=json`` for machine-readable output, ``--select`` to restrict
+  to specific rule IDs.
+- ``rules`` — print the rule table (ID, severity, title, rationale, fix).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from pathlib import Path
+
+from repro.check.engine import lint_paths, render_json, render_text
+from repro.check.rules import RULES, rules_by_id
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro.check``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.check",
+        description="Numeric-safety static analyzer for the "
+                    "compression/PVT pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lint", help="lint Python files or trees")
+    p.add_argument("paths", nargs="+", help="files or directories to lint")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule IDs to run (default: all)")
+
+    p = sub.add_parser("rules", help="list the REP rule set")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    return parser
+
+
+def _rules_text() -> str:
+    out = []
+    for rule in RULES:
+        out.append(f"{rule.id} [{rule.severity}] {rule.title}")
+        out.append(f"    why: {rule.rationale}")
+        out.append(f"    fix: {rule.fix_hint}")
+    return "\n".join(out)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "rules":
+        if args.format == "json":
+            print(json.dumps([
+                {"id": r.id, "severity": r.severity, "title": r.title,
+                 "rationale": r.rationale, "fix_hint": r.fix_hint}
+                for r in RULES
+            ], indent=2))
+        else:
+            print(_rules_text())
+        return 0
+
+    select = None
+    if args.select:
+        select = [s.strip().upper() for s in args.select.split(",")
+                  if s.strip()]
+        unknown = sorted(set(select) - rules_by_id().keys())
+        if unknown:
+            # A typo'd --select silently passing everything would defeat
+            # the gate; reject it like argparse rejects a bad choice.
+            print(f"repro.check: unknown rule id(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(rules_by_id())})", file=sys.stderr)
+            return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro.check: no such file or directory: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths, select=select)
+    print(render_json(findings) if args.format == "json"
+          else render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

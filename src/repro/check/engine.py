@@ -1,0 +1,162 @@
+"""Lint engine: file walking, noqa suppression, rendering.
+
+Suppression comments use the repo-specific marker so they cannot collide
+with flake8/ruff semantics:
+
+- ``# repro: noqa[REP003]`` on the offending line suppresses those rules
+  for that line (several IDs separated by commas);
+- ``# repro: noqa`` suppresses every rule for that line;
+- either form on a comment-only line within the first ten lines of a file
+  suppresses file-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.check.rules import RULES, Rule, effective_parts
+
+__all__ = ["Finding", "lint_file", "lint_paths", "render_text", "render_json"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+_FILE_LEVEL_WINDOW = 10
+
+#: Sentinel meaning "every rule suppressed".
+_ALL = frozenset({"*"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, ready for text or JSON rendering."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str
+
+    def format(self) -> str:
+        """``path:line:col: REPxxx [severity] message (hint: ...)``."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+                f"[{self.severity}] {self.message} (hint: {self.fix_hint})")
+
+
+def _noqa_suppressions(
+    source_lines: Sequence[str],
+) -> tuple[frozenset[str], dict[int, frozenset[str]]]:
+    """File-level and per-line suppressed rule-ID sets."""
+    file_level: set[str] = set()
+    per_line: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        suppressed = (
+            _ALL if ids is None
+            else frozenset(p.strip().upper() for p in ids.split(",")
+                           if p.strip())
+        )
+        per_line[lineno] = suppressed
+        if lineno <= _FILE_LEVEL_WINDOW and text.lstrip().startswith("#"):
+            file_level |= suppressed
+    return frozenset(file_level), per_line
+
+
+def _suppressed(rule_id: str, suppressions: frozenset[str]) -> bool:
+    return "*" in suppressions or rule_id in suppressions
+
+
+def lint_file(path: str | Path,
+              select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one Python file; returns findings sorted by position.
+
+    ``select`` restricts checking to the given rule IDs.  A file that does
+    not parse produces a single ``REP000`` syntax finding rather than an
+    exception, so a broken file cannot hide behind the linter.
+    """
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(
+            rule_id="REP000", severity="error", path=str(path),
+            line=exc.lineno or 1, col=exc.offset or 0,
+            message=f"file does not parse: {exc.msg}",
+            fix_hint="fix the syntax error",
+        )]
+
+    wanted = None if select is None else {s.upper() for s in select}
+    parts = effective_parts(str(path))
+    file_noqa, line_noqa = _noqa_suppressions(lines)
+
+    findings: list[Finding] = []
+    for rule in RULES:
+        if wanted is not None and rule.id not in wanted:
+            continue
+        if not rule.applies(parts):
+            continue
+        if _suppressed(rule.id, file_noqa):
+            continue
+        for line, col, message in rule.check(tree, lines, str(path)):
+            if _suppressed(rule.id, line_noqa.get(line, frozenset())):
+                continue
+            findings.append(Finding(
+                rule_id=rule.id, severity=rule.severity, path=str(path),
+                line=line, col=col, message=message,
+                fix_hint=rule.fix_hint,
+            ))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_paths(paths: Iterable[str | Path],
+               select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint files and directory trees (``**/*.py``), deduplicated."""
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                files.append(f)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, select=select))
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    if not findings:
+        return "repro.check: no findings"
+    out = [f.format() for f in findings]
+    n_err = sum(f.severity == "error" for f in findings)
+    n_warn = len(findings) - n_err
+    out.append(f"repro.check: {len(findings)} finding(s) "
+               f"({n_err} error(s), {n_warn} warning(s))")
+    return "\n".join(out)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: a JSON object with a findings array."""
+    return json.dumps(
+        {
+            "findings": [asdict(f) for f in findings],
+            "count": len(findings),
+        },
+        indent=2,
+    )

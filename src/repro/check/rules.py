@@ -1,0 +1,511 @@
+"""The REP rule set: repo-specific numeric-safety lint rules.
+
+Each rule carries an ID, severity, rationale, and fix hint, and declares
+which part of the tree it applies to via path scoping (so ``compressors``
+rules do not fire on ``harness`` code and nothing fires on ``tests``).
+Fixture files used by the rule tests live under a ``fixtures/`` directory;
+path scoping treats everything *after* the last ``fixtures`` component as
+the virtual location, so ``tests/check/fixtures/compressors/x.py`` is
+linted as if it lived in a ``compressors`` package.
+
+Adding a rule: write a ``check(tree, lines, path) -> [(line, col, msg)]``
+function, construct a :class:`Rule` with a fresh ``REPxxx`` ID, and append
+it to :data:`RULES`.  The engine, the noqa machinery, the CLI, and the
+"lint src/ is clean" test gate pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePath
+from typing import Callable, Sequence
+
+__all__ = ["Rule", "RULES", "rules_by_id", "effective_parts"]
+
+RawFinding = tuple[int, int, str]
+Checker = Callable[[ast.AST, Sequence[str], str], list[RawFinding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, scope, and checker."""
+
+    id: str
+    title: str
+    severity: str  # "error" | "warning"
+    rationale: str
+    fix_hint: str
+    applies: Callable[[tuple[str, ...]], bool]
+    check: Checker
+
+
+def effective_parts(path: str) -> tuple[str, ...]:
+    """Path components used for rule scoping.
+
+    Components after the last ``fixtures`` directory win, so test fixture
+    trees mirror the real package layout.
+    """
+    parts = PurePath(path).parts
+    if "fixtures" in parts:
+        cut = len(parts) - 1 - parts[::-1].index("fixtures")
+        parts = parts[cut + 1:]
+    return parts
+
+
+def _in(*names: str) -> Callable[[tuple[str, ...]], bool]:
+    return lambda parts: any(n in parts for n in names)
+
+
+def _not_tests(parts: tuple[str, ...]) -> bool:
+    return "tests" not in parts
+
+
+# -- AST helpers -------------------------------------------------------------
+
+def _attr_chain(node: ast.AST) -> str:
+    """Dotted-name string for Name/Attribute chains (else '')."""
+    out: list[str] = []
+    while isinstance(node, ast.Attribute):
+        out.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        out.append(node.id)
+        return ".".join(reversed(out))
+    return ""
+
+
+def _nested_function_names(tree: ast.AST) -> set[str]:
+    """Names of functions defined inside another function (unpicklable)."""
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, in_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_fn = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_fn and in_function:
+                nested.add(child.name)
+            visit(child, in_function or is_fn)
+
+    visit(tree, False)
+    return nested
+
+
+# -- REP001 ------------------------------------------------------------------
+
+_FLOAT_DTYPE_ATTRS = {"float16", "float32", "float64", "double", "single",
+                      "half", "longdouble"}
+_FLOAT_DTYPE_STRINGS = {"f2", "f4", "f8", "<f2", "<f4", "<f8", ">f4", ">f8",
+                        "float16", "float32", "float64"}
+
+
+def _is_float_dtype_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        if node.attr in _FLOAT_DTYPE_ATTRS:
+            return True
+        return node.attr == "dtype"  # e.g. values.dtype
+    if isinstance(node, ast.Name):
+        return node.id == "float" or "dtype" in node.id.lower()
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _FLOAT_DTYPE_STRINGS
+    return False
+
+
+def _check_rep001(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"):
+            continue
+        target: ast.AST | None = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                target = kw.value
+        if target is None or not _is_float_dtype_expr(target):
+            continue
+        if any(kw.arg == "copy" for kw in node.keywords):
+            continue
+        found.append((
+            node.lineno, node.col_offset,
+            "float-dtype .astype(...) without an explicit copy= argument",
+        ))
+    return found
+
+
+# -- REP002 ------------------------------------------------------------------
+
+_RNG_FACTORIES = {"default_rng", "Generator", "SeedSequence", "MT19937",
+                  "PCG64", "PCG64DXSM", "Philox", "SFC64", "RandomState"}
+
+
+def _check_rep002(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        parts = chain.split(".")
+        tail = parts[-1]
+        is_np_random = len(parts) >= 2 and parts[-2] == "random" and \
+            parts[0] in ("np", "numpy")
+        if is_np_random and tail not in _RNG_FACTORIES:
+            found.append((
+                node.lineno, node.col_offset,
+                f"legacy global-state RNG call np.random.{tail}(...)",
+            ))
+            continue
+        if tail in _RNG_FACTORIES and (is_np_random or len(parts) == 1):
+            seeded = bool(node.args) or any(
+                kw.arg in ("seed", "bit_generator") for kw in node.keywords
+            )
+            if not seeded:
+                found.append((
+                    node.lineno, node.col_offset,
+                    f"unseeded RNG construction {tail}()",
+                ))
+    return found
+
+
+# -- REP003 ------------------------------------------------------------------
+
+def _is_nonzero_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0)
+
+
+def _check_rep003(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if _is_nonzero_float_literal(left) or \
+                    _is_nonzero_float_literal(right):
+                found.append((
+                    node.lineno, node.col_offset,
+                    "exact ==/!= against a float literal in a "
+                    "verification-metric module",
+                ))
+    return found
+
+
+# -- REP004 ------------------------------------------------------------------
+
+def _body_is_noop(body: Sequence[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+def _check_rep004(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            found.append((node.lineno, node.col_offset,
+                          "bare except: hides every failure, including "
+                          "KeyboardInterrupt, in a worker/harness path"))
+            continue
+        names = [node.type] if not isinstance(node.type, ast.Tuple) \
+            else list(node.type.elts)
+        broad = any(_attr_chain(n).split(".")[-1]
+                    in ("Exception", "BaseException") for n in names)
+        if broad and _body_is_noop(node.body):
+            found.append((node.lineno, node.col_offset,
+                          "broad exception silently swallowed "
+                          "(except Exception: pass)"))
+    return found
+
+
+# -- REP005 ------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
+                  "deque", "Counter"}
+
+
+def _mutable_literal_kind(node: ast.AST) -> str | None:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        tail = _attr_chain(node.func).split(".")[-1]
+        if tail in _MUTABLE_CALLS:
+            return tail
+    return None
+
+
+def _check_rep005(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    if not isinstance(tree, ast.Module):
+        return found
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        kind = _mutable_literal_kind(value)
+        if kind is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.upper() == name:  # ALL_CAPS constant convention
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue  # __all__ and friends are interpreter protocol
+            found.append((
+                stmt.lineno, stmt.col_offset,
+                f"module-level mutable {kind} {name!r} in a compressor "
+                "module",
+            ))
+    return found
+
+
+# -- REP006 ------------------------------------------------------------------
+
+def _check_rep006(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    nested = _nested_function_names(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        chain = _attr_chain(node.func)
+        tail = chain.split(".")[-1]
+        if tail == "parallel_map" or tail == "submit":
+            pool_like = True
+        elif tail == "map" and "." in chain:
+            base = chain.rsplit(".", 1)[0].lower()
+            pool_like = "pool" in base or "executor" in base
+        else:
+            pool_like = False
+        if not pool_like:
+            continue
+        fn_arg = node.args[0]
+        if isinstance(fn_arg, ast.Lambda):
+            found.append((node.lineno, node.col_offset,
+                          f"lambda passed to {tail}(); process pools need "
+                          "a picklable module-level callable"))
+        elif isinstance(fn_arg, ast.Name) and fn_arg.id in nested:
+            found.append((node.lineno, node.col_offset,
+                          f"locally-defined function {fn_arg.id!r} passed "
+                          f"to {tail}(); process pools need a picklable "
+                          "module-level callable"))
+    return found
+
+
+# -- REP007 ------------------------------------------------------------------
+
+#: CESM's fill value, the generic special-value threshold, and netCDF's
+#: default float fill — all of which must come from repro.config.  This
+#: tuple is the rule's own definition of the magic values, hence the
+#: suppression: it is the one legitimate spelling outside config.py.
+_MAGIC_FILLS = (1.0e35, 1.0e34, 9.96921e36)  # repro: noqa[REP007]
+
+
+def _check_rep007(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Constant)
+                and isinstance(node.value, float)):
+            continue
+        if any(node.value == magic or node.value == -magic
+               for magic in _MAGIC_FILLS):
+            found.append((
+                node.lineno, node.col_offset,
+                f"magic fill/special value literal {node.value!r}",
+            ))
+    return found
+
+
+# -- REP008 ------------------------------------------------------------------
+
+_ARRAYISH_NAMES = {"data", "values", "ensemble", "field", "fields", "arr",
+                   "array", "original", "reconstructed", "distribution"}
+_CONTRACT_WORDS = ("array", "dtype", "shape", "float", "ndarray", "scalar",
+                   "values", "field", "ensemble", "mask", "flat", "member",
+                   "distribution", "vector", "matrix", "blob")
+
+
+def _has_arrayish_arg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+    for arg in args:
+        if arg.arg in ("self", "cls"):
+            continue
+        if arg.arg in _ARRAYISH_NAMES:
+            return True
+        if arg.annotation is not None:
+            note = ast.unparse(arg.annotation)
+            if "ndarray" in note or "ArrayLike" in note:
+                return True
+    return False
+
+
+def _check_rep008(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+
+    def visit(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if depth <= 1 and not child.name.startswith("_"):
+                    doc = ast.get_docstring(child)
+                    if not doc:
+                        found.append((
+                            child.lineno, child.col_offset,
+                            f"public function {child.name!r} has no "
+                            "docstring",
+                        ))
+                    elif _has_arrayish_arg(child) and not any(
+                        word in doc.lower() for word in _CONTRACT_WORDS
+                    ):
+                        found.append((
+                            child.lineno, child.col_offset,
+                            f"public function {child.name!r} takes array "
+                            "data but its docstring states no dtype/shape "
+                            "contract",
+                        ))
+                visit(child, depth + 2)  # bodies of functions are nested
+            elif isinstance(child, ast.ClassDef):
+                visit(child, depth + 1)  # methods of top-level classes
+            else:
+                visit(child, depth)
+
+    visit(tree, 0)
+    return found
+
+
+# -- registry ----------------------------------------------------------------
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        id="REP001",
+        title="float astype without explicit copy semantics",
+        severity="error",
+        rationale="Silent float-dtype conversions inside codecs are how "
+                  "precision changes sneak past the verification verdict; "
+                  "an explicit copy= documents whether the call is an "
+                  "identity pass-through or a true conversion (dtype/shape "
+                  "framing belongs to base.Compressor).",
+        fix_hint="pass copy=False (identity when dtypes already match) or "
+                 "copy=True (deliberate conversion) explicitly",
+        applies=_in("compressors"),
+        check=_check_rep001,
+    ),
+    Rule(
+        id="REP002",
+        title="unseeded or global-state RNG",
+        severity="error",
+        rationale="Ensemble generation and member selection must be "
+                  "reproducible; unseeded RNG makes PVT verdicts "
+                  "unrepeatable across runs and machines.",
+        fix_hint="use np.random.default_rng(seed) with a seed derived from "
+                 "repro.config.ReproConfig.base_seed",
+        applies=_not_tests,
+        check=_check_rep002,
+    ),
+    Rule(
+        id="REP003",
+        title="exact float-literal equality in metric code",
+        severity="error",
+        rationale="The PVT/metric layer compares quantities that went "
+                  "through lossy codecs and float reductions; exact "
+                  "equality against a literal is a latent always-false "
+                  "(or platform-dependent) branch.  Comparisons against "
+                  "exactly 0.0 are exempt: the codebase clamps degenerate "
+                  "spreads to literal zero as a sentinel.",
+        fix_hint="use np.isclose(x, c, atol=...) or an explicit tolerance",
+        applies=_in("pvt", "metrics"),
+        check=_check_rep003,
+    ),
+    Rule(
+        id="REP004",
+        title="bare/swallowed exceptions in worker or harness paths",
+        severity="error",
+        rationale="A swallowed worker exception turns into a silently "
+                  "wrong table or a hung pool; errors must propagate to "
+                  "the caller as parallel_map promises.",
+        fix_hint="catch the narrowest exception type and re-raise or "
+                 "record it explicitly",
+        applies=_in("parallel", "harness"),
+        check=_check_rep004,
+    ),
+    Rule(
+        id="REP005",
+        title="module-level mutable state in compressor modules",
+        severity="warning",
+        rationale="Codec modules are imported into worker processes; "
+                  "mutable module globals fork-copy and then drift "
+                  "between workers, making compression results depend on "
+                  "call history.",
+        fix_hint="make it function-local, pass it explicitly, or rename "
+                 "to ALL_CAPS if it is a never-mutated constant table",
+        applies=_in("compressors"),
+        check=_check_rep005,
+    ),
+    Rule(
+        id="REP006",
+        title="unpicklable callable handed to a process pool",
+        severity="error",
+        rationale="Lambdas and nested functions cannot be pickled; today "
+                  "they die deep inside ProcessPoolExecutor with an "
+                  "opaque traceback, and only on the parallel path.",
+        fix_hint="move the task function to module level (see "
+                 "repro.parallel.executor's early TypeError)",
+        applies=_not_tests,
+        check=_check_rep006,
+    ),
+    Rule(
+        id="REP007",
+        title="magic fill/special-value literal",
+        severity="error",
+        rationale="CESM's 1e35 fill and the 1e34 special-value threshold "
+                  "must have exactly one definition; a drifted copy makes "
+                  "one code path mask different points than another.",
+        fix_hint="import FILL_VALUE / SPECIAL_THRESHOLD from repro.config",
+        applies=lambda parts: _not_tests(parts)
+        and (not parts or parts[-1] != "config.py"),
+        check=_check_rep007,
+    ),
+    Rule(
+        id="REP008",
+        title="missing dtype/shape docstring contract",
+        severity="warning",
+        rationale="Public codec/PVT entry points form the numeric contract "
+                  "surface; an undocumented array parameter is where "
+                  "float64 ensembles silently meet float32 expectations.",
+        fix_hint="add a docstring stating the expected dtype and shape "
+                 "((n_members, ...) etc.) of array parameters",
+        applies=_in("compressors", "pvt"),
+        check=_check_rep008,
+    ),
+)
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """Mapping from rule ID to rule."""
+    return {rule.id: rule for rule in RULES}

@@ -6,7 +6,8 @@ Exposes the paper's workflows as commands:
 - ``verify``       — run the four acceptance tests for a codec variant;
 - ``hybrid``       — build the per-variable hybrid plan for a family;
 - ``table``        — regenerate one of the paper's tables (1-8);
-- ``variants``     — list the registered codec variants.
+- ``variants``     — list the registered codec variants;
+- ``lint``         — run the repro.check numeric-safety static analyzer.
 
 Scale flags (``--ne``, ``--nlev``, ``--members``) mirror the ``REPRO_*``
 environment knobs.
@@ -95,6 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stretch factor on the global-mean range")
 
     sub.add_parser("variants", help="list registered codec variants")
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repro.check static analyzer (REP001..REP008)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule IDs to run (default: all)")
     return parser
 
 
@@ -105,6 +116,14 @@ def _featured_or(names, ctx) -> list[str]:
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        from repro.check.__main__ import main as check_main
+
+        lint_args = ["lint", *args.paths, "--format", args.format]
+        if args.select:
+            lint_args += ["--select", args.select]
+        return check_main(lint_args)
 
     if args.command == "variants":
         from repro.compressors import get_variant, variant_names

@@ -130,7 +130,7 @@ class Apax(Compressor):
         n = values.size
         n_blocks = (n + _BLOCK - 1) // _BLOCK
         padded = np.zeros(n_blocks * _BLOCK, dtype=np.float64)
-        padded[:n] = values.astype(np.float64)
+        padded[:n] = values.astype(np.float64, copy=False)
         blocks = padded.reshape(n_blocks, _BLOCK)
 
         # Predictive mode decision: DPCM-code the block when it is smooth
@@ -165,7 +165,7 @@ class Apax(Compressor):
         exp_dtype = np.int8 if (
             exps.min() >= -128 and exps.max() <= 127
         ) else np.int16
-        exp_blob = zlib.compress(exps.astype(exp_dtype).tobytes(), 4)
+        exp_blob = zlib.compress(exps.astype(exp_dtype, copy=False).tobytes(), 4)
         mode_blob = np.packbits(delta_mode.astype(np.uint8)).tobytes()
         n_delta = int(delta_mode.sum())
         # DPCM blocks carry their first sample (the classic DPCM seed) in
@@ -188,7 +188,7 @@ class Apax(Compressor):
         # e_body.  Delta blocks run DPCM with the quantizer in the loop
         # (the encoder tracks the decoder's state), so quantization error
         # does NOT accumulate across the block.
-        m1 = (widths - 1).astype(np.float64)
+        m1 = (widths - 1).astype(np.float64, copy=False)
         zero_w = widths == 0
         limit = np.maximum(np.exp2(m1) - 1, 0.0)
         head_step = np.exp2(e_head - m1)
@@ -291,7 +291,7 @@ class Apax(Compressor):
         offset = np.exp2(widths - 1).astype(np.int64)[:, None]
         q = stored.reshape(n_blocks, _BLOCK).astype(np.int64) - offset
 
-        m1 = (widths - 1).astype(np.float64)
+        m1 = (widths - 1).astype(np.float64, copy=False)
         coded = np.empty((n_blocks, _BLOCK), dtype=np.float64)
         coded[:, 0] = q[:, 0] * np.exp2(e_head - m1)
         if _BLOCK > 1:
@@ -343,7 +343,11 @@ class ApaxProfiler:
         self.rho_threshold = rho_threshold
 
     def profile(self, data: np.ndarray) -> list[dict[str, float]]:
-        """Compress ``data`` at each rate; report CR, rho, and NRMSE."""
+        """Compress ``data`` at each rate; report CR, rho, and NRMSE.
+
+        ``data`` is a float32/float64 array of any shape; one row dict is
+        returned per configured rate, in ascending rate order.
+        """
         from repro.metrics.average import nrmse
         from repro.metrics.correlation import pearson
 
@@ -363,7 +367,8 @@ class ApaxProfiler:
     def recommend(self, data: np.ndarray) -> float:
         """Highest rate whose reconstruction meets the rho threshold.
 
-        Falls back to the lowest configured rate when nothing qualifies.
+        ``data`` is a float32/float64 array of any shape.  Falls back to
+        the lowest configured rate when nothing qualifies.
         """
         rows = self.profile(data)
         passing = [r["rate"] for r in rows if r["rho"] >= self.rho_threshold]

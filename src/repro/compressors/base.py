@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check.hooks import boundary
 from repro.config import FILL_VALUE
 from repro.encoding.container import SectionReader, SectionWriter
 
@@ -113,8 +114,13 @@ class Compressor(abc.ABC):
 
     # -- public API ------------------------------------------------------
 
+    @boundary("compress")
     def compress(self, data: np.ndarray) -> bytes:
-        """Compress an array into a self-describing blob."""
+        """Compress an array into a self-describing blob.
+
+        Under ``REPRO_SANITIZE=1`` the emitted blob's container header is
+        verified against the input's dtype/shape and this codec's tag.
+        """
         data = np.asarray(data)
         dtype_code = data.dtype.str.lstrip("<>|=")
         if dtype_code not in _SUPPORTED_DTYPES:
@@ -141,8 +147,15 @@ class Compressor(abc.ABC):
         writer.add("data", payload)
         return writer.tobytes()
 
+    @boundary("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
-        """Reconstruct the array from a blob produced by :meth:`compress`."""
+        """Reconstruct the array from a blob produced by :meth:`compress`.
+
+        Under ``REPRO_SANITIZE=1`` the result is verified against the blob
+        header (dtype/shape) and, when the blob's source array is still
+        known, against the original: same dtype and shape, and no NaN/Inf
+        introduced at points that were valid and finite on the way in.
+        """
         reader = SectionReader(blob)
         head = reader.get("head")
         version, dtype_code, ndim = self._HEADER.unpack_from(head, 0)
@@ -160,7 +173,11 @@ class Compressor(abc.ABC):
         return values.astype(dtype, copy=False).reshape(shape)
 
     def roundtrip(self, data: np.ndarray) -> CompressionOutcome:
-        """Compress and reconstruct, returning sizes alongside the result."""
+        """Compress and reconstruct, returning sizes alongside the result.
+
+        ``data`` is a float32/float64 array; the reconstruction comes back
+        with identical dtype and shape.
+        """
         data = np.asarray(data)
         blob = self.compress(data)
         return CompressionOutcome(

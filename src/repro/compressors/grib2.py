@@ -27,6 +27,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.config import SPECIAL_THRESHOLD
 from repro.compressors.base import CodecProperties, Compressor
 from repro.compressors.quantize import (
     QuantizedField,
@@ -44,7 +45,7 @@ __all__ = ["Grib2Jpeg2000"]
 
 #: Magnitudes at or above this are treated as GRIB2 missing values (CESM's
 #: fill value is 1e35).
-_MISSING_THRESHOLD = 1.0e34
+_MISSING_THRESHOLD = SPECIAL_THRESHOLD
 
 _MODE_RICE = 0
 _MODE_DEFLATE = 1
@@ -93,14 +94,16 @@ class Grib2Jpeg2000(Compressor):
 
     def _encode_values(self, values: np.ndarray) -> bytes:
         missing = np.abs(values) >= values.dtype.type(_MISSING_THRESHOLD)
-        valid = values[~missing].astype(np.float64)
+        valid = values[~missing].astype(np.float64, copy=False)
         writer = SectionWriter()
         n_missing = int(missing.sum())
         if n_missing:
             writer.add("bitmap", zlib.compress(np.packbits(missing).tobytes(), 4))
             # GRIB2 bitmaps flag position only; the value itself (CESM fill)
             # is restored from one stored exemplar per blob.
-            writer.add("fill", values[missing][:1].astype(np.float64).tobytes())
+            writer.add("fill",
+                       values[missing][:1].astype(np.float64,
+                                                  copy=False).tobytes())
         if valid.size == 0:
             writer.add("meta",
                        struct.pack("<dqqBBQ", 0.0, 0, 0, 0, 0, n_missing))

@@ -117,13 +117,14 @@ class Isabela(Compressor):
         escape_val: list[np.ndarray] = []
 
         if n_full:
-            block = values[: n_full * w].reshape(n_full, w).astype(np.float64)
+            block = values[: n_full * w].reshape(n_full, w).astype(
+                np.float64, copy=False)
             order = np.argsort(block, axis=1, kind="stable")
             sorted_vals = np.take_along_axis(block, order, axis=1)
             design, pinv = _design_matrices(w, self.n_coeffs)
             coeffs = sorted_vals @ pinv.T  # (n_full, n_coeffs)
-            coeffs = coeffs.astype(np.float32)
-            recon = coeffs.astype(np.float64) @ design.T
+            coeffs = coeffs.astype(np.float32, copy=False)
+            recon = coeffs.astype(np.float64, copy=True) @ design.T
             q, eps, esc = self._quantize_corrections(sorted_vals, recon)
             corrections.append(q.ravel())
             steps_meta.extend(eps.tolist())
@@ -137,15 +138,15 @@ class Isabela(Compressor):
             writer.add("coeffs", coeffs.tobytes())
 
         if tail:
-            tail_vals = values[n_full * w:].astype(np.float64)
+            tail_vals = values[n_full * w:].astype(np.float64, copy=False)
             if tail >= _MIN_SPLINE_WINDOW:
                 k = min(self.n_coeffs, tail)
                 k = max(k, _DEGREE + 1)
                 order_t = np.argsort(tail_vals, kind="stable")
                 sorted_t = tail_vals[order_t]
                 design_t, pinv_t = _design_matrices(tail, k)
-                coeffs_t = (pinv_t @ sorted_t).astype(np.float32)
-                recon_t = design_t @ coeffs_t.astype(np.float64)
+                coeffs_t = (pinv_t @ sorted_t).astype(np.float32, copy=False)
+                recon_t = design_t @ coeffs_t.astype(np.float64, copy=True)
                 q_t, eps_t, esc_t = self._quantize_corrections(
                     sorted_t[None, :], recon_t[None, :]
                 )
@@ -161,7 +162,8 @@ class Isabela(Compressor):
                                                 _index_width(tail)))
                 writer.add("tcoeffs", struct.pack("<I", k) + coeffs_t.tobytes())
             else:
-                writer.add("raw", tail_vals.astype(np.float32).tobytes())
+                writer.add("raw",
+                           tail_vals.astype(np.float32, copy=False).tobytes())
 
         if corrections:
             q_all = np.concatenate(corrections)
@@ -169,7 +171,8 @@ class Isabela(Compressor):
             writer.add("eps", np.asarray(steps_meta, dtype=np.float64).tobytes())
         if escape_idx:
             idx_all = np.concatenate(escape_idx)
-            val_all = np.concatenate(escape_val).astype(values.dtype)
+            val_all = np.concatenate(escape_val).astype(values.dtype,
+                                                        copy=False)
             writer.add("eidx", zlib.compress(idx_all.tobytes(), 4))
             writer.add("eval", val_all.tobytes())
         return writer.tobytes()
@@ -223,7 +226,8 @@ class Isabela(Compressor):
                                  n_full * w).astype(np.int64)
             order = order.reshape(n_full, w)
             coeffs = np.frombuffer(reader.get("coeffs"), dtype=np.float32)
-            coeffs = coeffs.reshape(n_full, n_coeffs).astype(np.float64)
+            coeffs = coeffs.reshape(n_full, n_coeffs).astype(np.float64,
+                                                             copy=True)
             design, _ = _design_matrices(w, n_coeffs)
             recon = coeffs @ design.T
             eps = eps_all[:n_full]
@@ -250,7 +254,7 @@ class Isabela(Compressor):
                 (k,) = struct.unpack_from("<I", tc, 0)
                 coeffs_t = np.frombuffer(tc[4:], dtype=np.float32)
                 design_t, _ = _design_matrices(tail, k)
-                recon_t = design_t @ coeffs_t.astype(np.float64)
+                recon_t = design_t @ coeffs_t.astype(np.float64, copy=True)
                 eps_t = eps_all[eps_off]
                 step_t = rel_error * np.maximum(np.abs(recon_t), eps_t)
                 recon_t = recon_t + q_all[q_off : q_off + tail] * step_t
@@ -270,7 +274,7 @@ class Isabela(Compressor):
         idx = np.frombuffer(zlib.decompress(reader.get("eidx")),
                             dtype=np.uint64).astype(np.int64)
         val = np.frombuffer(reader.get("eval"), dtype=dtype).astype(
-            np.float64
+            np.float64, copy=True
         )
         if idx.shape[0] != val.shape[0]:
             raise ValueError("ISABELA escape streams disagree in length")
@@ -314,7 +318,8 @@ class Isabela(Compressor):
         ).astype(np.int64)
 
         coeffs = np.frombuffer(payload.get("coeffs"), dtype=np.float32)
-        coeffs = coeffs.reshape(n_full, n_coeffs)[i].astype(np.float64)
+        coeffs = coeffs.reshape(n_full, n_coeffs)[i].astype(np.float64,
+                                                            copy=True)
         design, _ = _design_matrices(w, n_coeffs)
         recon = design @ coeffs
         q_all = zigzag_decode(rice_decode(payload.get("corr")))

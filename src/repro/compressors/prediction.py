@@ -91,8 +91,9 @@ def truncate_precision(values: np.ndarray, precision: int) -> np.ndarray:
 def delta_encode(codes: np.ndarray) -> np.ndarray:
     """First-order prediction: residual[i] = code[i] - code[i-1].
 
-    The first element is kept verbatim (predicted from zero), so decode
-    needs no side information.
+    ``codes`` is any integer array (converted to int64); the int64
+    residuals keep its shape.  The first element is kept verbatim
+    (predicted from zero), so decode needs no side information.
     """
     codes = np.asarray(codes, dtype=np.int64)
     residuals = np.empty_like(codes)
@@ -104,7 +105,10 @@ def delta_encode(codes: np.ndarray) -> np.ndarray:
 
 
 def delta_decode(residuals: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`delta_encode` (a cumulative sum)."""
+    """Inverse of :func:`delta_encode` (a cumulative sum).
+
+    ``residuals`` is a flat int64 array; returns int64 of the same shape.
+    """
     residuals = np.asarray(residuals, dtype=np.int64)
     return np.cumsum(residuals, dtype=np.int64)
 
@@ -126,7 +130,10 @@ def lorenzo2d_encode(codes: np.ndarray) -> np.ndarray:
 
 
 def lorenzo2d_decode(residuals: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`lorenzo2d_encode`."""
+    """Inverse of :func:`lorenzo2d_encode`.
+
+    ``residuals`` is a 2-D int64 array; returns int64 of the same shape.
+    """
     residuals = np.asarray(residuals, dtype=np.int64)
     if residuals.ndim != 2:
         raise ValueError(

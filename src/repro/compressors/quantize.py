@@ -78,7 +78,8 @@ def quantize(
 def dequantize(field: QuantizedField, dtype: np.dtype = np.float64) -> np.ndarray:
     """Reconstruct float values from a :class:`QuantizedField`."""
     values = (
-        field.reference + field.codes.astype(np.float64) * 2.0**field.binary_scale
+        field.reference
+        + field.codes.astype(np.float64, copy=False) * 2.0**field.binary_scale
     ) / 10.0**field.decimal_scale
     return values.astype(dtype, copy=False)
 

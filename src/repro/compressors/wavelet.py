@@ -99,7 +99,11 @@ def forward_53(x: np.ndarray, levels: int | None = None) -> tuple[np.ndarray, li
 
 
 def inverse_53(coeffs: np.ndarray, lengths: list[int]) -> np.ndarray:
-    """Invert :func:`forward_53` given its ``lengths`` bookkeeping."""
+    """Invert :func:`forward_53` given its ``lengths`` bookkeeping.
+
+    ``coeffs`` is the flat int64 coefficient array from
+    :func:`forward_53`; returns the int64 signal of length ``lengths[0]``.
+    """
     coeffs = np.ascontiguousarray(coeffs, dtype=np.int64)
     if not lengths:
         raise ValueError("lengths must contain the original size")

@@ -15,6 +15,11 @@ Environment knobs
     Ensemble size (paper: 101).
 ``REPRO_WORKERS``
     Worker processes used by :mod:`repro.parallel` (default: CPU count).
+``REPRO_SANITIZE``
+    Set to ``1`` to activate the runtime numeric sanitizer
+    (:mod:`repro.check.sanitize`): codec round trips, the PVT z-score and
+    E_nmax paths, and ``parallel_map`` then verify dtype/shape/NaN
+    invariants on every call and raise ``SanitizerError`` on violation.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ import os
 from dataclasses import dataclass, field, replace
 
 __all__ = [
+    "FILL_VALUE",
+    "SPECIAL_THRESHOLD",
     "ReproConfig",
     "get_config",
     "set_config",
@@ -34,6 +41,12 @@ __all__ = [
 #: Fill value used by CESM/POP2 for undefined points (e.g. sea-surface
 #: temperature over land), see paper Section 3.1.
 FILL_VALUE = 1.0e35
+
+#: Magnitudes at or above this are treated as special/missing values
+#: everywhere (metrics, codecs, sanitizer); the paper excludes such points
+#: from every statistic.  Exactly one definition exists — the REP007 lint
+#: rule rejects re-spelled copies.
+SPECIAL_THRESHOLD = 1.0e34
 
 #: Acceptance threshold for the Pearson correlation coefficient between
 #: original and reconstructed data (paper Section 4.2, APAX profiler

@@ -13,10 +13,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DataCharacteristics", "characterize", "valid_mask"]
+from repro.config import SPECIAL_THRESHOLD
 
-#: Magnitudes at or above this are treated as special/missing values.
-SPECIAL_THRESHOLD = 1.0e34
+__all__ = ["DataCharacteristics", "characterize", "valid_mask",
+           "SPECIAL_THRESHOLD"]
 
 
 def valid_mask(data: np.ndarray) -> np.ndarray:

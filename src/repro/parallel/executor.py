@@ -9,14 +9,44 @@ path debuggable and avoids pool overhead for small runs.
 
 from __future__ import annotations
 
+import functools
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.check import hooks
 
 __all__ = ["parallel_map", "effective_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _require_picklable_callable(fn: Callable) -> None:
+    """Reject callables that cannot cross a process boundary.
+
+    Lambdas and functions defined inside another function pickle by
+    qualified name, which fails deep inside the pool with an opaque
+    traceback; surface that as a clear TypeError *before* any worker is
+    spawned.  (The REP006 lint rule is this check's static twin.)
+    """
+    probe = fn
+    while isinstance(probe, functools.partial):
+        probe = probe.func
+    qualname = getattr(probe, "__qualname__", None)
+    if qualname is None:
+        return  # builtins / C callables pickle by reference
+    if qualname == "<lambda>":
+        raise TypeError(
+            "parallel_map cannot send a lambda to worker processes; "
+            "define the task as a module-level function"
+        )
+    if "<locals>" in qualname:
+        raise TypeError(
+            f"parallel_map cannot send the locally-defined function "
+            f"{qualname!r} to worker processes; move it to module level "
+            "so it can be pickled"
+        )
 
 
 def effective_workers(workers: int | None = None,
@@ -46,6 +76,13 @@ def parallel_map(
         raise ValueError(f"chunksize must be positive, got {chunksize}")
     n = effective_workers(workers, len(items))
     if n == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = [fn(item) for item in items]
+        if items and hooks.active():
+            # REPRO_SANITIZE: replay the first task and require identical
+            # output, catching nondeterministic task functions while the
+            # serial path keeps them observable.
+            hooks.check_serial_replay(fn, items[0], results[0])
+        return results
+    _require_picklable_callable(fn)
     with ProcessPoolExecutor(max_workers=n) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))

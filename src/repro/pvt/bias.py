@@ -60,7 +60,11 @@ def bias_regression(
     rmsz_reconstructed: np.ndarray,
     confidence: float = 0.95,
 ) -> BiasResult:
-    """Fit reconstructed RMSZ on original RMSZ with OLS + t-based CIs."""
+    """Fit reconstructed RMSZ on original RMSZ with OLS + t-based CIs.
+
+    Both inputs are equal-length 1-D float arrays of per-member RMSZ
+    scores (one entry per ensemble member).
+    """
     x = np.asarray(rmsz_original, dtype=np.float64)
     y = np.asarray(rmsz_reconstructed, dtype=np.float64)
     if x.shape != y.shape or x.ndim != 1:

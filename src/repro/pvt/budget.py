@@ -56,7 +56,9 @@ def energy_budget_residual(
 ) -> dict[str, float]:
     """Top-of-model energy balance before and after compression.
 
-    Returns the original residual (W/m2), the reconstructed residual, and
+    The four FSNT/FLNT inputs are float arrays on ``grid`` (same shape,
+    fill values excluded via the grid mask).  Returns the original
+    residual (W/m2), the reconstructed residual, and
     the absolute budget shift |Δ(FSNT - FLNT)| — the quantity a climate
     scientist would audit before accepting compressed history files.
     """

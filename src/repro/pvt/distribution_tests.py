@@ -41,7 +41,11 @@ class KsResult:
 
 
 def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
-    """Sup-norm distance between the two empirical CDFs."""
+    """Sup-norm distance between the two empirical CDFs.
+
+    ``a`` and ``b`` are non-empty 1-D float samples (any dtype numpy can
+    cast to float64); returns a scalar in [0, 1].
+    """
     a = np.sort(np.asarray(a, dtype=np.float64))
     b = np.sort(np.asarray(b, dtype=np.float64))
     if a.size == 0 or b.size == 0:
@@ -53,7 +57,10 @@ def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
 
 
 def ks_test(a: np.ndarray, b: np.ndarray) -> KsResult:
-    """Two-sample KS test with the asymptotic p-value."""
+    """Two-sample KS test with the asymptotic p-value.
+
+    ``a`` and ``b`` are non-empty 1-D float samples; sizes may differ.
+    """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     d = ks_statistic(a, b)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check.hooks import boundary
 from repro.config import ENMAX_RATIO_LIMIT
 from repro.metrics.characterize import valid_mask
 
@@ -33,6 +34,7 @@ def _prepare(ensemble: np.ndarray) -> np.ndarray:
     return flat[:, valid]
 
 
+@boundary("enmax")
 def enmax_distribution(ensemble: np.ndarray) -> np.ndarray:
     """Eq. (10) for every member: the (n_members,) E_nmax distribution."""
     data = _prepare(ensemble)

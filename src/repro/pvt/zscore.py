@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check.hooks import boundary
 from repro.config import RMSZ_DIFF_LIMIT
 from repro.metrics.characterize import valid_mask
 
@@ -101,6 +102,7 @@ class EnsembleStats:
         std = np.where(std <= self._std_floor, 0.0, std)
         return mean + self._center, std
 
+    @boundary("zscores")
     def zscores(self, values: np.ndarray, exclude_member: int) -> np.ndarray:
         """Eq. (6): Z-scores of ``values`` against E \\ exclude_member.
 
@@ -139,6 +141,7 @@ class EnsembleStats:
         full[~self.valid] = 0.0
         return self.rmsz(full, member)
 
+    @boundary("distribution")
     def distribution(self) -> np.ndarray:
         """RMSZ of every member against its own sub-ensemble (eq. 7 for
         all m) — the natural-variability distribution of Figure 2.

@@ -1,0 +1,18 @@
+"""Fixture: a compressor-scoped module with nothing to report."""
+
+import numpy as np
+
+from repro.config import FILL_VALUE
+
+_BLOCK = 64
+
+
+def encode(values):
+    """Encode a flat float32/float64 array of values into bytes.
+
+    The fill-value mask comes from :data:`repro.config.FILL_VALUE`; dtype
+    and shape are preserved by the caller's framing.
+    """
+    mask = values == values.dtype.type(FILL_VALUE)
+    body = values[~mask].astype(np.float64, copy=False)
+    return body.tobytes()

@@ -1,0 +1,12 @@
+"""REP001 fixture: float astype without explicit copy semantics."""
+
+import numpy as np
+
+
+def convert(values):
+    """Cast a float array of values without stating copy semantics."""
+    bad = values.astype(np.float64)
+    ok_explicit = values.astype(np.float64, copy=False)
+    ok_suppressed = values.astype(np.float32)  # repro: noqa[REP001]
+    ok_int = values.astype(np.int32)
+    return bad, ok_explicit, ok_suppressed, ok_int

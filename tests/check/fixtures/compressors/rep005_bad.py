@@ -1,0 +1,15 @@
+"""REP005 fixture: module-level mutable state in a compressor module."""
+
+__all__ = ["encode"]
+
+_cache = {}
+LOOKUP_TABLE = {"a": 1}
+_quiet = []  # repro: noqa[REP005]
+_SCALE = 4
+
+
+def encode(data):
+    """Pretend-encode a float array of data."""
+    local_state = []
+    local_state.append(data)
+    return local_state

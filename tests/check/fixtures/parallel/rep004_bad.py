@@ -1,0 +1,25 @@
+"""REP004 fixture: bare / swallowed exceptions in worker paths."""
+
+
+def run(task):
+    """A bare except hides every failure mode."""
+    try:
+        return task()
+    except:
+        return None
+
+
+def run_narrow(task):
+    """Catching a specific type and re-raising is fine."""
+    try:
+        return task()
+    except ValueError:
+        raise
+
+
+def run_quiet(task):
+    """A suppressed broad swallow."""
+    try:
+        return task()
+    except Exception:  # repro: noqa[REP004]
+        pass

@@ -1,0 +1,10 @@
+"""REP003 fixture: exact float-literal equality in metric code."""
+
+
+def classify(spread):
+    """Compare a spread against literals in good and bad ways."""
+    bad = spread == 1.5
+    ok_zero_sentinel = spread == 0.0
+    ok_ordering = spread < 1.5
+    quiet = spread != 2.5  # repro: noqa[REP003]
+    return bad, ok_zero_sentinel, ok_ordering, quiet

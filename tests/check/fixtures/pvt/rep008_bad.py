@@ -1,0 +1,23 @@
+"""REP008 fixture: missing dtype/shape docstring contracts."""
+
+
+def rmsz_of(values):
+    return values
+
+
+def summarize(data):
+    """Compute a summary statistic over the input."""
+    return data
+
+
+def documented(values):
+    """Root-mean-square over a flat float64 array of values."""
+    return values
+
+
+def _private(values):
+    return values
+
+
+def quiet(values):  # repro: noqa[REP008]
+    return values

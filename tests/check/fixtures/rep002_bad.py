@@ -1,0 +1,12 @@
+"""REP002 fixture: unseeded / global-state RNG use."""
+
+import numpy as np
+
+
+def draw():
+    """Build generators in every legal and illegal way."""
+    bad = np.random.default_rng()
+    ok_seeded = np.random.default_rng(1234)
+    ok_kwarg = np.random.default_rng(seed=99)
+    quiet = np.random.default_rng()  # repro: noqa[REP002]
+    return bad, ok_seeded, ok_kwarg, quiet

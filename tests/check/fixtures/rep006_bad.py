@@ -1,0 +1,21 @@
+"""REP006 fixture: unpicklable callables handed to a process pool."""
+
+from repro.parallel.executor import parallel_map
+
+
+def module_level(x):
+    """A picklable module-level task function."""
+    return x + 1
+
+
+def run(items):
+    """Hand lambdas and a nested function to the pool."""
+    bad_lambda = parallel_map(lambda x: x + 1, items)
+
+    def local(x):
+        return x - 1
+
+    bad_nested = parallel_map(local, items)
+    ok = parallel_map(module_level, items)
+    quiet = parallel_map(lambda x: x * 2, items)  # repro: noqa[REP006]
+    return bad_lambda, bad_nested, ok, quiet

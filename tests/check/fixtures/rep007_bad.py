@@ -1,0 +1,9 @@
+"""REP007 fixture: magic fill/special-value literals."""
+
+
+def mask(values):
+    """Threshold against re-spelled fill values."""
+    bad = values >= 1.0e35
+    ok_unrelated = values >= 1.0e30
+    quiet = values >= 9.96921e36  # repro: noqa[REP007]
+    return bad, ok_unrelated, quiet

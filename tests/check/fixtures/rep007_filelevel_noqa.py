@@ -1,0 +1,7 @@
+"""Fixture: file-level suppression within the first ten lines."""
+# repro: noqa[REP007]
+
+
+def mask(values):
+    """Threshold against a re-spelled fill value, file-suppressed."""
+    return values >= 1.0e35

@@ -1,0 +1,90 @@
+"""Rendering, path walking, and the two CLI entry points."""
+
+import json
+from pathlib import Path
+
+from repro.check import lint_file, lint_paths, render_json, render_text
+from repro.check.__main__ import main as check_main
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "rep007_bad.py"
+CLEAN = FIXTURES / "compressors" / "clean.py"
+
+
+class TestRendering:
+    def test_text_empty(self):
+        assert render_text([]) == "repro.check: no findings"
+
+    def test_text_includes_position_and_summary(self):
+        findings = lint_file(BAD, select=["REP007"])
+        text = render_text(findings)
+        assert f"{BAD}:" in text
+        assert "REP007" in text
+        assert "1 error(s), 0 warning(s)" in text
+
+    def test_json_roundtrips(self):
+        findings = lint_file(BAD, select=["REP007"])
+        payload = json.loads(render_json(findings))
+        assert payload["count"] == len(findings) == 1
+        entry = payload["findings"][0]
+        assert entry["rule_id"] == "REP007"
+        assert entry["severity"] == "error"
+        assert entry["line"] == findings[0].line
+
+
+class TestLintPaths:
+    def test_directory_walk_covers_fixture_tree(self):
+        findings = lint_paths([FIXTURES])
+        assert {f.rule_id for f in findings} >= {
+            "REP001", "REP002", "REP003", "REP004",
+            "REP005", "REP006", "REP007", "REP008",
+        }
+
+    def test_duplicate_inputs_deduplicate(self):
+        once = lint_paths([BAD], select=["REP007"])
+        twice = lint_paths([BAD, BAD, FIXTURES / "rep007_bad.py"],
+                           select=["REP007"])
+        assert twice == once
+
+
+class TestCheckMain:
+    def test_bad_file_exits_nonzero(self, capsys):
+        assert check_main(["lint", str(BAD), "--select", "REP007"]) == 1
+        out = capsys.readouterr().out
+        assert "REP007" in out
+
+    def test_clean_file_exits_zero(self, capsys):
+        assert check_main(["lint", str(CLEAN)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert check_main(["lint", str(BAD), "--format", "json",
+                           "--select", "REP007"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_unknown_select_id_is_rejected(self, capsys):
+        assert check_main(["lint", str(BAD), "--select", "REP999"]) == 2
+        err = capsys.readouterr().err
+        assert "REP999" in err and "unknown rule" in err
+
+    def test_missing_path_is_a_clean_error(self, capsys):
+        assert check_main(["lint", "does/not/exist.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_rules_listing(self, capsys):
+        assert check_main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP008"):
+            assert rule_id in out
+
+
+class TestReproCliLint:
+    def test_lint_subcommand_delegates(self, capsys):
+        assert cli_main(["lint", str(CLEAN)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_subcommand_select(self, capsys):
+        assert cli_main(["lint", str(BAD), "--select", "REP007"]) == 1
+        assert "REP007" in capsys.readouterr().out

@@ -1,0 +1,27 @@
+"""Tier-1 gate: the repo's own ``src/`` tree must stay lint-clean.
+
+A rule change that would flag production code fails here first, with the
+full findings report in the assertion message, so rule tightening and the
+corresponding code fixes always land together.
+"""
+
+from pathlib import Path
+
+from repro.check import lint_paths, render_text
+from repro.check.__main__ import main as check_main
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_exists():
+    assert (SRC / "repro").is_dir()
+
+
+def test_src_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_cli_agrees_src_is_clean(capsys):
+    assert check_main(["lint", str(SRC)]) == 0
+    capsys.readouterr()

@@ -1,0 +1,99 @@
+"""Every REP rule fires on its fixture and respects noqa suppression.
+
+Fixture files live under ``fixtures/`` in subdirectories that mirror the
+real package layout (``fixtures/compressors/...`` is linted as compressor
+code — see :func:`repro.check.rules.effective_parts`).  Each fixture
+contains known-bad lines plus at least one violation suppressed with
+``# repro: noqa[REPxxx]``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import RULES, lint_file
+from repro.check.rules import effective_parts, rules_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (rule id, fixture path relative to fixtures/, expected finding count)
+CASES = [
+    ("REP001", "compressors/rep001_bad.py", 1),
+    ("REP002", "rep002_bad.py", 1),
+    ("REP003", "pvt/rep003_bad.py", 1),
+    ("REP004", "parallel/rep004_bad.py", 1),
+    ("REP005", "compressors/rep005_bad.py", 1),
+    ("REP006", "rep006_bad.py", 2),
+    ("REP007", "rep007_bad.py", 1),
+    ("REP008", "pvt/rep008_bad.py", 2),
+]
+
+
+@pytest.mark.parametrize("rule_id,relpath,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_rule_fires_on_fixture(rule_id, relpath, expected):
+    path = FIXTURES / relpath
+    findings = lint_file(path, select=[rule_id])
+    assert [f.rule_id for f in findings] == [rule_id] * expected
+    rule = rules_by_id()[rule_id]
+    source_lines = path.read_text().splitlines()
+    for finding in findings:
+        assert finding.severity == rule.severity
+        assert finding.fix_hint == rule.fix_hint
+        # No finding may sit on a suppressed line.
+        assert "noqa" not in source_lines[finding.line - 1]
+
+
+@pytest.mark.parametrize("rule_id,relpath,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_noqa_suppresses_sibling_violation(rule_id, relpath, expected):
+    source_lines = (FIXTURES / relpath).read_text().splitlines()
+    marker = f"repro: noqa[{rule_id}]"
+    assert any(marker in line for line in source_lines), \
+        f"fixture {relpath} must carry a suppressed {rule_id} violation"
+
+
+def test_every_rule_has_a_fixture_case():
+    assert {c[0] for c in CASES} == {rule.id for rule in RULES}
+
+
+def test_clean_fixture_has_no_findings():
+    assert lint_file(FIXTURES / "compressors" / "clean.py") == []
+
+
+def test_file_level_noqa_suppresses_whole_file():
+    assert lint_file(FIXTURES / "rep007_filelevel_noqa.py",
+                     select=["REP007"]) == []
+
+
+def test_scoping_silences_rules_outside_their_tree(tmp_path):
+    # The same astype violation is only a finding in compressor code.
+    source = (FIXTURES / "compressors" / "rep001_bad.py").read_text()
+    elsewhere = tmp_path / "helpers.py"
+    elsewhere.write_text(source)
+    assert lint_file(elsewhere, select=["REP001"]) == []
+
+
+def test_effective_parts_strips_through_fixtures():
+    parts = effective_parts("tests/check/fixtures/compressors/x.py")
+    assert parts == ("compressors", "x.py")
+    assert effective_parts("src/repro/pvt/zscore.py") == \
+        ("src", "repro", "pvt", "zscore.py")
+
+
+def test_syntax_error_reports_rep000(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    findings = lint_file(broken)
+    assert len(findings) == 1
+    assert findings[0].rule_id == "REP000"
+    assert findings[0].severity == "error"
+
+
+def test_rule_registry_is_well_formed():
+    seen = rules_by_id()
+    assert len(seen) == len(RULES)
+    for rule in RULES:
+        assert rule.id.startswith("REP") and len(rule.id) == 6
+        assert rule.severity in ("error", "warning")
+        assert rule.rationale and rule.fix_hint and rule.title

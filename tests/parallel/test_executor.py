@@ -1,9 +1,11 @@
 """Process-pool map."""
 
+import functools
 import os
 
 import pytest
 
+from repro.check.sanitize import sanitized
 from repro.parallel.executor import effective_workers, parallel_map
 
 
@@ -34,8 +36,10 @@ class TestParallelMap:
             return x
 
         # Non-picklable closure works because a single task never leaves
-        # the calling process.
-        assert parallel_map(record, [7], workers=8) == [7]
+        # the calling process.  The sanitizer's determinism replay would
+        # invoke record twice, so switch it off for the invocation count.
+        with sanitized(False):
+            assert parallel_map(record, [7], workers=8) == [7]
         assert marker == [7]
 
     def test_empty(self):
@@ -53,6 +57,43 @@ class TestParallelMap:
     def test_bad_chunksize(self):
         with pytest.raises(ValueError):
             parallel_map(square, [1], chunksize=0)
+
+
+class TestPicklabilityValidation:
+    """Unpicklable callables fail fast, before any worker is spawned."""
+
+    def test_lambda_rejected_on_parallel_path(self):
+        with pytest.raises(TypeError, match="lambda"):
+            parallel_map(lambda x: x, [1, 2, 3], workers=2)
+
+    def test_nested_function_rejected_on_parallel_path(self):
+        def local(x):
+            return x
+
+        with pytest.raises(TypeError, match="module level"):
+            parallel_map(local, [1, 2, 3], workers=2)
+
+    def test_error_names_the_offender(self):
+        def helper(x):
+            return x
+
+        with pytest.raises(TypeError, match="helper"):
+            parallel_map(helper, [1, 2, 3], workers=2)
+
+    def test_partial_of_module_level_function_accepted(self):
+        bound = functools.partial(square)
+        assert parallel_map(bound, [1, 2], workers=2) == [1, 4]
+
+    def test_partial_wrapping_lambda_rejected(self):
+        bound = functools.partial(lambda x: x)
+        with pytest.raises(TypeError, match="lambda"):
+            parallel_map(bound, [1, 2, 3], workers=2)
+
+    def test_lambda_allowed_on_serial_path(self):
+        # Serial execution never pickles; the early check must not
+        # over-reject what actually works.
+        with sanitized(False):
+            assert parallel_map(lambda x: x + 1, [1, 2], workers=1) == [2, 3]
 
 
 class TestEffectiveWorkers:
