@@ -1,0 +1,106 @@
+"""REPRO_TRACE overhead: untraced instrumentation must stay under 2%.
+
+With tracing off, every ``repro.obs`` instrumentation point degrades to a
+flag check (spans add one small object construction).  A codec roundtrip
+crosses seven such points (three spans: ``compressors.roundtrip`` /
+``.compress`` / ``.decompress``; three counter adds; one gauge set), so
+the budget check is done by *per-call accounting*: the cost of one
+inactive span and one inactive metric call is measured in isolation at
+high iteration counts — where it is deterministic — and scaled by the
+points-per-roundtrip count against the roundtrip's own median.  A direct
+traced-vs-untraced A/B is also recorded (pytest-benchmark entries plus
+the saved report) for the curious, but the assertion rides on the
+accounting, which does not inherit the codec's timing noise.
+"""
+
+import time
+
+import numpy as np
+from conftest import save_text
+
+from repro import obs
+from repro.compressors import get_variant
+
+_VARIANT = "fpzip-24"
+_REPEATS = 7
+#: Instrumentation points one Compressor.roundtrip crosses when off.
+_SPANS_PER_ROUNDTRIP = 3
+_METRICS_PER_ROUNDTRIP = 4
+
+
+def _roundtrip(codec, field):
+    codec.decompress(codec.compress(field))
+
+
+def _median_seconds(fn, *args, repeats=_REPEATS):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def _inactive_span_cost(iterations=200_000):
+    """Seconds per ``with span(...)`` pass while tracing is off."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("bench.noop", codec="x"):
+            pass
+    return (time.perf_counter() - t0) / iterations
+
+
+def _inactive_metric_cost(iterations=200_000):
+    """Seconds per counter add / gauge set while tracing is off."""
+    c = obs.counter("bench.noop")
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        c.add(1)
+    return (time.perf_counter() - t0) / iterations
+
+
+def test_roundtrip_untraced(benchmark, ctx):
+    codec = get_variant(_VARIANT)
+    field = ctx.member_field("U")
+    with obs.tracing(False):
+        benchmark(_roundtrip, codec, field)
+
+
+def test_roundtrip_traced(benchmark, ctx):
+    codec = get_variant(_VARIANT)
+    field = ctx.member_field("U")
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        benchmark(_roundtrip, codec, field)
+    assert agg.get("compressors.compress").count > 0
+
+
+def test_untraced_overhead_below_two_percent(ctx, results_dir):
+    codec = get_variant(_VARIANT)
+    field = ctx.member_field("U")
+    with obs.tracing(False):
+        _roundtrip(codec, field)  # warm imports/caches before timing
+        base = _median_seconds(_roundtrip, codec, field)
+        span_cost = _inactive_span_cost()
+        metric_cost = _inactive_metric_cost()
+    per_roundtrip = (_SPANS_PER_ROUNDTRIP * span_cost
+                     + _METRICS_PER_ROUNDTRIP * metric_cost)
+    overhead = per_roundtrip / base
+
+    # Informational A/B: traced-on cost over the same roundtrip.
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        _roundtrip(codec, field)
+        traced = _median_seconds(_roundtrip, codec, field)
+    save_text(
+        results_dir, "obs_overhead.txt",
+        f"{_VARIANT} roundtrip on U {field.shape}: "
+        f"untraced {base * 1e3:.3f} ms; inactive span "
+        f"{span_cost * 1e9:.0f} ns, inactive metric "
+        f"{metric_cost * 1e9:.0f} ns -> accounted overhead "
+        f"{overhead * 100:.3f}% (budget 2%); traced-on A/B "
+        f"{(traced / base - 1) * 100:+.2f}%",
+    )
+    assert overhead < 0.02, (
+        f"untraced obs overhead {overhead * 100:.2f}% exceeds the 2% budget"
+    )

@@ -3,7 +3,11 @@ FSDSC (2D).
 
 This file uses pytest-benchmark properly: one calibrated benchmark per
 (codec, direction, variable) plus a one-shot rendering of the paper's
-combined table.  The paper's shape: APAX is the fastest method ("sometimes
+combined table.  The combined table comes from ``table5_timings``, which
+reads its numbers from the ``compressors.compress``/``.decompress``
+spans the codecs emit into a private ``repro.obs`` aggregator rather
+than timing around the calls itself.  The paper's shape: APAX is the
+fastest method ("sometimes
 by a couple orders of magnitude" vs ISABELA); ISABELA is the slowest
 because of the per-window sort and fit; the 3-D variable costs more than
 the 2-D one.

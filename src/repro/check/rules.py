@@ -399,6 +399,47 @@ def _check_rep008(tree: ast.AST, lines: Sequence[str],
     return found
 
 
+# -- REP009 ------------------------------------------------------------------
+
+_CLOCK_NAMES = {
+    "time", "perf_counter", "monotonic", "process_time",
+    "time_ns", "perf_counter_ns", "monotonic_ns", "process_time_ns",
+}
+
+
+def _check_rep009(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    from_imported: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            clocks = [a for a in node.names if a.name in _CLOCK_NAMES]
+            if clocks:
+                names = ", ".join(a.name for a in clocks)
+                from_imported.update(a.asname or a.name for a in clocks)
+                found.append((
+                    node.lineno, node.col_offset,
+                    f"ad-hoc clock import 'from time import {names}'",
+                ))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        parts = chain.split(".")
+        if len(parts) == 2 and parts[0] == "time" \
+                and parts[1] in _CLOCK_NAMES:
+            found.append((
+                node.lineno, node.col_offset,
+                f"ad-hoc wall-clock call {chain}()",
+            ))
+        elif len(parts) == 1 and parts[0] in from_imported:
+            found.append((
+                node.lineno, node.col_offset,
+                f"ad-hoc wall-clock call {parts[0]}()",
+            ))
+    return found
+
+
 # -- registry ----------------------------------------------------------------
 
 RULES: tuple[Rule, ...] = (
@@ -502,6 +543,23 @@ RULES: tuple[Rule, ...] = (
                  "((n_members, ...) etc.) of array parameters",
         applies=_in("compressors", "pvt"),
         check=_check_rep008,
+    ),
+    Rule(
+        id="REP009",
+        title="ad-hoc timing instead of repro.obs spans",
+        severity="error",
+        rationale="Hand-rolled time.time()/perf_counter() timing is "
+                  "invisible to the observability layer: it cannot nest, "
+                  "aggregate, or export, and it keeps running when "
+                  "REPRO_TRACE=0 so every caller pays for it.  All timing "
+                  "in src/ flows through repro.obs so `repro stats` and "
+                  "the trace sinks see one consistent picture.",
+        fix_hint="wrap the timed region in `with repro.obs.span(\"sub."
+                 "stage\"):` (or @obs.traced) and read durations from the "
+                 "aggregator; see docs/observability.md",
+        applies=lambda parts: _not_tests(parts) and "obs" not in parts
+        and "benchmarks" not in parts,
+        check=_check_rep009,
     ),
 )
 

@@ -7,7 +7,9 @@ Exposes the paper's workflows as commands:
 - ``hybrid``       — build the per-variable hybrid plan for a family;
 - ``table``        — regenerate one of the paper's tables (1-8);
 - ``variants``     — list the registered codec variants;
-- ``lint``         — run the repro.check numeric-safety static analyzer.
+- ``lint``         — run the repro.check numeric-safety static analyzer;
+- ``stats``        — run a small traced PVT workload (or aggregate an
+  existing JSONL trace) and print the per-stage observability table.
 
 Scale flags (``--ne``, ``--nlev``, ``--members``) mirror the ``REPRO_*``
 environment knobs.
@@ -16,6 +18,7 @@ environment knobs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.config import ReproConfig, bench_scale
@@ -99,13 +102,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the repro.check static analyzer (REP001..REP008)",
+        help="run the repro.check static analyzer (REP001..REP009)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--select", default=None,
                    help="comma-separated rule IDs to run (default: all)")
+
+    p = sub.add_parser(
+        "stats",
+        help="run a small traced PVT workload and print per-stage "
+             "timings (see docs/observability.md)",
+    )
+    p.add_argument("variant", nargs="?", default="fpzip-24",
+                   help="codec label to verify (default: fpzip-24)")
+    p.add_argument("variables", nargs="*", default=[],
+                   help="variable names (default: the featured four)")
+    p.add_argument("--bias", action="store_true",
+                   help="include the whole-ensemble bias test (slow)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="process-pool width for the traced run (default 2;"
+                        " 0 keeps the run serial)")
+    p.add_argument("--from-jsonl", default=None, metavar="TRACE",
+                   help="aggregate an existing REPRO_TRACE_JSONL file "
+                        "instead of running a workload")
+    _add_scale_flags(p)
     return parser
 
 
@@ -134,6 +156,47 @@ def main(argv=None) -> int:
         return 0
 
     from repro.harness.report import render_table
+
+    if args.command == "stats":
+        from repro import obs
+
+        if args.from_jsonl:
+            agg = obs.Aggregator.from_jsonl(args.from_jsonl)
+            title = f"Per-stage stats from {args.from_jsonl}"
+        else:
+            from repro.compressors import get_variant
+            from repro.harness.experiments import ExperimentContext
+
+            # A deliberately small default run: stats is about timing
+            # visibility, not statistical power.
+            config = bench_scale().with_scale(
+                ne=args.ne, nlev=args.nlev,
+                n_members=args.members if args.members else 21,
+            )
+            with obs.tracing():
+                ctx = ExperimentContext.create(config)
+                ctx.pvt.evaluate_codec(
+                    get_variant(args.variant),
+                    variables=_featured_or(args.variables, ctx),
+                    run_bias=args.bias,
+                    workers=args.workers,
+                )
+            obs.flush_sinks()
+            agg = obs.aggregator()
+            title = (f"Per-stage stats: {args.variant}, "
+                     f"{config.n_members} members, ne={config.ne}")
+        headers, rows = agg.table()
+        print(render_table(headers, rows, title=title, precision=4))
+        m_headers, m_rows = agg.metrics_table()
+        if m_rows:
+            print()
+            print(render_table(m_headers, m_rows,
+                               title="Counters and gauges", precision=4))
+        for env in ("REPRO_TRACE_JSONL", "REPRO_TRACE_CHROME"):
+            path = os.environ.get(env, "")
+            if path:
+                print(f"\n{env}: trace written to {path}")
+        return 0
 
     if args.command == "check":
         from repro.ncio.format import HistoryFile

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.check.hooks import boundary
 from repro.config import FILL_VALUE
 from repro.encoding.container import SectionReader, SectionWriter
@@ -33,6 +34,13 @@ __all__ = [
 ]
 
 _SUPPORTED_DTYPES = {"f4": np.float32, "f8": np.float64}
+
+# Observability contract (docs/observability.md): every round trip emits
+# the byte counters below; span durations flow to the active sinks.
+_BYTES_IN = obs.counter("compressors.bytes_in")
+_BYTES_OUT = obs.counter("compressors.bytes_out")
+_ROUNDTRIPS = obs.counter("compressors.roundtrips")
+_LAST_CR = obs.gauge("compressors.cr")
 
 
 @dataclass(frozen=True)
@@ -134,18 +142,23 @@ class Compressor(abc.ABC):
         if data.ndim > 255:
             raise ValueError("too many dimensions")
 
-        flat = np.ascontiguousarray(data).reshape(-1)
-        payload = self._encode_with_shape(flat, data.shape)
+        with obs.span("compressors.compress", codec=self.variant) as sp:
+            flat = np.ascontiguousarray(data).reshape(-1)
+            payload = self._encode_with_shape(flat, data.shape)
 
-        writer = SectionWriter()
-        writer.add(
-            "head",
-            self._HEADER.pack(1, dtype_code.encode(), data.ndim)
-            + struct.pack(f"<{data.ndim}Q", *data.shape)
-            + self._codec_tag().encode("utf-8"),
-        )
-        writer.add("data", payload)
-        return writer.tobytes()
+            writer = SectionWriter()
+            writer.add(
+                "head",
+                self._HEADER.pack(1, dtype_code.encode(), data.ndim)
+                + struct.pack(f"<{data.ndim}Q", *data.shape)
+                + self._codec_tag().encode("utf-8"),
+            )
+            writer.add("data", payload)
+            blob = writer.tobytes()
+            sp.note(bytes=data.nbytes, bytes_out=len(blob))
+            _BYTES_IN.add(data.nbytes)
+            _BYTES_OUT.add(len(blob))
+            return blob
 
     @boundary("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
@@ -156,21 +169,25 @@ class Compressor(abc.ABC):
         known, against the original: same dtype and shape, and no NaN/Inf
         introduced at points that were valid and finite on the way in.
         """
-        reader = SectionReader(blob)
-        head = reader.get("head")
-        version, dtype_code, ndim = self._HEADER.unpack_from(head, 0)
-        if version != 1:
-            raise ValueError(f"unsupported blob version {version}")
-        shape = struct.unpack_from(f"<{ndim}Q", head, self._HEADER.size)
-        tag = head[self._HEADER.size + 8 * ndim :].decode("utf-8")
-        if tag != self._codec_tag():
-            raise ValueError(
-                f"blob was written by {tag!r}, this codec is {self._codec_tag()!r}"
-            )
-        dtype = _SUPPORTED_DTYPES[dtype_code.decode()]
-        count = int(np.prod(shape))
-        values = self._decode_values(reader.get("data"), count, dtype)
-        return values.astype(dtype, copy=False).reshape(shape)
+        with obs.span("compressors.decompress", codec=self.variant) as sp:
+            reader = SectionReader(blob)
+            head = reader.get("head")
+            version, dtype_code, ndim = self._HEADER.unpack_from(head, 0)
+            if version != 1:
+                raise ValueError(f"unsupported blob version {version}")
+            shape = struct.unpack_from(f"<{ndim}Q", head, self._HEADER.size)
+            tag = head[self._HEADER.size + 8 * ndim :].decode("utf-8")
+            if tag != self._codec_tag():
+                raise ValueError(
+                    f"blob was written by {tag!r}, "
+                    f"this codec is {self._codec_tag()!r}"
+                )
+            dtype = _SUPPORTED_DTYPES[dtype_code.decode()]
+            count = int(np.prod(shape))
+            values = self._decode_values(reader.get("data"), count, dtype)
+            out = values.astype(dtype, copy=False).reshape(shape)
+            sp.note(bytes=out.nbytes)
+            return out
 
     def roundtrip(self, data: np.ndarray) -> CompressionOutcome:
         """Compress and reconstruct, returning sizes alongside the result.
@@ -179,13 +196,18 @@ class Compressor(abc.ABC):
         with identical dtype and shape.
         """
         data = np.asarray(data)
-        blob = self.compress(data)
-        return CompressionOutcome(
-            codec=self.variant,
-            blob=blob,
-            reconstructed=self.decompress(blob),
-            original_nbytes=data.nbytes,
-        )
+        with obs.span("compressors.roundtrip", codec=self.variant) as sp:
+            blob = self.compress(data)
+            outcome = CompressionOutcome(
+                codec=self.variant,
+                blob=blob,
+                reconstructed=self.decompress(blob),
+                original_nbytes=data.nbytes,
+            )
+            sp.note(cr=outcome.cr)
+            _ROUNDTRIPS.add(1)
+            _LAST_CR.set(outcome.cr, codec=self.variant)
+            return outcome
 
     # -- subclass hooks ---------------------------------------------------
 

@@ -20,6 +20,13 @@ Environment knobs
     (:mod:`repro.check.sanitize`): codec round trips, the PVT z-score and
     E_nmax paths, and ``parallel_map`` then verify dtype/shape/NaN
     invariants on every call and raise ``SanitizerError`` on violation.
+``REPRO_TRACE``
+    Set to ``1`` to activate the observability layer (:mod:`repro.obs`):
+    codec, PVT, parallel, and harness stages then record hierarchical
+    wall-clock spans and counters, rendered by ``repro stats``.
+``REPRO_TRACE_JSONL`` / ``REPRO_TRACE_CHROME``
+    Optional trace output paths: a JSON-lines event stream and a
+    Chrome-trace/Perfetto file (see ``docs/observability.md``).
 """
 
 from __future__ import annotations

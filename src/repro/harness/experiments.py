@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.config import ReproConfig, bench_scale, test_scale
 from repro.model.ensemble import CAMEnsemble
 from repro.model.variables import FEATURED
@@ -38,15 +39,19 @@ class ExperimentContext:
             config.ne, config.nlev, config.n_members,
             config.n_2d, config.n_3d, config.base_seed,
         )
-        ctx = _CONTEXT_CACHE.get(key)
-        if ctx is None:
-            ensemble = CAMEnsemble(config)
-            ctx = cls(
-                config=config,
-                ensemble=ensemble,
-                pvt=CesmPvt(ensemble),
-            )
-            _CONTEXT_CACHE[key] = ctx
+        with obs.span("harness.context", ne=config.ne,
+                      members=config.n_members) as sp:
+            ctx = _CONTEXT_CACHE.get(key)
+            sp.note(cache_hit=ctx is not None)
+            if ctx is None:
+                ensemble = CAMEnsemble(config)
+                ctx = cls(
+                    config=config,
+                    ensemble=ensemble,
+                    pvt=CesmPvt(ensemble),
+                )
+                _CONTEXT_CACHE[key] = ctx
+                obs.counter("harness.members_built").add(config.n_members)
         return ctx
 
     @classmethod

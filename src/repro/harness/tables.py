@@ -7,10 +7,9 @@ benchmark harness can both print the table and archive it.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import obs
 from repro.compressors import (
     Apax,
     Fpzip,
@@ -97,8 +96,12 @@ def table4_enmax(ctx: ExperimentContext):
 def table5_timings(ctx: ExperimentContext, repeats: int = 3):
     """Table 5: compression/reconstruction wall-clock and CR for U, FSDSC.
 
-    (The pytest-benchmark variant in ``benchmarks/`` gives calibrated
-    timings; this driver produces the full table in one call.)
+    Timings come from the ``repro.obs`` spans the codecs already emit
+    (``compressors.compress`` / ``compressors.decompress``): each
+    (variant, variable) cell runs ``repeats`` warm round trips into a
+    private aggregator and reads back the minimum span duration.  (The
+    pytest-benchmark variant in ``benchmarks/`` gives calibrated timings;
+    this driver produces the full table in one call.)
     """
     headers = []
     for name in ("U", "FSDSC"):
@@ -110,18 +113,15 @@ def table5_timings(ctx: ExperimentContext, repeats: int = 3):
         cells = [variant]
         for name in ("U", "FSDSC"):
             field = ctx.member_field(name)
-            comp_times, rec_times = [], []
-            blob = codec.compress(field)
-            for _ in range(repeats):
-                t0 = time.perf_counter()
-                blob = codec.compress(field)
-                comp_times.append(time.perf_counter() - t0)
-                t0 = time.perf_counter()
-                codec.decompress(blob)
-                rec_times.append(time.perf_counter() - t0)
-            cells += [
-                min(comp_times), min(rec_times), len(blob) / field.nbytes,
-            ]
+            blob = codec.compress(field)  # warm imports/caches, untraced
+            agg = obs.Aggregator()
+            with obs.tracing(sinks=[agg]):
+                for _ in range(repeats):
+                    blob = codec.compress(field)
+                    codec.decompress(blob)
+            comp = agg.codec_stats("compressors.compress", variant)
+            rec = agg.codec_stats("compressors.decompress", variant)
+            cells += [comp.min, rec.min, len(blob) / field.nbytes]
         rows.append(cells)
     return headers, rows
 

@@ -1,0 +1,93 @@
+"""repro.obs — zero-dependency tracing + metrics observability layer.
+
+The paper's methodology is a pipeline (ensemble generation -> compression
+round trips -> PVT acceptance tests -> hybrid selection); steering it at
+scale needs timing and throughput visibility into each stage.  This
+package provides:
+
+- hierarchical wall-clock **spans** — ``with span("pvt.zscore"): ...`` or
+  ``@traced("subsystem.stage")`` — recording duration, metadata, and
+  parent/child nesting, including across ``parallel_map`` workers;
+- typed **counters and gauges** for the domain's hot numbers (bytes
+  in/out, compression ratio, codec MB/s, ensemble members built, PVT
+  pass/fail tallies);
+- pluggable **sinks**: the in-process :class:`~repro.obs.sinks.Aggregator`
+  behind ``repro stats``, a JSON-lines trace writer, and a Chrome-trace
+  (``chrome://tracing`` / Perfetto) exporter.
+
+Everything is gated behind ``REPRO_TRACE=1`` (or the :func:`tracing`
+context manager); the untraced path costs one flag check per
+instrumentation point (<2% overhead, enforced by
+``benchmarks/bench_obs_overhead.py``).  File sinks are configured with
+``REPRO_TRACE_JSONL=<path>`` and ``REPRO_TRACE_CHROME=<path>``.
+
+The instrumentation contract — span naming scheme, which metrics each
+layer must emit, and how to open a trace in Perfetto — is documented in
+``docs/observability.md`` and enforced by the REP009 lint rule (ad-hoc
+``time.perf_counter()`` timing outside this package is a finding).
+
+Like :mod:`repro.check.hooks`, this package imports nothing from the rest
+of :mod:`repro`, so any layer can instrument itself without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import (
+    Counter,
+    Gauge,
+    MetricEvent,
+    SpanRecord,
+    WorkerTask,
+    active,
+    aggregator,
+    counter,
+    current_depth,
+    current_span_name,
+    flush_sinks,
+    gauge,
+    get_override,
+    merge_events,
+    reset,
+    set_override,
+    span,
+    traced,
+    tracing,
+)
+from repro.obs.sinks import (
+    Aggregator,
+    BufferSink,
+    ChromeTraceSink,
+    JsonlSink,
+    Sink,
+    SpanStats,
+    load_jsonl,
+)
+
+__all__ = [
+    "Aggregator",
+    "BufferSink",
+    "ChromeTraceSink",
+    "Counter",
+    "Gauge",
+    "JsonlSink",
+    "MetricEvent",
+    "Sink",
+    "SpanRecord",
+    "SpanStats",
+    "WorkerTask",
+    "active",
+    "aggregator",
+    "counter",
+    "current_depth",
+    "current_span_name",
+    "flush_sinks",
+    "gauge",
+    "get_override",
+    "load_jsonl",
+    "merge_events",
+    "reset",
+    "set_override",
+    "span",
+    "traced",
+    "tracing",
+]

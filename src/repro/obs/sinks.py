@@ -1,0 +1,341 @@
+"""Pluggable trace/metric sinks: aggregator, JSON-lines, Chrome trace.
+
+Every sink consumes the :class:`repro.obs.core.SpanRecord` /
+:class:`repro.obs.core.MetricEvent` stream:
+
+- :class:`Aggregator` — in-process per-stage statistics (count, total and
+  mean wall time, bytes, compression ratio, MB/s), rendered by
+  ``repro stats``;
+- :class:`JsonlSink` — one JSON object per event, append-only and flushed
+  per write, so a trace is loadable even mid-run (and rebuildable into an
+  :class:`Aggregator` via :meth:`Aggregator.from_jsonl`);
+- :class:`ChromeTraceSink` — the Chrome trace-event JSON object format;
+  open the file in ``chrome://tracing`` or https://ui.perfetto.dev;
+- :class:`BufferSink` — an in-memory list used to ferry worker events
+  across the process boundary (see :class:`repro.obs.core.WorkerTask`).
+
+Sinks are zero-dependency (stdlib only) like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.obs.core import MetricEvent, SpanRecord
+
+__all__ = [
+    "Aggregator",
+    "BufferSink",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "Sink",
+    "SpanStats",
+]
+
+
+class Sink:
+    """Event consumer interface; subclasses override what they need."""
+
+    def on_span(self, record: SpanRecord) -> None:
+        """Consume one completed span."""
+
+    def on_metric(self, event: MetricEvent) -> None:
+        """Consume one counter/gauge event."""
+
+    def flush(self) -> None:
+        """Make output produced so far loadable (file sinks)."""
+
+    def close(self) -> None:
+        """Flush and release resources."""
+        self.flush()
+
+
+# -- in-process aggregation --------------------------------------------------
+
+@dataclass
+class SpanStats:
+    """Accumulated wall-clock/byte statistics for one span name."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+    bytes: int = 0
+    bytes_out: int = 0
+
+    def add(self, duration: float, n_bytes: int, n_bytes_out: int) -> None:
+        """Fold one span's duration (seconds) and byte metadata in."""
+        self.count += 1
+        self.total += duration
+        self.min = min(self.min, duration)
+        self.max = max(self.max, duration)
+        self.bytes += n_bytes
+        self.bytes_out += n_bytes_out
+
+    @property
+    def mean(self) -> float:
+        """Mean duration in seconds."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def mb_per_s(self) -> float | None:
+        """Throughput over the uncompressed payload (``None`` if unknown)."""
+        if self.bytes == 0 or self.total <= 0.0:
+            return None
+        return self.bytes / 1e6 / self.total
+
+    @property
+    def cr(self) -> float | None:
+        """Compression ratio (bytes out / bytes in, smaller is better)."""
+        if self.bytes == 0 or self.bytes_out == 0:
+            return None
+        return self.bytes_out / self.bytes
+
+
+def _metric_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}[{inner}]"
+
+
+class Aggregator(Sink):
+    """Per-stage statistics plus counter/gauge totals.
+
+    Spans fold into one :class:`SpanStats` per span name, with a
+    per-``codec`` breakdown (from the span's ``codec`` metadata) kept on
+    the side for drivers like Table 5 that need per-variant timings.
+    """
+
+    def __init__(self) -> None:
+        self.spans: dict[str, SpanStats] = {}
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._by_codec: dict[tuple[str, str], SpanStats] = {}
+
+    def on_span(self, record: SpanRecord) -> None:
+        """Fold one span record into the per-stage statistics."""
+        n_bytes = int(record.meta.get("bytes", 0))
+        n_out = int(record.meta.get("bytes_out", 0))
+        stats = self.spans.get(record.name)
+        if stats is None:
+            stats = self.spans[record.name] = SpanStats()
+        stats.add(record.duration, n_bytes, n_out)
+        codec = record.meta.get("codec")
+        if codec is not None:
+            key = (record.name, str(codec))
+            per = self._by_codec.get(key)
+            if per is None:
+                per = self._by_codec[key] = SpanStats()
+            per.add(record.duration, n_bytes, n_out)
+
+    def on_metric(self, event: MetricEvent) -> None:
+        """Fold one counter increment / gauge observation in."""
+        key = _metric_key(event.name, event.labels)
+        if event.kind == "counter":
+            self.counters[key] = self.counters.get(key, 0.0) + event.value
+        else:
+            self.gauges[key] = event.value
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, name: str) -> SpanStats | None:
+        """Statistics for one span name (``None`` if never seen)."""
+        return self.spans.get(name)
+
+    def codec_stats(self, name: str, codec: str) -> SpanStats | None:
+        """Per-codec breakdown of one span name."""
+        return self._by_codec.get((name, codec))
+
+    @property
+    def empty(self) -> bool:
+        """True when no span or metric has ever been recorded."""
+        return not (self.spans or self.counters or self.gauges)
+
+    # -- rendering ---------------------------------------------------------
+
+    def table(self) -> tuple[list[str], list[list]]:
+        """The ``repro stats`` per-stage table as ``(headers, rows)``."""
+        headers = ["stage", "count", "total (s)", "mean (s)",
+                   "MB", "CR", "MB/s"]
+        rows: list[list] = []
+        for name in sorted(self.spans):
+            s = self.spans[name]
+            rows.append([
+                name, s.count, s.total, s.mean,
+                s.bytes / 1e6 if s.bytes else None,
+                s.cr, s.mb_per_s,
+            ])
+        return headers, rows
+
+    def metrics_table(self) -> tuple[list[str], list[list]]:
+        """Counter totals and gauge last-values as ``(headers, rows)``."""
+        headers = ["metric", "kind", "value"]
+        rows: list[list] = []
+        for name in sorted(self.counters):
+            rows.append([name, "counter", self.counters[name]])
+        for name in sorted(self.gauges):
+            rows.append([name, "gauge", self.gauges[name]])
+        return headers, rows
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "Aggregator":
+        """Rebuild an aggregator from a :class:`JsonlSink` trace file."""
+        agg = cls()
+        for event in load_jsonl(path):
+            if isinstance(event, SpanRecord):
+                agg.on_span(event)
+            else:
+                agg.on_metric(event)
+        return agg
+
+
+# -- buffering (worker side) -------------------------------------------------
+
+class BufferSink(Sink):
+    """Collect raw events in memory (picklable, order-preserving)."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def on_span(self, record: SpanRecord) -> None:
+        """Append the span record."""
+        self.events.append(record)
+
+    def on_metric(self, event: MetricEvent) -> None:
+        """Append the metric event."""
+        self.events.append(event)
+
+
+# -- JSON lines --------------------------------------------------------------
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    # numpy scalars and anything else exotic: collapse via float/str.
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class JsonlSink(Sink):
+    """Append one JSON object per event to ``path``, flushing per write."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = None
+
+    def _write(self, obj: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def on_span(self, record: SpanRecord) -> None:
+        """Write the span as a ``{"type": "span", ...}`` line."""
+        self._write({
+            "type": "span", "name": record.name, "ts": record.ts,
+            "dur": record.duration, "parent": record.parent,
+            "depth": record.depth, "pid": record.pid, "tid": record.tid,
+            "meta": _jsonable(record.meta),
+        })
+
+    def on_metric(self, event: MetricEvent) -> None:
+        """Write the metric as a ``{"type": "counter"|"gauge", ...}`` line."""
+        self._write({
+            "type": event.kind, "name": event.name, "value": event.value,
+            "ts": event.ts, "pid": event.pid, "tid": event.tid,
+            "labels": _jsonable(event.labels),
+        })
+
+    def close(self) -> None:
+        """Close the file handle."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def load_jsonl(path: str | Path) -> list:
+    """Parse a :class:`JsonlSink` file back into records/events."""
+    out: list = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        if obj["type"] == "span":
+            out.append(SpanRecord(
+                name=obj["name"], ts=obj["ts"], duration=obj["dur"],
+                parent=obj["parent"], depth=obj["depth"],
+                pid=obj["pid"], tid=obj["tid"], meta=obj.get("meta", {}),
+            ))
+        else:
+            out.append(MetricEvent(
+                kind=obj["type"], name=obj["name"], value=obj["value"],
+                ts=obj["ts"], pid=obj["pid"], tid=obj["tid"],
+                labels=obj.get("labels", {}),
+            ))
+    return out
+
+
+# -- Chrome trace ------------------------------------------------------------
+
+class ChromeTraceSink(Sink):
+    """Buffer events and write a ``chrome://tracing``/Perfetto JSON file.
+
+    Spans become ``"X"`` (complete) events, counters become ``"C"``
+    events; timestamps are rebased to the earliest event so the trace
+    opens at t=0.  The file is (re)written on :meth:`flush`/:meth:`close`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._spans: list[SpanRecord] = []
+        self._metrics: list[MetricEvent] = []
+
+    def on_span(self, record: SpanRecord) -> None:
+        """Buffer the span for the next flush."""
+        self._spans.append(record)
+
+    def on_metric(self, event: MetricEvent) -> None:
+        """Buffer counters for the next flush (gauges are skipped)."""
+        if event.kind == "counter":
+            self._metrics.append(event)
+
+    def flush(self) -> None:
+        """Write the full trace file (idempotent, safe mid-run)."""
+        if not self._spans and not self._metrics:
+            return
+        t0 = min(
+            [r.ts for r in self._spans] + [e.ts for e in self._metrics]
+        )
+        events = []
+        for r in self._spans:
+            events.append({
+                "ph": "X", "name": r.name, "cat": "span",
+                "ts": (r.ts - t0) * 1e6, "dur": r.duration * 1e6,
+                "pid": r.pid, "tid": r.tid,
+                "args": _jsonable(dict(r.meta, parent=r.parent,
+                                       depth=r.depth)),
+            })
+        totals: dict[tuple[int, str], float] = {}
+        for e in self._metrics:
+            key = (e.pid, e.name)
+            totals[key] = totals.get(key, 0.0) + e.value
+            events.append({
+                "ph": "C", "name": e.name, "cat": "metric",
+                "ts": (e.ts - t0) * 1e6, "pid": e.pid, "tid": 0,
+                "args": {e.name: totals[key]},
+            })
+        events.sort(key=lambda ev: ev["ts"])
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)

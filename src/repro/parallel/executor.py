@@ -5,6 +5,12 @@ the calls out over worker processes.  Results always come back in input
 order; worker exceptions propagate to the caller.  With ``workers <= 1``
 (or a single task) it degrades to a plain loop, which keeps the same code
 path debuggable and avoids pool overhead for small runs.
+
+Under ``REPRO_TRACE=1`` the whole map is timed as a ``parallel.map`` span
+and the span context crosses the pool: each task runs inside
+:class:`repro.obs.WorkerTask`, which buffers the worker's spans/metrics
+and hands them back with the result so the parent can merge them into its
+sinks (nested under the submitting span, worker pid/tid preserved).
 """
 
 from __future__ import annotations
@@ -14,12 +20,15 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import obs
 from repro.check import hooks
 
 __all__ = ["parallel_map", "effective_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_TASKS = obs.counter("parallel.tasks")
 
 
 def _require_picklable_callable(fn: Callable) -> None:
@@ -75,8 +84,10 @@ def parallel_map(
     if chunksize < 1:
         raise ValueError(f"chunksize must be positive, got {chunksize}")
     n = effective_workers(workers, len(items))
+    _TASKS.add(len(items))
     if n == 1 or len(items) <= 1:
-        results = [fn(item) for item in items]
+        with obs.span("parallel.map", tasks=len(items), workers=1):
+            results = [fn(item) for item in items]
         if items and hooks.active():
             # REPRO_SANITIZE: replay the first task and require identical
             # output, catching nondeterministic task functions while the
@@ -84,5 +95,15 @@ def parallel_map(
             hooks.check_serial_replay(fn, items[0], results[0])
         return results
     _require_picklable_callable(fn)
-    with ProcessPoolExecutor(max_workers=n) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+    if not obs.active():
+        with ProcessPoolExecutor(max_workers=n) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    with obs.span("parallel.map", tasks=len(items), workers=n) as sp:
+        task = obs.WorkerTask(fn, parent=sp.name, depth=obs.current_depth())
+        with ProcessPoolExecutor(max_workers=n) as pool:
+            packed = list(pool.map(task, items, chunksize=chunksize))
+    results = []
+    for result, events in packed:
+        obs.merge_events(events)
+        results.append(result)
+    return results

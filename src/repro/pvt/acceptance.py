@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.compressors.base import Compressor
 from repro.config import (
     BIAS_SLOPE_LIMIT,
@@ -40,6 +41,11 @@ __all__ = [
     "VariableVerdict",
     "evaluate_variable",
 ]
+
+# PVT pass/fail tallies (docs/observability.md), labelled per test.
+_PASSED = obs.counter("pvt.tests_passed")
+_FAILED = obs.counter("pvt.tests_failed")
+_VARIABLES = obs.counter("pvt.variables_evaluated")
 
 
 @dataclass(frozen=True)
@@ -68,12 +74,13 @@ class VariableContext:
     @classmethod
     def from_ensemble(cls, ensemble: np.ndarray) -> "VariableContext":
         """Build the sufficient statistics and both distributions once."""
-        stats = EnsembleStats(ensemble)
-        return cls(
-            stats=stats,
-            rmsz_dist=stats.distribution(),
-            enmax_dist=enmax_distribution(ensemble),
-        )
+        with obs.span("pvt.context", members=int(ensemble.shape[0])):
+            stats = EnsembleStats(ensemble)
+            return cls(
+                stats=stats,
+                rmsz_dist=stats.distribution(),
+                enmax_dist=enmax_distribution(ensemble),
+            )
 
 
 @dataclass(frozen=True)
@@ -153,71 +160,91 @@ def evaluate_variable(
     members = [int(m) for m in members]
     if not members:
         raise ValueError("need at least one test member")
-    if context is None:
-        context = VariableContext.from_ensemble(ensemble)
-    stats = context.stats
-    rmsz_dist = context.rmsz_dist
-    enmax_dist = context.enmax_dist
+    with obs.span("pvt.variable", variable=variable, codec=codec.variant):
+        if context is None:
+            context = VariableContext.from_ensemble(ensemble)
+        stats = context.stats
+        rmsz_dist = context.rmsz_dist
+        enmax_dist = context.enmax_dist
 
-    recon, crs = _reconstruct_members(ensemble, codec, members)
+        with obs.span("pvt.reconstruct", variable=variable,
+                      members=len(members)):
+            recon, crs = _reconstruct_members(ensemble, codec, members)
 
-    rho_values = {m: pearson(ensemble[m], recon[m]) for m in members}
-    rho_verdict = TestVerdict(
-        name="rho",
-        passed=all(r >= rho_threshold for r in rho_values.values()),
-        detail={"values": rho_values, "threshold": rho_threshold},
-    )
+        with obs.span("pvt.rho", variable=variable):
+            rho_values = {m: pearson(ensemble[m], recon[m]) for m in members}
+            rho_verdict = TestVerdict(
+                name="rho",
+                passed=all(r >= rho_threshold for r in rho_values.values()),
+                detail={"values": rho_values, "threshold": rho_threshold},
+            )
 
-    rmsz_detail: dict[int, dict] = {}
-    rmsz_ok = True
-    for m in members:
-        orig_score = stats.member_rmsz(m)
-        recon_score = stats.rmsz(recon[m].reshape(-1), m)
-        within, close = rmsz_closeness_test(
-            orig_score, recon_score, rmsz_dist, rmsz_limit
+        with obs.span("pvt.zscore", variable=variable):
+            rmsz_detail: dict[int, dict] = {}
+            rmsz_ok = True
+            for m in members:
+                orig_score = stats.member_rmsz(m)
+                recon_score = stats.rmsz(recon[m].reshape(-1), m)
+                within, close = rmsz_closeness_test(
+                    orig_score, recon_score, rmsz_dist, rmsz_limit
+                )
+                rmsz_detail[m] = {
+                    "original": orig_score,
+                    "reconstructed": recon_score,
+                    "within": within,
+                    "close": close,
+                }
+                rmsz_ok &= within and close
+            rmsz_verdict = TestVerdict(
+                name="rmsz", passed=rmsz_ok,
+                detail={"members": rmsz_detail, "distribution": rmsz_dist},
+            )
+
+        with obs.span("pvt.enmax", variable=variable):
+            enmax_detail: dict[int, dict] = {}
+            enmax_ok = True
+            for m in members:
+                e_nmax = normalized_max_error(ensemble[m], recon[m])
+                within, small = enmax_ratio_test(
+                    e_nmax, enmax_dist, enmax_limit
+                )
+                enmax_detail[m] = {
+                    "e_nmax": e_nmax, "within": within, "small": small,
+                }
+                enmax_ok &= within and small
+            enmax_verdict = TestVerdict(
+                name="enmax", passed=enmax_ok,
+                detail={"members": enmax_detail, "distribution": enmax_dist},
+            )
+
+        bias_verdict: TestVerdict | None = None
+        if run_bias:
+            with obs.span("pvt.bias", variable=variable,
+                          members=int(ensemble.shape[0])):
+                result = _bias_for(ensemble, codec, stats, rmsz_dist)
+                bias_verdict = TestVerdict(
+                    name="bias",
+                    passed=result.passes(bias_limit),
+                    detail={"regression": result},
+                )
+
+        verdict = VariableVerdict(
+            variable=variable,
+            codec=codec.variant,
+            rho=rho_verdict,
+            rmsz=rmsz_verdict,
+            enmax=enmax_verdict,
+            bias=bias_verdict,
+            mean_cr=float(np.mean(list(crs.values()))),
         )
-        rmsz_detail[m] = {
-            "original": orig_score,
-            "reconstructed": recon_score,
-            "within": within,
-            "close": close,
-        }
-        rmsz_ok &= within and close
-    rmsz_verdict = TestVerdict(
-        name="rmsz", passed=rmsz_ok,
-        detail={"members": rmsz_detail, "distribution": rmsz_dist},
-    )
-
-    enmax_detail: dict[int, dict] = {}
-    enmax_ok = True
-    for m in members:
-        e_nmax = normalized_max_error(ensemble[m], recon[m])
-        within, small = enmax_ratio_test(e_nmax, enmax_dist, enmax_limit)
-        enmax_detail[m] = {"e_nmax": e_nmax, "within": within, "small": small}
-        enmax_ok &= within and small
-    enmax_verdict = TestVerdict(
-        name="enmax", passed=enmax_ok,
-        detail={"members": enmax_detail, "distribution": enmax_dist},
-    )
-
-    bias_verdict: TestVerdict | None = None
-    if run_bias:
-        result = _bias_for(ensemble, codec, stats, rmsz_dist)
-        bias_verdict = TestVerdict(
-            name="bias",
-            passed=result.passes(bias_limit),
-            detail={"regression": result},
-        )
-
-    return VariableVerdict(
-        variable=variable,
-        codec=codec.variant,
-        rho=rho_verdict,
-        rmsz=rmsz_verdict,
-        enmax=enmax_verdict,
-        bias=bias_verdict,
-        mean_cr=float(np.mean(list(crs.values()))),
-    )
+        if obs.active():
+            _VARIABLES.add(1)
+            for test in (verdict.rho, verdict.rmsz, verdict.enmax,
+                         verdict.bias):
+                if test is not None:
+                    tally = _PASSED if test.passed else _FAILED
+                    tally.add(1, test=test.name)
+        return verdict
 
 
 def _bias_for(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.compressors.base import Compressor
 from repro.metrics.characterize import valid_mask
 from repro.model.ensemble import CAMEnsemble
@@ -49,15 +50,19 @@ class PvtReport:
     verdicts: dict[str, VariableVerdict]
 
     def pass_counts(self) -> dict[str, int]:
-        """A Table 6 row: passes per test plus the "all" column."""
+        """A Table 6 row: passes per test plus the "all" column.
+
+        Values are plain ``int`` even when a verdict carries numpy bools,
+        so the mapping prints exactly as documented.
+        """
         counts = {"rho": 0, "rmsz": 0, "enmax": 0, "bias": 0, "all": 0}
         for v in self.verdicts.values():
-            counts["rho"] += v.rho.passed
-            counts["rmsz"] += v.rmsz.passed
-            counts["enmax"] += v.enmax.passed
+            counts["rho"] += int(v.rho.passed)
+            counts["rmsz"] += int(v.rmsz.passed)
+            counts["enmax"] += int(v.enmax.passed)
             if v.bias is not None:
-                counts["bias"] += v.bias.passed
-            counts["all"] += v.all_passed
+                counts["bias"] += int(v.bias.passed)
+            counts["all"] += int(v.all_passed)
         return counts
 
     @property
@@ -92,24 +97,26 @@ class CesmPvt:
         shared dycore coefficients, so nothing large is pickled).
         """
         names = self._variable_names(variables)
-        if workers and workers > 1:
-            from repro.parallel.executor import parallel_map
+        with obs.span("pvt.evaluate_codec", codec=codec.variant,
+                      variables=len(names)):
+            if workers and workers > 1:
+                from repro.parallel.executor import parallel_map
 
-            results = parallel_map(
-                _evaluate_one_remote,
-                [
-                    (self.ensemble.config, codec, name,
-                     tuple(int(m) for m in self.test_members), run_bias)
+                results = parallel_map(
+                    _evaluate_one_remote,
+                    [
+                        (self.ensemble.config, codec, name,
+                         tuple(int(m) for m in self.test_members), run_bias)
+                        for name in names
+                    ],
+                    workers=workers,
+                )
+                verdicts = dict(zip(names, results))
+            else:
+                verdicts = {
+                    name: self._evaluate_one(codec, name, run_bias)
                     for name in names
-                ],
-                workers=workers,
-            )
-            verdicts = dict(zip(names, results))
-        else:
-            verdicts = {
-                name: self._evaluate_one(codec, name, run_bias)
-                for name in names
-            }
+                }
         return PvtReport(codec=codec.variant, verdicts=verdicts)
 
     def _evaluate_one(self, codec: Compressor, name: str,

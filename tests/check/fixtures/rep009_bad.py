@@ -1,0 +1,16 @@
+"""REP009 fixture: ad-hoc wall-clock timing outside repro.obs."""
+
+import time
+from time import perf_counter
+
+
+def timed_roundtrip(codec, data):
+    """Hand-rolled timing the observability layer cannot see."""
+    t0 = time.perf_counter()          # finding: time.perf_counter()
+    blob = codec.compress(data)
+    elapsed = time.perf_counter() - t0  # finding: time.perf_counter()
+    stamp = time.time()               # finding: time.time()
+    start = perf_counter()            # finding: bare from-import call
+    ok = time.sleep                   # not a clock; no finding
+    quiet = time.monotonic()  # repro: noqa[REP009]
+    return blob, elapsed, stamp, start, ok, quiet

@@ -26,6 +26,7 @@ CASES = [
     ("REP006", "rep006_bad.py", 2),
     ("REP007", "rep007_bad.py", 1),
     ("REP008", "pvt/rep008_bad.py", 2),
+    ("REP009", "rep009_bad.py", 5),
 ]
 
 

@@ -1,0 +1,20 @@
+"""Isolation for the observability tests: fresh obs state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    """Reset sinks/override and scrub the trace env vars around each test."""
+    for var in ("REPRO_TRACE", "REPRO_TRACE_JSONL", "REPRO_TRACE_CHROME"):
+        monkeypatch.delenv(var, raising=False)
+    prev = obs.get_override()
+    obs.set_override(None)
+    obs.reset()
+    yield
+    obs.set_override(prev)
+    obs.reset()

@@ -1,0 +1,205 @@
+"""Span semantics: nesting, exception safety, activation gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+def _record_into():
+    buf = obs.BufferSink()
+    return buf, obs.tracing(sinks=[buf])
+
+
+def spans_of(buf):
+    return [e for e in buf.events if isinstance(e, obs.SpanRecord)]
+
+
+class TestNesting:
+    def test_parent_and_depth(self):
+        buf, ctx = _record_into()
+        with ctx:
+            with obs.span("outer.stage"):
+                with obs.span("inner.stage"):
+                    pass
+        inner, outer = spans_of(buf)
+        assert inner.name == "inner.stage"
+        assert inner.parent == "outer.stage"
+        assert inner.depth == 1
+        assert outer.parent is None
+        assert outer.depth == 0
+
+    def test_children_close_before_parents(self):
+        buf, ctx = _record_into()
+        with ctx:
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+                with obs.span("c"):
+                    pass
+        names = [r.name for r in spans_of(buf)]
+        assert names == ["b", "c", "a"]
+
+    def test_current_span_name_tracks_stack(self):
+        _, ctx = _record_into()
+        with ctx:
+            assert obs.current_span_name() is None
+            with obs.span("x"):
+                assert obs.current_span_name() == "x"
+                with obs.span("y"):
+                    assert obs.current_span_name() == "y"
+                assert obs.current_span_name() == "x"
+            assert obs.current_span_name() is None
+
+    def test_duration_is_positive_and_ordered(self):
+        buf, ctx = _record_into()
+        with ctx:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    sum(range(1000))
+        inner, outer = spans_of(buf)
+        assert 0.0 <= inner.duration <= outer.duration
+
+
+class TestExceptionSafety:
+    def test_span_recorded_on_raise_with_error_meta(self):
+        buf, ctx = _record_into()
+        with ctx:
+            with pytest.raises(ValueError):
+                with obs.span("failing.stage"):
+                    raise ValueError("boom")
+        (record,) = spans_of(buf)
+        assert record.name == "failing.stage"
+        assert record.meta["error"] == "ValueError"
+
+    def test_leaked_children_unwound(self):
+        """A generator abandoned mid-span must not corrupt siblings."""
+        buf, ctx = _record_into()
+
+        def gen():
+            with obs.span("leaky.child"):
+                yield 1
+                yield 2  # never reached
+
+        with ctx:
+            with obs.span("root"):
+                next(gen())  # child span left open on the stack
+            with obs.span("sibling"):
+                pass
+        by_name = {r.name: r for r in spans_of(buf)}
+        assert by_name["sibling"].parent is None
+        assert by_name["sibling"].depth == 0
+
+    def test_exception_does_not_break_stack(self):
+        buf, ctx = _record_into()
+        with ctx:
+            with pytest.raises(RuntimeError):
+                with obs.span("p"):
+                    with obs.span("q"):
+                        raise RuntimeError
+            with obs.span("after"):
+                pass
+        assert obs.current_span_name() is None
+        by_name = {r.name: r for r in spans_of(buf)}
+        assert by_name["after"].depth == 0
+
+
+class TestActivation:
+    def test_off_by_default(self):
+        assert not obs.active()
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert obs.active()
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not obs.active()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        obs.set_override(False)
+        assert not obs.active()
+        obs.set_override(None)
+        assert obs.active()
+
+    def test_trace_off_emits_nothing(self):
+        """The tier-1 guarantee: REPRO_TRACE=0 leaves every sink empty."""
+        with obs.span("s", bytes=10) as sp:
+            sp.note(more=1)
+        obs.counter("c").add(5)
+        obs.gauge("g").set(1.0)
+        agg = obs.aggregator()
+        assert agg is not None and agg.empty
+
+    def test_note_is_noop_when_off(self):
+        with obs.span("s") as sp:
+            sp.note(x=1)
+        assert sp.meta == {}
+
+    def test_tracing_restores_previous_state(self):
+        obs.set_override(False)
+        with obs.tracing():
+            assert obs.active()
+        assert obs.get_override() is False
+
+
+class TestTraced:
+    def test_named(self):
+        buf, ctx = _record_into()
+
+        @obs.traced("unit.work")
+        def work(x):
+            return x + 1
+
+        with ctx:
+            assert work(1) == 2
+        (record,) = spans_of(buf)
+        assert record.name == "unit.work"
+
+    def test_bare_decorator_derives_name(self):
+        buf, ctx = _record_into()
+
+        @obs.traced
+        def helper():
+            return 7
+
+        with ctx:
+            assert helper() == 7
+        (record,) = spans_of(buf)
+        assert record.name.endswith(".helper")
+
+
+class TestMetrics:
+    def test_counter_totals_and_labels(self):
+        agg = obs.Aggregator()
+        with obs.tracing(sinks=[agg]):
+            c = obs.counter("t.hits")
+            c.add()
+            c.add(2)
+            c.add(1, kind="b")
+        assert agg.counters["t.hits"] == 3
+        assert agg.counters["t.hits[kind=b]"] == 1
+
+    def test_gauge_last_value_wins(self):
+        agg = obs.Aggregator()
+        with obs.tracing(sinks=[agg]):
+            g = obs.gauge("t.level")
+            g.set(1.0)
+            g.set(4.0)
+        assert agg.gauges["t.level"] == 4.0
+
+    def test_interning(self):
+        assert obs.counter("same") is obs.counter("same")
+        assert obs.gauge("same") is obs.gauge("same")
+
+    def test_span_bytes_fold_into_aggregate(self):
+        agg = obs.Aggregator()
+        with obs.tracing(sinks=[agg]):
+            with obs.span("z.stage", bytes=1_000_000, bytes_out=250_000,
+                          codec="demo"):
+                pass
+        stats = agg.get("z.stage")
+        assert stats.count == 1
+        assert stats.cr == 0.25
+        assert stats.mb_per_s is not None and stats.mb_per_s > 0
+        assert agg.codec_stats("z.stage", "demo").count == 1

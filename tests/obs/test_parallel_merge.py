@@ -1,0 +1,69 @@
+"""Span/metric propagation across parallel_map worker processes."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.parallel.executor import parallel_map
+
+
+def traced_task(x: int) -> int:
+    """Module-level (picklable) task that emits a span and a counter."""
+    with obs.span("work.unit", item=x):
+        obs.counter("work.items").add(1)
+        return x * x
+
+
+def test_counters_aggregate_across_workers():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        results = parallel_map(traced_task, list(range(6)), workers=2)
+    assert results == [x * x for x in range(6)]
+    assert agg.counters["work.items"] == 6
+    # parallel.tasks counts submissions on the parent side.
+    assert agg.counters["parallel.tasks"] == 6
+    assert agg.get("work.unit").count == 6
+
+
+def test_worker_spans_nest_under_parallel_map():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        parallel_map(traced_task, [1, 2, 3, 4], workers=2)
+    buf = obs.BufferSink()
+    with obs.tracing(sinks=[buf]):
+        parallel_map(traced_task, [1, 2], workers=2)
+    spans = [e for e in buf.events if isinstance(e, obs.SpanRecord)]
+    workers = [r for r in spans if r.name == "work.unit"]
+    outer = [r for r in spans if r.name == "parallel.map"]
+    assert len(workers) == 2 and len(outer) == 1
+    for record in workers:
+        assert record.parent == "parallel.map"
+        assert record.depth == 1
+
+
+def test_worker_pid_preserved():
+    buf = obs.BufferSink()
+    with obs.tracing(sinks=[buf]):
+        parallel_map(traced_task, [1, 2, 3, 4], workers=2)
+    import os
+
+    parent_pid = os.getpid()
+    worker_spans = [
+        e for e in buf.events
+        if isinstance(e, obs.SpanRecord) and e.name == "work.unit"
+    ]
+    assert worker_spans
+    assert all(r.pid != parent_pid for r in worker_spans)
+
+
+def test_serial_path_still_traced():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        parallel_map(traced_task, [3], workers=1)
+    assert agg.get("parallel.map").count == 1
+    assert agg.get("work.unit").count == 1
+
+
+def test_untraced_parallel_map_unchanged():
+    assert parallel_map(traced_task, [2, 3], workers=2) == [4, 9]
+    agg = obs.aggregator()
+    assert agg is not None and agg.empty

@@ -1,0 +1,120 @@
+"""Golden-file tests for the JSONL and Chrome trace sinks.
+
+A fixed mini-workload is traced into each file sink; volatile fields
+(timestamps, durations, process/thread ids) are zeroed and the result is
+compared byte-for-byte against the goldens under ``golden/``.  Regenerate
+them with ``python tests/obs/test_sinks_golden.py`` after an intentional
+format change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import obs
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def run_workload(sinks) -> None:
+    """The fixed trace every golden is generated from."""
+    with obs.tracing(sinks=sinks):
+        with obs.span("demo.roundtrip", codec="fpzip-24",
+                      bytes=1000, bytes_out=500):
+            with obs.span("demo.inner", variable="U"):
+                pass
+        obs.counter("demo.items").add(2, kind="a")
+        obs.counter("demo.items").add(1)
+        obs.gauge("demo.level").set(0.5)
+
+
+def normalized_jsonl(path) -> list[dict]:
+    """Parse a JSONL trace with volatile fields zeroed."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        obj = json.loads(line)
+        obj.update(ts=0.0, pid=0, tid=0)
+        if "dur" in obj:
+            obj["dur"] = 0.0
+        out.append(obj)
+    return out
+
+
+def normalized_chrome(path) -> dict:
+    """Parse a Chrome trace with volatile fields zeroed."""
+    obj = json.loads(Path(path).read_text())
+    for event in obj["traceEvents"]:
+        event.update(ts=0.0, pid=0, tid=0)
+        if "dur" in event:
+            event["dur"] = 0.0
+    return obj
+
+
+def test_jsonl_matches_golden(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    sink = obs.JsonlSink(trace)
+    run_workload([sink])
+    sink.close()
+    expected = json.loads((GOLDEN / "trace_jsonl.golden.json").read_text())
+    assert normalized_jsonl(trace) == expected
+
+
+def test_jsonl_roundtrips_through_aggregator(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    sink = obs.JsonlSink(trace)
+    run_workload([sink])
+    sink.close()
+    agg = obs.Aggregator.from_jsonl(trace)
+    assert agg.get("demo.roundtrip").count == 1
+    assert agg.get("demo.roundtrip").cr == 0.5
+    assert agg.counters["demo.items[kind=a]"] == 2
+    assert agg.counters["demo.items"] == 1
+    assert agg.gauges["demo.level"] == 0.5
+
+
+def test_chrome_matches_golden(tmp_path):
+    trace = tmp_path / "chrome.json"
+    sink = obs.ChromeTraceSink(trace)
+    run_workload([sink])
+    sink.close()
+    expected = json.loads((GOLDEN / "chrome.golden.json").read_text())
+    assert normalized_chrome(trace) == expected
+
+
+def test_chrome_is_loadable_trace_object(tmp_path):
+    trace = tmp_path / "chrome.json"
+    sink = obs.ChromeTraceSink(trace)
+    run_workload([sink])
+    sink.close()
+    obj = json.loads(trace.read_text())
+    assert set(obj) == {"traceEvents", "displayTimeUnit"}
+    phases = {e["ph"] for e in obj["traceEvents"]}
+    assert phases == {"X", "C"}
+    # timestamps rebase to t=0 and are sorted
+    ts = [e["ts"] for e in obj["traceEvents"]]
+    assert ts[0] == 0.0 and ts == sorted(ts)
+
+
+def _regenerate() -> None:
+    GOLDEN.mkdir(exist_ok=True)
+    jsonl = GOLDEN / "_tmp.jsonl"
+    chrome = GOLDEN / "_tmp_chrome.json"
+    for tmp in (jsonl, chrome):
+        tmp.unlink(missing_ok=True)
+    jsink, csink = obs.JsonlSink(jsonl), obs.ChromeTraceSink(chrome)
+    run_workload([jsink, csink])
+    jsink.close()
+    csink.close()
+    (GOLDEN / "trace_jsonl.golden.json").write_text(
+        json.dumps(normalized_jsonl(jsonl), indent=1, sort_keys=True) + "\n"
+    )
+    (GOLDEN / "chrome.golden.json").write_text(
+        json.dumps(normalized_chrome(chrome), indent=1, sort_keys=True) + "\n"
+    )
+    jsonl.unlink()
+    chrome.unlink()
+
+
+if __name__ == "__main__":
+    _regenerate()

@@ -1,0 +1,52 @@
+"""The ``repro stats`` command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cli import build_parser, main
+
+SCALE = ["--ne", "3", "--nlev", "5", "--members", "21"]
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["stats"])
+    assert args.variant == "fpzip-24"
+    assert args.workers == 2
+    assert not args.bias
+    assert args.from_jsonl is None
+
+
+def test_stats_runs_traced_workload(capsys):
+    assert main(["stats", "NetCDF-4", "U", "--workers", "2", *SCALE]) == 0
+    out = capsys.readouterr().out
+    # the per-stage table covers the compressor, PVT, and parallel seams
+    for stage in ("compressors.compress", "compressors.decompress",
+                  "pvt.variable", "pvt.zscore", "parallel.map",
+                  "harness.context"):
+        assert stage in out, f"missing stage {stage}"
+    assert "CR" in out and "MB/s" in out
+    assert "compressors.bytes_in" in out  # counters table
+    # the run is scoped: tracing is off again afterwards
+    assert not obs.active()
+
+
+def test_stats_from_jsonl(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    sink = obs.JsonlSink(trace)
+    with obs.tracing(sinks=[sink]):
+        with obs.span("compressors.compress", codec="demo",
+                      bytes=100, bytes_out=50):
+            pass
+        obs.counter("compressors.bytes_in").add(100)
+    sink.close()
+    assert main(["stats", "--from-jsonl", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "compressors.compress" in out
+    assert "compressors.bytes_in" in out
+
+
+def test_stats_from_missing_jsonl_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["stats", "--from-jsonl", str(tmp_path / "nope.jsonl")])

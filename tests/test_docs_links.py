@@ -1,0 +1,69 @@
+"""Every path referenced in README.md and docs/*.md must exist.
+
+Documentation drift — a renamed module, a moved benchmark — shows up here
+instead of in a confused reader.  The check extracts backticked tokens
+and markdown link targets that look like repo paths and stats them from
+the repo root.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+#: `token` mentions that look like files: contain a slash or end in a
+#: known suffix.  Command lines, globs, URLs, and env-var assignments are
+#: not path claims.
+_BACKTICK = re.compile(r"`([^`\s]+)`")
+_LINK = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
+_SUFFIXES = (".py", ".md", ".toml", ".cfg", ".ini")
+
+
+def _candidate_paths(text: str) -> set[str]:
+    found: set[str] = set()
+    for token in _BACKTICK.findall(text):
+        if "://" in token or token.startswith(("/", "~")):
+            continue  # URLs/schemes and machine-local paths
+        if any(ch in token for ch in "{}*$=<>()"):
+            continue  # globs, placeholders, env assignments, call syntax
+        if "/" in token or token.endswith(_SUFFIXES):
+            found.add(token.rstrip("/"))
+    for target in _LINK.findall(text):
+        if "://" not in target:
+            found.add(target.strip())
+    return found
+
+
+def _resolve(doc: Path, token: str) -> bool:
+    # tokens are written repo-relative or package-relative (src/repro);
+    # relative links also resolve against the document's own directory.
+    return any(
+        (base / token).exists()
+        for base in (REPO, REPO / "src" / "repro", doc.parent)
+    )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_referenced_paths_exist(doc):
+    missing = sorted(
+        token for token in _candidate_paths(doc.read_text())
+        if not _resolve(doc, token)
+    )
+    assert not missing, (
+        f"{doc.name} references paths that do not exist: {missing}"
+    )
+
+
+def test_docs_are_linked_from_readme():
+    readme = (REPO / "README.md").read_text()
+    assert "docs/architecture.md" in readme
+    assert "docs/observability.md" in readme
