@@ -18,7 +18,7 @@ Run:  python examples/analysis_quality.py
 import numpy as np
 
 from repro.compressors import ApaxProfiler, get_variant
-from repro.config import ReproConfig
+from repro.config import example_scale
 from repro.harness.report import render_table
 from repro.metrics.gradient import gradient_impact
 from repro.metrics.ssim import rasterize, ssim
@@ -27,7 +27,7 @@ from repro.pvt.budget import energy_budget_residual, global_mean_shift
 
 
 def main() -> None:
-    config = ReproConfig(ne=6, nlev=8, n_members=5, n_2d=10, n_3d=10)
+    config = example_scale(ne=6, nlev=8, n_members=5, n_2d=10, n_3d=10)
     ensemble = CAMEnsemble(config)
     grid = ensemble.model.grid
 

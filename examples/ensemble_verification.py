@@ -18,7 +18,7 @@ Run:  python examples/ensemble_verification.py [variant] [variable]
 import sys
 
 from repro.compressors import get_variant
-from repro.config import ReproConfig
+from repro.config import example_scale
 from repro.model import CAMEnsemble
 from repro.pvt import CesmPvt
 
@@ -27,7 +27,7 @@ def main() -> None:
     variant = sys.argv[1] if len(sys.argv) > 1 else "fpzip-24"
     variable = sys.argv[2] if len(sys.argv) > 2 else "U"
 
-    config = ReproConfig(ne=6, nlev=8, n_members=41, n_2d=10, n_3d=10)
+    config = example_scale(ne=6, nlev=8, n_members=41, n_2d=10, n_3d=10)
     print(f"Running a {config.n_members}-member ensemble "
           f"(ne={config.ne}, {config.ncol} columns) ...")
     ensemble = CAMEnsemble(config)

@@ -19,7 +19,7 @@ Run:  python examples/hybrid_compression.py
 import tempfile
 from pathlib import Path
 
-from repro.config import ReproConfig
+from repro.config import example_scale
 from repro.harness.report import render_table
 from repro.hybrid import build_all_hybrids
 from repro.model import CAMEnsemble
@@ -27,7 +27,7 @@ from repro.ncio import TimeSeriesFile, convert_to_timeseries, write_history
 
 
 def main() -> None:
-    config = ReproConfig(ne=5, nlev=8, n_members=31, n_2d=12, n_3d=12)
+    config = example_scale(ne=5, nlev=8, n_members=31, n_2d=12, n_3d=12)
     print(f"Building a {config.n_members}-member verification ensemble "
           f"({config.n_variables} variables) ...")
     ensemble = CAMEnsemble(config)

@@ -18,13 +18,13 @@ Run:  python examples/port_verification.py
 
 import numpy as np
 
-from repro.config import ReproConfig
+from repro.config import example_scale
 from repro.model import CAMEnsemble
 from repro.pvt import CesmPvt
 
 
 def main() -> None:
-    config = ReproConfig(ne=5, nlev=8, n_members=41, n_2d=8, n_3d=8)
+    config = example_scale(ne=5, nlev=8, n_members=41, n_2d=8, n_3d=8)
     print(f"Trusted machine: running the {config.n_members}-member "
           "ensemble ...")
     trusted = CAMEnsemble(config)

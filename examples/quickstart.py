@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.compressors import get_variant, paper_variants
-from repro.config import RHO_THRESHOLD, ReproConfig
+from repro.config import RHO_THRESHOLD, example_scale
 from repro.harness.report import render_table
 from repro.metrics import characterize, nrmse, normalized_max_error, pearson
 from repro.model import CAMEnsemble
@@ -20,7 +20,7 @@ from repro.model import CAMEnsemble
 
 def main() -> None:
     # A small ensemble is enough for a single-field demo.
-    config = ReproConfig(ne=6, nlev=8, n_members=5, n_2d=10, n_3d=10)
+    config = example_scale(ne=6, nlev=8, n_members=5, n_2d=10, n_3d=10)
     ensemble = CAMEnsemble(config)
     field = ensemble.member_field("U", 0)
 

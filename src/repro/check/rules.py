@@ -440,6 +440,17 @@ def _check_rep009(tree: ast.AST, lines: Sequence[str],
     return found
 
 
+# -- REP010 ------------------------------------------------------------------
+
+def _check_rep010(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    if not isinstance(tree, ast.Module):
+        return []
+    if ast.get_docstring(tree) is not None:
+        return []
+    return [(1, 0, "module has no docstring")]
+
+
 # -- registry ----------------------------------------------------------------
 
 RULES: tuple[Rule, ...] = (
@@ -560,6 +571,19 @@ RULES: tuple[Rule, ...] = (
         applies=lambda parts: _not_tests(parts) and "obs" not in parts
         and "benchmarks" not in parts,
         check=_check_rep009,
+    ),
+    Rule(
+        id="REP010",
+        title="module without a docstring",
+        severity="warning",
+        rationale="The package map in docs/architecture.md is navigable "
+                  "only because every module under src/repro states its "
+                  "role; an undocumented module is where the next "
+                  "subsystem quietly loses its seam.",
+        fix_hint="open the module with a docstring summarizing what it "
+                 "owns and which layer calls it",
+        applies=_in("repro"),
+        check=_check_rep010,
     ),
 )
 

@@ -9,10 +9,13 @@ Exposes the paper's workflows as commands:
 - ``variants``     — list the registered codec variants;
 - ``lint``         — run the repro.check numeric-safety static analyzer;
 - ``stats``        — run a small traced PVT workload (or aggregate an
-  existing JSONL trace) and print the per-stage observability table.
+  existing JSONL trace) and print the per-stage observability table;
+- ``store``        — inspect or trim the artifact cache (``ls`` /
+  ``info`` / ``gc`` / ``clear``, see ``docs/caching.md``).
 
 Scale flags (``--ne``, ``--nlev``, ``--members``) mirror the ``REPRO_*``
-environment knobs.
+environment knobs; ``--store PATH`` activates the artifact cache for one
+invocation the way ``REPRO_STORE=PATH`` does persistently.
 """
 
 from __future__ import annotations
@@ -39,6 +42,22 @@ def _add_scale_flags(parser: argparse.ArgumentParser) -> None:
                         help="vertical levels (paper: 30)")
     parser.add_argument("--members", type=int, default=None,
                         help="ensemble size (paper: 101)")
+    _add_store_flag(parser)
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="artifact-cache directory (default: "
+                             "$REPRO_STORE; unset disables caching)")
+
+
+def _activate_store(args) -> None:
+    """Install the ``--store`` override before any pipeline work runs."""
+    path = getattr(args, "store", None)
+    if path:
+        from repro import store
+
+        store.set_store(store.ArtifactStore(path))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the repro.check static analyzer (REP001..REP009)",
+        help="run the repro.check static analyzer (REP001..REP010)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -128,6 +147,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="aggregate an existing REPRO_TRACE_JSONL file "
                         "instead of running a workload")
     _add_scale_flags(p)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect or trim the artifact cache (docs/caching.md)",
+    )
+    p.add_argument("action", choices=["ls", "info", "gc", "clear"])
+    p.add_argument("key", nargs="?", default=None,
+                   help="artifact key or unique prefix (for info)")
+    p.add_argument("--max-mb", type=float, default=None,
+                   help="gc: evict LRU artifacts down to this size")
+    _add_store_flag(p)
     return parser
 
 
@@ -138,6 +168,7 @@ def _featured_or(names, ctx) -> list[str]:
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _activate_store(args)
 
     if args.command == "lint":
         from repro.check.__main__ import main as check_main
@@ -156,6 +187,9 @@ def main(argv=None) -> int:
         return 0
 
     from repro.harness.report import render_table
+
+    if args.command == "store":
+        return _store_command(args, render_table)
 
     if args.command == "stats":
         from repro import obs
@@ -320,6 +354,74 @@ def main(argv=None) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _store_command(args, render_table) -> int:
+    """The ``repro store ls|info|gc|clear`` actions."""
+    from datetime import datetime
+
+    from repro import store
+
+    st = store.get_store()
+    if st is None:
+        print("no artifact store configured; set REPRO_STORE=PATH or "
+              "pass --store PATH", file=sys.stderr)
+        return 2
+
+    def last_used(artifact) -> str:
+        stamp = datetime.fromtimestamp(artifact.mtime_ns / 1e9)
+        return stamp.isoformat(sep=" ", timespec="seconds")
+
+    if args.action == "ls":
+        artifacts = st.ls()
+        rows = [
+            [a.key[:12], a.kind, a.stage, a.nbytes / 1e6, last_used(a)]
+            for a in artifacts
+        ]
+        total_mb = st.total_bytes() / 1e6
+        print(render_table(
+            ["key", "kind", "stage", "MB", "last used"], rows,
+            title=f"{len(artifacts)} artifact(s) in {st.root} "
+                  f"({total_mb:.2f} MB)",
+        ))
+        return 0
+
+    if args.action == "info":
+        if not args.key:
+            print("repro store info needs a key (or unique prefix); "
+                  "see `repro store ls`", file=sys.stderr)
+            return 2
+        matches = st.find(args.key)
+        if len(matches) != 1:
+            what = "no artifact matches" if not matches else \
+                f"{len(matches)} artifacts match"
+            print(f"{what} key prefix {args.key!r}", file=sys.stderr)
+            return 1
+        a = matches[0]
+        for label, value in [
+            ("key", a.key), ("kind", a.kind), ("stage", a.stage),
+            ("payload bytes", a.nbytes), ("file bytes", a.file_bytes),
+            ("last used", last_used(a)), ("meta", a.meta),
+            ("path", a.path),
+        ]:
+            print(f"{label:14s} {value}")
+        return 0
+
+    if args.action == "gc":
+        budget = int(args.max_mb * 1e6) if args.max_mb else st.max_bytes
+        if budget is None:
+            print("store has no size cap; pass --max-mb or set "
+                  "REPRO_STORE_MAX_MB", file=sys.stderr)
+            return 2
+        evicted = st.gc(budget)
+        freed = sum(a.nbytes for a in evicted) / 1e6
+        print(f"evicted {len(evicted)} artifact(s) ({freed:.2f} MB); "
+              f"{st.total_bytes() / 1e6:.2f} MB kept")
+        return 0
+
+    n = st.clear()
+    print(f"removed {n} artifact(s) from {st.root}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -120,6 +120,25 @@ class Compressor(abc.ABC):
         """Whether this *configured instance* reconstructs bit-for-bit."""
         return False
 
+    def fingerprint(self) -> dict:
+        """Cache-key identity for :mod:`repro.store`.
+
+        Captures the codec class, its variant label, and every primitive
+        instance parameter (rates, tolerances, precisions), so two
+        instances that would produce different blobs derive different
+        artifact keys.  Array dtype/shape are *not* included — store
+        keys hash the data content separately.
+        """
+        params = {
+            name: value for name, value in sorted(vars(self).items())
+            if isinstance(value, (bool, int, float, str))
+        }
+        return {
+            "codec": type(self).__qualname__,
+            "variant": self.variant,
+            "params": params,
+        }
+
     # -- public API ------------------------------------------------------
 
     @boundary("compress")
@@ -271,6 +290,12 @@ class SpecialValueAdapter(Compressor):
     def is_lossless(self) -> bool:
         """Losslessness follows the wrapped codec."""
         return self.inner.is_lossless
+
+    def fingerprint(self) -> dict:
+        """Adapter identity plus the wrapped codec's full fingerprint."""
+        fp = super().fingerprint()
+        fp["inner"] = self.inner.fingerprint()
+        return fp
 
     def _encode_values(self, values: np.ndarray) -> bytes:
         mask = values == values.dtype.type(self.fill_value)

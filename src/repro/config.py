@@ -13,6 +13,10 @@ Environment knobs
     Number of vertical levels (paper: 30).
 ``REPRO_MEMBERS``
     Ensemble size (paper: 101).
+``REPRO_2D`` / ``REPRO_3D``
+    Number of 2-D/3-D catalog variables for :func:`example_scale` (the
+    examples' configs), so ``tests/test_examples.py`` can shrink the
+    scripts without editing them.
 ``REPRO_WORKERS``
     Worker processes used by :mod:`repro.parallel` (default: CPU count).
 ``REPRO_SANITIZE``
@@ -27,6 +31,15 @@ Environment knobs
 ``REPRO_TRACE_JSONL`` / ``REPRO_TRACE_CHROME``
     Optional trace output paths: a JSON-lines event stream and a
     Chrome-trace/Perfetto file (see ``docs/observability.md``).
+``REPRO_STORE``
+    Artifact-cache directory for :mod:`repro.store`.  When set, the
+    expensive stages (ensemble run, PVT verdicts, hybrid plans, table
+    rows) are cached content-addressed on disk and reruns only
+    recompute stages whose inputs changed; unset (the default)
+    disables caching entirely.  See ``docs/caching.md``.
+``REPRO_STORE_MAX_MB``
+    LRU size cap for the ``REPRO_STORE`` cache (least recently used
+    artifacts are evicted above it); unset means unbounded.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ __all__ = [
     "paper_scale",
     "bench_scale",
     "test_scale",
+    "example_scale",
 ]
 
 #: Fill value used by CESM/POP2 for undefined points (e.g. sea-surface
@@ -150,6 +164,25 @@ def bench_scale() -> ReproConfig:
         ne=_env_int("REPRO_NE", 6),
         nlev=_env_int("REPRO_NLEV", 8),
         n_members=_env_int("REPRO_MEMBERS", 101),
+        workers=_env_int("REPRO_WORKERS", os.cpu_count() or 1),
+    )
+
+
+def example_scale(*, ne: int, nlev: int, n_members: int, n_2d: int,
+                  n_3d: int) -> ReproConfig:
+    """A demo scale with env overrides: used by the ``examples/`` scripts.
+
+    Each example passes its own readable defaults; the ``REPRO_NE`` /
+    ``REPRO_NLEV`` / ``REPRO_MEMBERS`` / ``REPRO_2D`` / ``REPRO_3D``
+    knobs shrink (or grow) them without editing the script — which is
+    how the test suite runs every example on a tiny grid.
+    """
+    return ReproConfig(
+        ne=_env_int("REPRO_NE", ne),
+        nlev=_env_int("REPRO_NLEV", nlev),
+        n_members=_env_int("REPRO_MEMBERS", n_members),
+        n_2d=_env_int("REPRO_2D", n_2d),
+        n_3d=_env_int("REPRO_3D", n_3d),
         workers=_env_int("REPRO_WORKERS", os.cpu_count() or 1),
     )
 

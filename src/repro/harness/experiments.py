@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
+from repro import obs, store
 from repro.config import ReproConfig, bench_scale, test_scale
 from repro.model.ensemble import CAMEnsemble
 from repro.model.variables import FEATURED
@@ -34,11 +34,13 @@ class ExperimentContext:
 
     @classmethod
     def create(cls, config: ReproConfig) -> "ExperimentContext":
-        """Build (or fetch the cached) context for ``config``."""
-        key = (
-            config.ne, config.nlev, config.n_members,
-            config.n_2d, config.n_3d, config.base_seed,
-        )
+        """Build (or fetch the cached) context for ``config``.
+
+        The in-process cache key is the same config fingerprint the
+        artifact store hashes (``workers`` excluded), so "same context"
+        here and "same artifacts" on disk agree by construction.
+        """
+        key = store.canonical_json(store.config_fingerprint(config))
         with obs.span("harness.context", ne=config.ne,
                       members=config.n_members) as sp:
             ctx = _CONTEXT_CACHE.get(key)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import store
 from repro.compressors.base import Compressor
 from repro.compressors.registry import get_variant, method_families
 from repro.metrics.average import nrmse
@@ -129,6 +130,10 @@ def build_hybrid(
         Member indices for the acceptance tests (default: 3 random).
     extended_apax:
         Include APAX rates 6 and 7 (the paper's proposed follow-up).
+
+    With an active artifact store (:mod:`repro.store`) the whole
+    :class:`HybridResult` is cached per (config, family, ladder,
+    members) — Tables 7/8 and ``repro hybrid`` reruns become reads.
     """
     families = method_families(extended_apax=extended_apax)
     families["NetCDF-4"] = ("NetCDF-4",)
@@ -144,7 +149,34 @@ def build_hybrid(
         if variables is None
         else [v if isinstance(v, str) else v.name for v in variables]
     )
+    key = store.artifact_key(
+        "hybrid.plan",
+        config=ensemble.config,
+        family=family,
+        ladder=list(ladder),
+        variables=names,
+        members=[int(m) for m in test_members],
+        run_bias=run_bias,
+    )
+    return store.cached(
+        key,
+        lambda: _build_hybrid_impl(
+            ensemble, family, ladder, names, test_members, run_bias
+        ),
+        kind="pkl",
+        stage="hybrid.plan",
+        meta={"family": family},
+    )
 
+
+def _build_hybrid_impl(
+    ensemble: CAMEnsemble,
+    family: str,
+    ladder,
+    names: list[str],
+    test_members,
+    run_bias: bool,
+) -> HybridResult:
     choices: dict[str, HybridChoice] = {}
     for name in names:
         fields = ensemble.ensemble_field(name)

@@ -11,6 +11,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import store
 from repro.config import ReproConfig, get_config
 from repro.model.cam import CAMModel
 from repro.model.dycore import DycoreRun, PERTURBATION_SCALE
@@ -39,10 +40,42 @@ class CAMEnsemble:
     ):
         self.config = config if config is not None else get_config()
         self.model = CAMModel.from_config(self.config)
-        self._run: DycoreRun = self.model.dycore.run_ensemble(
-            self.config.n_members, perturbation
-        )
+        self._run: DycoreRun = self._run_dycore(perturbation)
         self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+
+    def _run_dycore(self, perturbation: float) -> DycoreRun:
+        """Integrate the ensemble, through the artifact cache when active.
+
+        The run is a pure function of the scale config plus the dycore's
+        own parameters, so its coefficient/state arrays are stored as an
+        ``npz`` artifact and a second construction at the same scale is
+        a read instead of an integration.
+        """
+        dycore = self.model.dycore
+        key = store.artifact_key(
+            "model.dycore_run",
+            config=self.config,
+            perturbation=perturbation,
+            n_modes=dycore.n_modes,
+            forcing=dycore.forcing,
+        )
+        return store.cached(
+            key,
+            lambda: dycore.run_ensemble(
+                self.config.n_members, perturbation
+            ),
+            kind="npz",
+            stage="model.dycore_run",
+            meta={"members": self.config.n_members},
+            encode=lambda run: {
+                "coefficients": run.coefficients,
+                "final_states": run.final_states,
+            },
+            decode=lambda data: DycoreRun(
+                coefficients=data["coefficients"],
+                final_states=data["final_states"],
+            ),
+        )
 
     @property
     def n_members(self) -> int:

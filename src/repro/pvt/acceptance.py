@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import obs, store
 from repro.compressors.base import Compressor
 from repro.config import (
     BIAS_SLOPE_LIMIT,
@@ -155,11 +155,59 @@ def evaluate_variable(
     run_bias:
         The bias test compresses *all* members (Section 4.3); disable to
         skip that cost when only the first three columns are needed.
+
+    When an artifact store is active (:mod:`repro.store`), the verdict
+    is cached keyed on the ensemble's content hash, the codec
+    fingerprint, the member draw, and the limits — a repeated sweep
+    (Table 6, hybrid selection) reads instead of recomputing.
     """
     ensemble = np.asarray(ensemble)
     members = [int(m) for m in members]
     if not members:
         raise ValueError("need at least one test member")
+    st = store.get_store()
+    if st is None:
+        return _evaluate_impl(
+            ensemble, codec, members, variable, run_bias, rho_threshold,
+            rmsz_limit, enmax_limit, bias_limit, context,
+        )
+    # The verdict is a pure function of the ensemble bytes, the codec
+    # configuration, the member draw, and the limits; ``context`` is
+    # derived from the ensemble, so it stays out of the key.
+    key = store.artifact_key(
+        "pvt.verdict",
+        ensemble=store.array_fingerprint(ensemble),
+        codec=codec.fingerprint(),
+        members=members,
+        variable=variable,
+        run_bias=run_bias,
+        limits=[rho_threshold, rmsz_limit, enmax_limit, bias_limit],
+    )
+    return store.cached(
+        key,
+        lambda: _evaluate_impl(
+            ensemble, codec, members, variable, run_bias, rho_threshold,
+            rmsz_limit, enmax_limit, bias_limit, context,
+        ),
+        kind="pkl",
+        stage="pvt.verdict",
+        meta={"variable": variable, "codec": codec.variant},
+        store=st,
+    )
+
+
+def _evaluate_impl(
+    ensemble: np.ndarray,
+    codec: Compressor,
+    members: list[int],
+    variable: str,
+    run_bias: bool,
+    rho_threshold: float,
+    rmsz_limit: float,
+    enmax_limit: float,
+    bias_limit: float,
+    context: VariableContext | None,
+) -> VariableVerdict:
     with obs.span("pvt.variable", variable=variable, codec=codec.variant):
         if context is None:
             context = VariableContext.from_ensemble(ensemble)

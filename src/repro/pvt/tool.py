@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import obs, store
 from repro.compressors.base import Compressor
 from repro.metrics.characterize import valid_mask
 from repro.model.ensemble import CAMEnsemble
@@ -106,7 +106,8 @@ class CesmPvt:
                     _evaluate_one_remote,
                     [
                         (self.ensemble.config, codec, name,
-                         tuple(int(m) for m in self.test_members), run_bias)
+                         tuple(int(m) for m in self.test_members), run_bias,
+                         store.current_root())
                         for name in names
                     ],
                     workers=workers,
@@ -202,7 +203,8 @@ class CesmPvt:
 
 def _evaluate_one_remote(args) -> VariableVerdict:
     """Process-pool entry point: rebuild the ensemble field and evaluate."""
-    config, codec, name, members, run_bias = args
+    config, codec, name, members, run_bias, store_root = args
+    store.adopt_root(store_root)
     ensemble = _ensemble_for_config(config)
     fields = ensemble.ensemble_field(name)
     return evaluate_variable(

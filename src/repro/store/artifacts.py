@@ -1,0 +1,212 @@
+"""The on-disk artifact format: one self-verifying file per key.
+
+Layout: a single JSON header line (format tag, payload kind, producing
+stage, payload SHA-256 and length, free-form metadata) followed by the
+raw payload bytes.  Readers re-hash the payload against the header, so
+truncation and bit rot are detected on ``get`` and the store falls back
+to recomputing (see :meth:`repro.store.core.ArtifactStore.get`).
+
+Three payload kinds cover the pipeline's artifacts:
+
+``"npz"``
+    A ``dict[str, np.ndarray]`` via ``np.savez_compressed`` (ensemble
+    coefficients, member states).
+``"json"``
+    Canonicalized JSON (table rows, summary stats).
+``"pkl"``
+    Python pickle, protocol 4 (PVT :class:`VariableVerdict` records,
+    :class:`HybridResult` plans).  Artifacts are a local, trusted cache —
+    never load a store directory from an untrusted source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.store.keys import jsonable
+
+__all__ = [
+    "Artifact",
+    "CorruptArtifact",
+    "KINDS",
+    "decode_payload",
+    "encode_payload",
+    "read_artifact",
+    "read_header",
+    "write_artifact",
+]
+
+_FORMAT = "repro-artifact/1"
+KINDS = ("npz", "json", "pkl")
+
+
+class CorruptArtifact(Exception):
+    """An artifact file failed its header, length, or hash check."""
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """Metadata for one stored artifact (payload not included)."""
+
+    key: str
+    kind: str
+    stage: str
+    nbytes: int          #: payload size in bytes
+    meta: dict
+    path: Path
+    mtime_ns: int        #: last touch (write or LRU-bumping read)
+
+    @property
+    def file_bytes(self) -> int:
+        """Total on-disk size (header line + payload)."""
+        return self.path.stat().st_size
+
+
+def encode_payload(value: Any, kind: str) -> bytes:
+    """Serialize ``value`` according to ``kind`` (see module docstring)."""
+    if kind == "npz":
+        if not isinstance(value, dict) or not all(
+            isinstance(v, np.ndarray) for v in value.values()
+        ):
+            raise TypeError("npz artifacts hold a dict[str, np.ndarray]")
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **value)
+        return buf.getvalue()
+    if kind == "json":
+        return json.dumps(
+            jsonable(value), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    if kind == "pkl":
+        return pickle.dumps(value, protocol=4)
+    raise ValueError(f"unknown artifact kind {kind!r}; known: {KINDS}")
+
+
+def decode_payload(payload: bytes, kind: str) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    if kind == "npz":
+        with np.load(io.BytesIO(payload)) as loaded:
+            return {name: loaded[name] for name in loaded.files}
+    if kind == "json":
+        return json.loads(payload.decode("utf-8"))
+    if kind == "pkl":
+        return pickle.loads(payload)
+    raise ValueError(f"unknown artifact kind {kind!r}; known: {KINDS}")
+
+
+def write_artifact(
+    path: Path,
+    key: str,
+    value: Any,
+    kind: str,
+    stage: str = "",
+    meta: dict | None = None,
+) -> Artifact:
+    """Atomically write ``value`` as an artifact file at ``path``.
+
+    The payload is staged to a sibling temp file and moved into place
+    with ``os.replace``, so concurrent writers of the same key (e.g.
+    forked PVT workers) last-win with a complete file — readers never
+    observe a half-written artifact.
+    """
+    payload = encode_payload(value, kind)
+    header = {
+        "format": _FORMAT,
+        "kind": kind,
+        "stage": stage,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "nbytes": len(payload),
+        "meta": meta or {},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+            fh.write(b"\n")
+            fh.write(payload)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return Artifact(
+        key=key, kind=kind, stage=stage, nbytes=len(payload),
+        meta=header["meta"], path=path, mtime_ns=path.stat().st_mtime_ns,
+    )
+
+
+def read_header(path: Path, key: str) -> Artifact:
+    """Parse an artifact's header line only (for ``ls``/``info``).
+
+    Raises :class:`CorruptArtifact` when the header is unreadable.
+    """
+    try:
+        with open(path, "rb") as fh:
+            header = _parse_header(fh.readline(), path)
+        return Artifact(
+            key=key, kind=header["kind"], stage=header["stage"],
+            nbytes=header["nbytes"], meta=header["meta"], path=path,
+            mtime_ns=path.stat().st_mtime_ns,
+        )
+    except OSError as exc:
+        raise CorruptArtifact(f"{path}: unreadable ({exc})") from exc
+
+
+def read_artifact(path: Path, key: str) -> tuple[Artifact, Any]:
+    """Read and verify one artifact file.
+
+    The payload must match the header's recorded length *and* SHA-256;
+    any mismatch (truncation, bit flip, foreign file) raises
+    :class:`CorruptArtifact`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            header_line = fh.readline()
+            payload = fh.read()
+    except OSError as exc:
+        raise CorruptArtifact(f"{path}: unreadable ({exc})") from exc
+    header = _parse_header(header_line, path)
+    if len(payload) != header["nbytes"]:
+        raise CorruptArtifact(
+            f"{path}: payload is {len(payload)} bytes, header says "
+            f"{header['nbytes']} (truncated?)"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["sha256"]:
+        raise CorruptArtifact(f"{path}: payload SHA-256 mismatch")
+    try:
+        value = decode_payload(payload, header["kind"])
+    except Exception as exc:
+        raise CorruptArtifact(f"{path}: payload decode failed ({exc})") \
+            from exc
+    artifact = Artifact(
+        key=key, kind=header["kind"], stage=header["stage"],
+        nbytes=header["nbytes"], meta=header["meta"], path=path,
+        mtime_ns=path.stat().st_mtime_ns,
+    )
+    return artifact, value
+
+
+def _parse_header(line: bytes, path: Path) -> dict:
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptArtifact(f"{path}: bad header line") from exc
+    if not isinstance(header, dict) or header.get("format") != _FORMAT:
+        raise CorruptArtifact(
+            f"{path}: not a {_FORMAT} file"
+        )
+    for field_name in ("kind", "stage", "sha256", "nbytes", "meta"):
+        if field_name not in header:
+            raise CorruptArtifact(
+                f"{path}: header misses {field_name!r}"
+            )
+    return header

@@ -1,0 +1,311 @@
+"""The content-addressed artifact store and its opt-in activation.
+
+:class:`ArtifactStore` maps 64-hex-character keys (see
+:mod:`repro.store.keys`) to self-verifying files under
+``<root>/objects/<key[:2]>/<key>.art`` (:mod:`repro.store.artifacts`).
+Reads bump the file's mtime, so the mtime order *is* the LRU order and
+:meth:`ArtifactStore.gc` evicts oldest-first down to the size cap.
+
+Activation mirrors ``repro.obs``'s ``REPRO_TRACE`` tri-state: an
+explicit override (:func:`set_store` / the :func:`storing` context
+manager) wins; otherwise the ``REPRO_STORE`` environment variable names
+the root directory (unset/empty/``0`` disables caching entirely, which
+leaves every call path byte-identical to the uncached behavior).
+``REPRO_STORE_MAX_MB`` sets the default store's size cap.
+
+Every get/put emits ``store.get``/``store.put`` spans and the
+``store.hits`` / ``store.misses`` / ``store.corrupt`` / ``store.puts`` /
+``store.evicted`` counters into :mod:`repro.obs`, so ``repro stats``
+shows the cache's behavior next to the stages it short-circuits.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from contextlib import contextmanager
+
+from repro import obs
+from repro.store.artifacts import (
+    Artifact,
+    CorruptArtifact,
+    read_artifact,
+    read_header,
+    write_artifact,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "adopt_root",
+    "clear_override",
+    "current_root",
+    "get_store",
+    "set_store",
+    "storing",
+]
+
+_HITS = obs.counter("store.hits")
+_MISSES = obs.counter("store.misses")
+_CORRUPT = obs.counter("store.corrupt")
+_PUTS = obs.counter("store.puts")
+_EVICTED = obs.counter("store.evicted")
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+_MISSING = object()
+
+
+class ArtifactStore:
+    """A content-addressed cache directory with an LRU size cap.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache (created lazily on first put).
+    max_bytes:
+        Optional total payload+header size cap; exceeded space is
+        reclaimed oldest-first after each put (and via :meth:`gc`).
+        ``None`` means unbounded.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 max_bytes: int | None = None):
+        self.root = Path(root)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+
+    # -- paths -----------------------------------------------------------
+
+    def _object_path(self, key: str) -> Path:
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed artifact key {key!r}")
+        return self.root / "objects" / key[:2] / f"{key}.art"
+
+    def _object_files(self) -> Iterator[Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return iter(())
+        return objects.glob("*/*.art")
+
+    # -- read/write ------------------------------------------------------
+
+    def put(self, key: str, value: Any, kind: str = "pkl",
+            stage: str = "", meta: dict | None = None) -> Artifact:
+        """Store ``value`` under ``key``, then enforce the size cap."""
+        path = self._object_path(key)
+        with obs.span("store.put", stage=stage, kind=kind) as sp:
+            artifact = write_artifact(
+                path, key, value, kind, stage=stage, meta=meta
+            )
+            sp.note(bytes=artifact.nbytes)
+        _PUTS.add(1, stage=stage)
+        if self.max_bytes is not None:
+            self.gc(self.max_bytes, protect=path)
+        return artifact
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch the value for ``key``, or ``default`` on miss.
+
+        A hit bumps the artifact's mtime (LRU recency).  A corrupt or
+        truncated file counts as a miss: it is deleted, the
+        ``store.corrupt`` counter ticks, and ``default`` is returned so
+        callers transparently recompute.
+        """
+        path = self._object_path(key)
+        with obs.span("store.get", key=key[:12]) as sp:
+            if not path.is_file():
+                sp.note(hit=False)
+                _MISSES.add(1)
+                return default
+            try:
+                artifact, value = read_artifact(path, key)
+            except CorruptArtifact:
+                sp.note(hit=False, corrupt=True)
+                _CORRUPT.add(1)
+                _MISSES.add(1)
+                path.unlink(missing_ok=True)
+                return default
+            os.utime(path)
+            sp.note(hit=True, stage=artifact.stage, bytes=artifact.nbytes)
+            _HITS.add(1, stage=artifact.stage)
+            return value
+
+    def contains(self, key: str) -> bool:
+        """Whether an artifact file exists for ``key`` (not verified)."""
+        return self._object_path(key).is_file()
+
+    # -- inspection ------------------------------------------------------
+
+    def info(self, key: str) -> Artifact | None:
+        """Header metadata for ``key`` (``None`` if absent/corrupt)."""
+        path = self._object_path(key)
+        if not path.is_file():
+            return None
+        try:
+            return read_header(path, key)
+        except CorruptArtifact:
+            return None
+
+    def find(self, prefix: str) -> list[Artifact]:
+        """Artifacts whose key starts with ``prefix`` (CLI convenience)."""
+        return [a for a in self.ls() if a.key.startswith(prefix)]
+
+    def ls(self) -> list[Artifact]:
+        """All readable artifacts, most recently used first."""
+        out = []
+        for path in self._object_files():
+            try:
+                out.append(read_header(path, path.stem))
+            except CorruptArtifact:
+                continue
+        out.sort(key=lambda a: a.mtime_ns, reverse=True)
+        return out
+
+    def total_bytes(self) -> int:
+        """Total size of all artifact files on disk."""
+        return sum(p.stat().st_size for p in self._object_files())
+
+    # -- maintenance -----------------------------------------------------
+
+    def gc(self, max_bytes: int | None = None,
+           protect: Path | None = None) -> list[Artifact]:
+        """Evict least-recently-used artifacts above the size budget.
+
+        ``max_bytes`` defaults to the store's configured cap; passing a
+        value garbage-collects to that budget regardless of the cap.
+        Returns the evicted artifacts' metadata, oldest first.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None:
+            return []
+        entries = self.ls()  # most recent first
+        total = sum(a.file_bytes for a in entries)
+        evicted: list[Artifact] = []
+        for artifact in reversed(entries):  # oldest first
+            if total <= budget:
+                break
+            if protect is not None and artifact.path == protect:
+                continue
+            size = artifact.file_bytes
+            artifact.path.unlink(missing_ok=True)
+            total -= size
+            evicted.append(artifact)
+            _EVICTED.add(1)
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        n = 0
+        for path in list(self._object_files()):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = self.max_bytes if self.max_bytes is not None else "unbounded"
+        return f"<ArtifactStore {str(self.root)!r} max_bytes={cap}>"
+
+
+# -- activation --------------------------------------------------------------
+
+#: Tri-state override: ``_ENV`` defers to ``REPRO_STORE``; otherwise the
+#: value (an :class:`ArtifactStore` or ``None`` for "forced off") wins.
+_ENV = object()
+_override: Any = _ENV
+
+#: Lazily built store for the current ``REPRO_STORE`` value.
+_default_store: ArtifactStore | None = None
+_default_root: str | None = None
+
+
+def set_store(store: ArtifactStore | None) -> None:
+    """Force the active store (``None`` = caching off).
+
+    Use :func:`clear_override` to hand control back to ``REPRO_STORE``.
+    """
+    global _override
+    _override = store
+
+
+def clear_override() -> None:
+    """Restore environment-variable control of the active store."""
+    global _override
+    _override = _ENV
+
+
+def _env_max_bytes() -> int | None:
+    raw = os.environ.get("REPRO_STORE_MAX_MB")
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_STORE_MAX_MB must be a number, got {raw!r}"
+        ) from exc
+    if mb <= 0:
+        raise ValueError(f"REPRO_STORE_MAX_MB must be positive, got {mb}")
+    return int(mb * 1_000_000)
+
+
+def get_store() -> ArtifactStore | None:
+    """The active store, or ``None`` when caching is off.
+
+    Cheap enough to call per stage: resolving the default store is one
+    environment lookup once built.
+    """
+    if _override is not _ENV:
+        return _override
+    global _default_store, _default_root
+    root = os.environ.get("REPRO_STORE", "")
+    if root in ("", "0"):
+        return None
+    if _default_store is None or _default_root != root:
+        _default_store = ArtifactStore(root, max_bytes=_env_max_bytes())
+        _default_root = root
+    return _default_store
+
+
+def current_root() -> str | None:
+    """The active store's root path, for handing to pool workers."""
+    st = get_store()
+    return str(st.root) if st is not None else None
+
+
+def adopt_root(root: str | None) -> None:
+    """Activate the parent process's store inside a worker.
+
+    A forked worker usually inherits the parent's override, but a
+    programmatic :func:`set_store` does not survive a spawn start
+    method — re-installing from the root path keeps parent and workers
+    reading and writing one cache either way.  No-op when a store is
+    already active or ``root`` is ``None``.
+    """
+    if root is not None and get_store() is None:
+        set_store(ArtifactStore(root))
+
+
+@contextmanager
+def storing(
+    store: ArtifactStore | str | os.PathLike | None,
+    max_bytes: int | None = None,
+) -> Iterator[ArtifactStore | None]:
+    """Scope the active store to a block (``None`` forces caching off).
+
+    ::
+
+        with storing(tmp_path / "cache") as st:
+            table6_passes(ctx)      # cold: computes and fills st
+            table6_passes(ctx)      # warm: served from st
+    """
+    global _override
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store, max_bytes=max_bytes)
+    prev = _override
+    set_store(store)
+    try:
+        yield store
+    finally:
+        _override = prev

@@ -1,0 +1,108 @@
+"""Incremental recomputation: ``cached()`` and ``@memoized_stage``.
+
+These are the seams the pipeline calls through (ensemble build, PVT
+verdicts, hybrid plans, table rows).  With no active store they reduce
+to calling the compute function — zero behavior change.  With a store,
+the key is looked up first and the computation only runs on a miss; the
+result is then written back so the *next* run of any stage whose config
+hash is unchanged is a read, not a recompute.
+
+A failed write-back (disk full, permissions) never fails the pipeline:
+the computed value is returned and ``store.put_errors`` ticks.
+"""
+
+from __future__ import annotations
+
+from functools import wraps
+from typing import Any, Callable
+
+from repro import obs
+from repro.store.core import ArtifactStore, get_store
+from repro.store.keys import artifact_key
+
+__all__ = ["cached", "memoized_stage"]
+
+_PUT_ERRORS = obs.counter("store.put_errors")
+
+#: Internal miss sentinel so a legitimately cached ``None`` still hits.
+_MISSING = object()
+
+
+def cached(
+    key: str,
+    compute: Callable[[], Any],
+    *,
+    kind: str = "pkl",
+    stage: str = "",
+    meta: dict | None = None,
+    encode: Callable[[Any], Any] | None = None,
+    decode: Callable[[Any], Any] | None = None,
+    store: ArtifactStore | None = None,
+) -> Any:
+    """Return the artifact for ``key``, computing and storing on miss.
+
+    ``encode``/``decode`` map between the live value and its storable
+    form (e.g. a frozen dataclass of arrays <-> an ``"npz"`` dict); omit
+    them when the value is directly storable under ``kind``.  ``store``
+    overrides the ambient active store (used by forked workers).
+    """
+    st = store if store is not None else get_store()
+    if st is None:
+        return compute()
+    found = st.get(key, _MISSING)
+    if found is not _MISSING:
+        return decode(found) if decode is not None else found
+    value = compute()
+    storable = encode(value) if encode is not None else value
+    try:
+        st.put(key, storable, kind=kind, stage=stage, meta=meta)
+    except OSError:
+        _PUT_ERRORS.add(1, stage=stage)
+    return value
+
+
+def memoized_stage(
+    stage: str,
+    *,
+    kind: str = "pkl",
+    key: Callable[..., dict] | None = None,
+    encode: Callable[[Any], Any] | None = None,
+    decode: Callable[[Any], Any] | None = None,
+) -> Callable:
+    """Decorator caching a function's result per derived key.
+
+    ``key(*args, **kwargs)`` returns the key parameters as a dict; a
+    ``"config"`` entry is folded in via
+    :func:`repro.store.keys.config_fingerprint`.  Without ``key`` the
+    call's own arguments form the parameters, which requires them to be
+    canonicalizable (:func:`repro.store.keys.jsonable`).
+
+    ::
+
+        @memoized_stage("metrics.summary", kind="json",
+                        key=lambda field, name: {
+                            "field": array_fingerprint(field),
+                            "name": name})
+        def summarize(field, name): ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if get_store() is None:
+                return fn(*args, **kwargs)
+            if key is not None:
+                params = dict(key(*args, **kwargs))
+            else:
+                params = {"args": list(args), "kwargs": kwargs}
+            config = params.pop("config", None)
+            derived = artifact_key(stage, config=config, **params)
+            return cached(
+                derived, lambda: fn(*args, **kwargs), kind=kind,
+                stage=stage, encode=encode, decode=decode,
+            )
+
+        wrapper.__memoized_stage__ = stage  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate

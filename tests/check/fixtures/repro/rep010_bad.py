@@ -1,0 +1,13 @@
+from dataclasses import dataclass
+
+
+@dataclass
+class Undocumented:
+    """The class has a docstring; the module (line 1) does not."""
+
+    value: int
+
+
+def helper() -> int:
+    """Documented function in an undocumented module."""
+    return Undocumented(1).value  # repro: noqa[REP010]

@@ -27,6 +27,7 @@ CASES = [
     ("REP007", "rep007_bad.py", 1),
     ("REP008", "pvt/rep008_bad.py", 2),
     ("REP009", "rep009_bad.py", 5),
+    ("REP010", "repro/rep010_bad.py", 1),
 ]
 
 

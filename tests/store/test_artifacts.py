@@ -1,0 +1,105 @@
+"""Artifact file format: roundtrip, verification, corruption detection."""
+
+import numpy as np
+import pytest
+
+from repro.store import CorruptArtifact, decode_payload, encode_payload
+from repro.store.artifacts import read_artifact, read_header, write_artifact
+
+KEY = "ab" * 32
+
+
+def test_npz_roundtrip(tmp_path):
+    value = {
+        "a": np.arange(12, dtype=np.float32).reshape(3, 4),
+        "b": np.array([1.5, -2.5]),
+    }
+    artifact = write_artifact(tmp_path / "x.art", KEY, value, "npz",
+                              stage="model.dycore_run", meta={"m": 1})
+    assert artifact.kind == "npz"
+    assert artifact.stage == "model.dycore_run"
+    assert artifact.meta == {"m": 1}
+    got_artifact, got = read_artifact(tmp_path / "x.art", KEY)
+    assert set(got) == {"a", "b"}
+    np.testing.assert_array_equal(got["a"], value["a"])
+    np.testing.assert_array_equal(got["b"], value["b"])
+    assert got_artifact.nbytes == artifact.nbytes
+
+
+def test_json_and_pkl_roundtrip(tmp_path):
+    for kind, value in [
+        ("json", {"rows": [[1, 2.5, "x"]], "headers": ["a"]}),
+        ("pkl", {"tuple": (1, 2), "arr": None}),
+    ]:
+        path = tmp_path / f"{kind}.art"
+        write_artifact(path, KEY, value, kind)
+        _, got = read_artifact(path, KEY)
+        assert got == value
+
+
+def test_encode_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        encode_payload({}, "nope")
+    with pytest.raises(ValueError):
+        decode_payload(b"", "nope")
+    with pytest.raises(TypeError):
+        encode_payload({"a": [1, 2]}, "npz")
+
+
+def test_header_readable_without_payload(tmp_path):
+    path = tmp_path / "x.art"
+    write_artifact(path, KEY, {"v": 1}, "json", stage="s")
+    artifact = read_header(path, KEY)
+    assert (artifact.key, artifact.kind, artifact.stage) == (KEY, "json", "s")
+    assert artifact.file_bytes == path.stat().st_size
+    assert artifact.file_bytes > artifact.nbytes  # header adds overhead
+
+
+def test_truncated_payload_is_corrupt(tmp_path):
+    path = tmp_path / "x.art"
+    write_artifact(path, KEY, {"v": list(range(100))}, "json")
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])
+    with pytest.raises(CorruptArtifact, match="truncated"):
+        read_artifact(path, KEY)
+
+
+def test_bit_flip_is_corrupt(tmp_path):
+    path = tmp_path / "x.art"
+    write_artifact(path, KEY, {"v": list(range(100))}, "json")
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(CorruptArtifact, match="SHA-256"):
+        read_artifact(path, KEY)
+
+
+def test_foreign_file_is_corrupt(tmp_path):
+    path = tmp_path / "x.art"
+    path.write_bytes(b"not an artifact\nat all")
+    with pytest.raises(CorruptArtifact):
+        read_artifact(path, KEY)
+    path.write_bytes(b'{"format": "other/1"}\n')
+    with pytest.raises(CorruptArtifact):
+        read_header(path, KEY)
+
+
+def test_missing_header_field_is_corrupt(tmp_path):
+    path = tmp_path / "x.art"
+    path.write_bytes(b'{"format": "repro-artifact/1", "kind": "json"}\n')
+    with pytest.raises(CorruptArtifact, match="misses"):
+        read_header(path, KEY)
+
+
+def test_write_is_atomic_no_tmp_left_behind(tmp_path):
+    path = tmp_path / "x.art"
+    write_artifact(path, KEY, {"v": 1}, "json")
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "x.art"]
+    assert leftovers == []
+
+
+def test_failed_encode_leaves_no_file(tmp_path):
+    path = tmp_path / "x.art"
+    with pytest.raises(TypeError):
+        write_artifact(path, KEY, {"a": "not-an-array"}, "npz")
+    assert list(tmp_path.iterdir()) == []

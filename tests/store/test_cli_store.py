@@ -1,0 +1,87 @@
+"""The ``repro store`` CLI subcommand and the ``--store`` flag."""
+
+import pytest
+
+from repro.cli import main
+from repro.store import ArtifactStore, clear_override, get_store
+
+K1 = "a" * 64
+K2 = "b" * 64
+
+
+@pytest.fixture(autouse=True)
+def _reset_override():
+    """``--store`` installs a process-wide override; undo it per test."""
+    clear_override()
+    yield
+    clear_override()
+
+
+@pytest.fixture
+def populated(tmp_path):
+    root = tmp_path / "cache"
+    st = ArtifactStore(root)
+    st.put(K1, {"v": [0] * 200}, kind="json", stage="harness.table6",
+           meta={"run_bias": False})
+    st.put(K2, {"v": 2}, kind="json", stage="pvt.verdict")
+    return root
+
+
+def test_store_without_config_errors(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    assert main(["store", "ls"]) == 2
+    assert "no artifact store" in capsys.readouterr().err
+
+
+def test_ls(populated, capsys):
+    assert main(["store", "ls", "--store", str(populated)]) == 0
+    out = capsys.readouterr().out
+    assert "2 artifact(s)" in out
+    assert K1[:12] in out and K2[:12] in out
+    assert "harness.table6" in out and "pvt.verdict" in out
+
+
+def test_ls_via_env(populated, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(populated))
+    assert main(["store", "ls"]) == 0
+    assert "2 artifact(s)" in capsys.readouterr().out
+
+
+def test_info_by_prefix(populated, capsys):
+    assert main(["store", "info", K1[:8], "--store", str(populated)]) == 0
+    out = capsys.readouterr().out
+    assert K1 in out and "harness.table6" in out and "run_bias" in out
+
+
+def test_info_needs_key(populated, capsys):
+    assert main(["store", "info", "--store", str(populated)]) == 2
+
+
+def test_info_no_match(populated, capsys):
+    assert main(["store", "info", "f" * 10, "--store", str(populated)]) == 1
+    assert "no artifact matches" in capsys.readouterr().err
+
+
+def test_gc_needs_budget(populated, capsys):
+    assert main(["store", "gc", "--store", str(populated)]) == 2
+    assert "no size cap" in capsys.readouterr().err
+
+
+def test_gc_evicts_to_budget(populated, capsys):
+    code = main(["store", "gc", "--max-mb", "0.0000001",
+                 "--store", str(populated)])
+    assert code == 0
+    assert "evicted 2 artifact(s)" in capsys.readouterr().out
+    assert ArtifactStore(populated).ls() == []
+
+
+def test_clear(populated, capsys):
+    assert main(["store", "clear", "--store", str(populated)]) == 0
+    assert "removed 2 artifact(s)" in capsys.readouterr().out
+    assert ArtifactStore(populated).total_bytes() == 0
+
+
+def test_store_flag_activates_override(populated):
+    main(["store", "ls", "--store", str(populated)])
+    st = get_store()
+    assert st is not None and str(st.root) == str(populated)

@@ -1,0 +1,193 @@
+"""ArtifactStore behavior: get/put, LRU eviction, gating, maintenance."""
+
+import os
+
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    clear_override,
+    current_root,
+    get_store,
+    set_store,
+    storing,
+)
+
+K1 = "1" * 64
+K2 = "2" * 64
+K3 = "3" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+def test_get_put_roundtrip(store):
+    assert store.get(K1) is None
+    assert store.get(K1, default="missing") == "missing"
+    store.put(K1, {"v": 1}, kind="json", stage="s")
+    assert store.get(K1) == {"v": 1}
+    assert store.contains(K1)
+    assert not store.contains(K2)
+
+
+def test_cached_none_is_a_hit(store):
+    store.put(K1, None, kind="pkl")
+    sentinel = object()
+    assert store.get(K1, default=sentinel) is None
+
+
+def test_malformed_key_rejected(store):
+    with pytest.raises(ValueError):
+        store.get("XYZ" * 22)
+    with pytest.raises(ValueError):
+        store.put("ab", 1)
+
+
+def test_corrupt_artifact_deleted_and_miss(store):
+    artifact = store.put(K1, {"v": 1}, kind="json")
+    artifact.path.write_bytes(artifact.path.read_bytes()[:-3])
+    assert store.get(K1, default="fallback") == "fallback"
+    # Corrupt file removed so the next put can repopulate it.
+    assert not store.contains(K1)
+
+
+def test_ls_info_find(store):
+    store.put(K1, {"v": 1}, kind="json", stage="a")
+    store.put(K2, {"v": 2}, kind="json", stage="b")
+    listed = store.ls()
+    assert {a.key for a in listed} == {K1, K2}
+    assert store.info(K1).stage == "a"
+    assert store.info(K3) is None
+    assert [a.key for a in store.find("2")] == [K2]
+    assert store.find("9") == []
+
+
+def test_gc_evicts_oldest_first(store):
+    a1 = store.put(K1, {"v": [0] * 50}, kind="json")
+    a2 = store.put(K2, {"v": [0] * 50}, kind="json")
+    os.utime(a1.path, ns=(1_000, 1_000))
+    os.utime(a2.path, ns=(2_000, 2_000))
+    budget = a2.path.stat().st_size  # room for exactly one artifact
+    evicted = store.gc(budget)
+    assert [a.key for a in evicted] == [K1]
+    assert store.contains(K2) and not store.contains(K1)
+
+
+def test_read_bumps_lru_recency(store):
+    a1 = store.put(K1, {"v": [0] * 50}, kind="json")
+    a2 = store.put(K2, {"v": [0] * 50}, kind="json")
+    os.utime(a1.path, ns=(1_000, 1_000))
+    os.utime(a2.path, ns=(2_000, 2_000))
+    store.get(K1)  # bump: K1 is now the most recently used
+    evicted = store.gc(a1.path.stat().st_size)
+    assert [a.key for a in evicted] == [K2]
+    assert store.contains(K1)
+
+
+def test_put_with_cap_enforces_budget(tmp_path):
+    st = ArtifactStore(tmp_path, max_bytes=1)
+    st.put(K1, {"v": 1}, kind="json")
+    st.put(K2, {"v": 2}, kind="json")
+    # The cap is below any single artifact; only the just-written
+    # (protected) artifact survives each put.
+    assert st.contains(K2) and not st.contains(K1)
+
+
+def test_gc_without_budget_is_noop(store):
+    store.put(K1, {"v": 1}, kind="json")
+    assert store.gc() == []
+    assert store.contains(K1)
+
+
+def test_clear(store):
+    store.put(K1, {"v": 1}, kind="json")
+    store.put(K2, {"v": 2}, kind="json")
+    assert store.clear() == 2
+    assert store.ls() == [] and store.total_bytes() == 0
+
+
+def test_invalid_max_bytes():
+    with pytest.raises(ValueError):
+        ArtifactStore("x", max_bytes=0)
+
+
+# -- activation / gating -----------------------------------------------------
+
+
+def test_store_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    clear_override()
+    assert get_store() is None
+    assert current_root() is None
+
+
+def test_env_zero_and_empty_disable(monkeypatch):
+    clear_override()
+    for off in ("", "0"):
+        monkeypatch.setenv("REPRO_STORE", off)
+        assert get_store() is None
+
+
+def test_env_enables_store(monkeypatch, tmp_path):
+    clear_override()
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envcache"))
+    st = get_store()
+    assert st is not None
+    assert st.root == tmp_path / "envcache"
+    assert get_store() is st  # cached instance
+    assert current_root() == str(tmp_path / "envcache")
+    clear_override()
+
+
+def test_env_max_mb(monkeypatch, tmp_path):
+    clear_override()
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "2.5")
+    assert get_store().max_bytes == 2_500_000
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "junk")
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "other"))
+    with pytest.raises(ValueError):
+        get_store()
+    clear_override()
+
+
+def test_override_beats_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env"))
+    forced = ArtifactStore(tmp_path / "forced")
+    set_store(forced)
+    try:
+        assert get_store() is forced
+        set_store(None)  # forced off even though env is set
+        assert get_store() is None
+    finally:
+        clear_override()
+
+
+def test_storing_context_restores(tmp_path):
+    clear_override()
+    with storing(tmp_path / "scoped") as st:
+        assert isinstance(st, ArtifactStore)
+        assert get_store() is st
+        with storing(None):
+            assert get_store() is None
+        assert get_store() is st
+    assert get_store() is None or get_store() is not st
+
+
+def test_adopt_root(tmp_path):
+    from repro.store import adopt_root
+
+    clear_override()
+    set_store(None)
+    try:
+        adopt_root(None)
+        assert get_store() is None
+        adopt_root(str(tmp_path / "worker"))
+        st = get_store()
+        assert st is not None and st.root == tmp_path / "worker"
+        adopt_root(str(tmp_path / "other"))  # no-op: already active
+        assert get_store() is st
+    finally:
+        clear_override()

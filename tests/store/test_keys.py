@@ -1,0 +1,85 @@
+"""Key derivation: deterministic, canonical, and input-sensitive."""
+
+import numpy as np
+import pytest
+
+from repro.compressors import get_variant
+from repro.config import test_scale as scale
+from repro.store import (
+    array_fingerprint,
+    artifact_key,
+    canonical_json,
+    config_fingerprint,
+    jsonable,
+)
+
+
+def test_key_is_hex_and_deterministic():
+    a = artifact_key("stage", config=scale(), x=1, y="z")
+    b = artifact_key("stage", config=scale(), y="z", x=1)
+    assert a == b
+    assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+
+def test_key_changes_with_every_input():
+    base = artifact_key("stage", config=scale(), x=1)
+    assert artifact_key("other", config=scale(), x=1) != base
+    assert artifact_key("stage", config=scale(), x=2) != base
+    bigger = scale().with_scale(n_members=22)
+    assert artifact_key("stage", config=bigger, x=1) != base
+
+
+def test_workers_not_in_config_fingerprint():
+    import dataclasses
+
+    config = scale()
+    other = dataclasses.replace(config, workers=max(1, config.workers - 1))
+    assert config_fingerprint(config) == config_fingerprint(other)
+
+
+def test_canonical_json_normalizes_containers_and_numpy():
+    assert canonical_json((1, 2)) == canonical_json([1, 2])
+    assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+    assert canonical_json(np.int64(3)) == "3"
+    assert canonical_json(np.float32(0.5)) == "0.5"
+
+
+def test_jsonable_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        jsonable(object())
+
+
+def test_array_fingerprint_sensitivity():
+    arr = np.arange(6, dtype=np.float32)
+    base = array_fingerprint(arr)
+    assert array_fingerprint(arr.copy()) == base
+    assert array_fingerprint(arr.reshape(2, 3)) != base
+    assert array_fingerprint(arr.astype(np.float64)) != base
+    changed = arr.copy()
+    changed[0] += 1
+    assert array_fingerprint(changed) != base
+
+
+def test_array_fingerprint_ignores_memory_layout():
+    arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+    assert array_fingerprint(arr.T) == array_fingerprint(
+        np.ascontiguousarray(arr.T)
+    )
+
+
+def test_codec_fingerprints_distinguish_variants():
+    fp24 = get_variant("fpzip-24").fingerprint()
+    fp32 = get_variant("fpzip-32").fingerprint()
+    assert fp24 != fp32
+    assert fp24["variant"] == "fpzip-24"
+    # Fingerprints must be canonicalizable (they go into keys).
+    canonical_json(fp24)
+
+
+def test_special_value_adapter_fingerprint_includes_inner():
+    from repro.compressors.base import SpecialValueAdapter
+
+    wrapped = SpecialValueAdapter(get_variant("fpzip-24"))
+    fp = wrapped.fingerprint()
+    assert fp["inner"] == get_variant("fpzip-24").fingerprint()
+    assert fp["variant"] == "fpzip-24+sv"

@@ -1,0 +1,130 @@
+"""cached() / @memoized_stage: compute-once semantics and fallbacks."""
+
+import numpy as np
+
+from repro.store import (
+    ArtifactStore,
+    array_fingerprint,
+    cached,
+    clear_override,
+    memoized_stage,
+    storing,
+)
+
+
+def test_cached_without_store_always_computes():
+    clear_override()
+    calls = []
+    with storing(None):
+        assert cached("0" * 64, lambda: calls.append(1) or 7) == 7
+        assert cached("0" * 64, lambda: calls.append(1) or 7) == 7
+    assert len(calls) == 2
+
+
+def test_cached_computes_once(tmp_path):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"answer": 42}
+
+    with storing(tmp_path):
+        first = cached("a" * 64, compute, kind="json", stage="s")
+        second = cached("a" * 64, compute, kind="json", stage="s")
+    assert first == second == {"answer": 42}
+    assert len(calls) == 1
+
+
+def test_cached_encode_decode(tmp_path):
+    arr = np.arange(4, dtype=np.float64)
+    with storing(tmp_path):
+        for _ in range(2):
+            got = cached(
+                "b" * 64,
+                lambda: arr,
+                kind="npz",
+                encode=lambda a: {"arr": a},
+                decode=lambda d: d["arr"],
+            )
+            np.testing.assert_array_equal(got, arr)
+
+
+def test_cached_explicit_store_param(tmp_path):
+    st = ArtifactStore(tmp_path)
+    clear_override()
+    with storing(None):  # ambient store off; explicit store still used
+        cached("c" * 64, lambda: 1, store=st)
+    assert st.contains("c" * 64)
+
+
+def test_cached_put_failure_still_returns_value(tmp_path, monkeypatch):
+    st = ArtifactStore(tmp_path)
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(st, "put", boom)
+    with storing(st):
+        assert cached("d" * 64, lambda: 5) == 5
+
+
+def test_corrupt_artifact_triggers_recompute(tmp_path):
+    """Acceptance criterion: corrupted artifacts fall back to recompute."""
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"rows": [1, 2, 3]}
+
+    key = "e" * 64
+    with storing(tmp_path) as st:
+        cached(key, compute, kind="json")
+        # Truncate the artifact on disk behind the store's back.
+        path = st._object_path(key)
+        path.write_bytes(path.read_bytes()[:-4])
+        got = cached(key, compute, kind="json")
+        assert got == {"rows": [1, 2, 3]}
+        assert len(calls) == 2  # recomputed, not served corrupt bytes
+        # The recompute repopulated a now-valid artifact.
+        assert cached(key, compute, kind="json") == {"rows": [1, 2, 3]}
+        assert len(calls) == 2
+
+
+def test_memoized_stage_with_key_fn(tmp_path):
+    calls = []
+
+    @memoized_stage(
+        "test.summary",
+        kind="json",
+        key=lambda field, name: {
+            "field": array_fingerprint(field), "name": name,
+        },
+    )
+    def summarize(field, name):
+        calls.append(name)
+        return {"name": name, "mean": float(field.mean())}
+
+    field = np.ones((3, 3))
+    with storing(tmp_path):
+        a = summarize(field, "T")
+        b = summarize(field, "T")
+        c = summarize(field, "PS")
+    assert a == b and a["mean"] == 1.0
+    assert c["name"] == "PS"
+    assert calls == ["T", "PS"]
+    assert summarize.__memoized_stage__ == "test.summary"
+
+
+def test_memoized_stage_default_key(tmp_path):
+    calls = []
+
+    @memoized_stage("test.add", kind="json")
+    def add(x, y=0):
+        calls.append((x, y))
+        return x + y
+
+    with storing(tmp_path):
+        assert add(1, y=2) == 3
+        assert add(1, y=2) == 3
+        assert add(2, y=2) == 4
+    assert calls == [(1, 2), (2, 2)]

@@ -3,7 +3,8 @@
 Documentation drift — a renamed module, a moved benchmark — shows up here
 instead of in a confused reader.  The check extracts backticked tokens
 and markdown link targets that look like repo paths and stats them from
-the repo root.
+the repo root; ``#anchor`` fragments are validated against the GitHub
+slugs of the target document's headings.
 """
 
 from __future__ import annotations
@@ -44,11 +45,13 @@ def _candidate_paths(text: str) -> set[str]:
 
 
 def _resolve(doc: Path, token: str) -> bool:
-    # tokens are written repo-relative or package-relative (src/repro);
+    # tokens are written repo-relative, package-relative (src/repro), or
+    # benchmark-relative (docs/benchmarks.md lists bare script names);
     # relative links also resolve against the document's own directory.
     return any(
         (base / token).exists()
-        for base in (REPO, REPO / "src" / "repro", doc.parent)
+        for base in (REPO, REPO / "src" / "repro", REPO / "benchmarks",
+                     doc.parent)
     )
 
 
@@ -63,7 +66,48 @@ def test_referenced_paths_exist(doc):
     )
 
 
+#: ``](#frag)`` or ``](file.md#frag)`` — the anchor-bearing links.
+_ANCHOR_LINK = re.compile(r"\]\(([^)#]*)#([^)]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = heading.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _heading_slugs(doc: Path) -> set[str]:
+    slugs: set[str] = set()
+    for heading in _HEADING.findall(doc.read_text()):
+        slug = _github_slug(heading)
+        # Repeated headings get -1, -2, ... suffixes; accept the base
+        # form only (our docs do not repeat heading titles).
+        slugs.add(slug)
+    return slugs
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_anchor_fragments_resolve(doc):
+    broken = []
+    for target, fragment in _ANCHOR_LINK.findall(doc.read_text()):
+        target = target.strip()
+        if "://" in target:
+            continue  # external URL fragments are out of scope
+        target_doc = doc if not target else (doc.parent / target)
+        if not target_doc.exists():
+            continue  # dangling file targets fail the path test above
+        if fragment not in _heading_slugs(target_doc):
+            broken.append(f"{target or doc.name}#{fragment}")
+    assert not broken, (
+        f"{doc.name} links to anchors with no matching heading: {broken}"
+    )
+
+
 def test_docs_are_linked_from_readme():
     readme = (REPO / "README.md").read_text()
     assert "docs/architecture.md" in readme
     assert "docs/observability.md" in readme
+    assert "docs/caching.md" in readme
+    assert "docs/benchmarks.md" in readme
