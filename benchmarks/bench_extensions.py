@@ -7,16 +7,16 @@
 """
 
 import numpy as np
-from conftest import save_text
+from conftest import save_table, save_text
 
 from repro.compressors import get_variant, paper_variants
-from repro.harness.report import render_table, write_csv
 from repro.metrics.gradient import gradient_impact
 from repro.metrics.ssim import rasterize, ssim
 from repro.pvt.budget import energy_budget_residual
 
 
-def test_analysis_quality_metrics(benchmark, ctx, results_dir):
+def test_analysis_quality_metrics(benchmark, ctx, results_dir,
+                                  bench_record):
     grid = ctx.ensemble.model.grid
     fsdsc = ctx.member_field("FSDSC")
     fsnt = ctx.ensemble.member_field("FSNT", int(ctx.test_members[0]))
@@ -41,17 +41,18 @@ def test_analysis_quality_metrics(benchmark, ctx, results_dir):
             ])
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    rows = bench_record.run(benchmark, run, metric="quality_metrics_s",
+                            threshold_pct=50.0)
+    save_table(
+        results_dir, "extensions",
         ["method", "SSIM (FSDSC)", "gradient impact", "budget shift W/m2"],
         rows, title="Extension metrics (paper Section 6 future work)",
         precision=5,
     )
-    save_text(results_dir, "extensions.txt", text)
-    write_csv(results_dir / "extensions.csv",
-              ["variant", "ssim", "gradient_impact", "budget_shift"], rows)
 
     rec = {r[0]: r for r in rows}
+    bench_record.metric("apax2_ssim", rec["APAX-2"][1],
+                        direction="higher", threshold_pct=1.0)
     # Near-lossless codecs keep visualization-quality images.
     assert rec["APAX-2"][1] > 0.9999
     assert rec["fpzip-24"][1] > 0.9999
@@ -62,7 +63,7 @@ def test_analysis_quality_metrics(benchmark, ctx, results_dir):
     assert rec["APAX-2"][3] < 0.1
 
 
-def test_rmsz_distribution_ks(benchmark, ctx, results_dir):
+def test_rmsz_distribution_ks(benchmark, ctx, results_dir, bench_record):
     """KS-test extension: is the RMSZ score distribution itself unchanged?
 
     Strengthens the paper's "statistically indistinguishable" claim from a
@@ -81,15 +82,14 @@ def test_rmsz_distribution_ks(benchmark, ctx, results_dir):
                          result.indistinguishable()])
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
+    rows = bench_record.run(benchmark, run, metric="rmsz_ks_s",
+                            threshold_pct=50.0)
+    save_table(
+        results_dir, "extension_ks",
         ["variant", "KS statistic", "p-value", "indistinguishable"],
         rows, title="Extension: KS test on the RMSZ distribution (U)",
         precision=4,
     )
-    save_text(results_dir, "extension_ks.txt", text)
-    write_csv(results_dir / "extension_ks.csv",
-              ["variant", "ks", "p", "pass"], rows)
 
     rec = {r[0]: r for r in rows}
     assert rec["fpzip-24"][3] is True
@@ -99,7 +99,7 @@ def test_rmsz_distribution_ks(benchmark, ctx, results_dir):
 
 
 def test_timeseries_conversion_throughput(benchmark, ctx, results_dir,
-                                          tmp_path_factory):
+                                          tmp_path_factory, bench_record):
     from repro.hybrid.selector import build_hybrid
     from repro.ncio import convert_to_timeseries, write_history
 
@@ -114,14 +114,14 @@ def test_timeseries_conversion_throughput(benchmark, ctx, results_dir,
                           run_bias=False)
     plan = hybrid.plan()
 
-    result = benchmark.pedantic(
-        convert_to_timeseries,
-        args=(paths, tmp / "out"),
-        kwargs={"plan": plan, "variables": names},
-        rounds=1, iterations=1,
+    result = bench_record.run(
+        benchmark, convert_to_timeseries, paths, tmp / "out",
+        plan=plan, variables=names,
+        metric="conversion_s", threshold_pct=50.0,
     )
     total = sum(p.stat().st_size for p in result.values())
     raw = sum(ctx.ensemble.member_field(n, 0).nbytes for n in names) * 3
+    bench_record.metric("conversion_cr", total / raw, threshold_pct=5.0)
     save_text(
         results_dir, "conversion.txt",
         f"time-series conversion: {len(names)} variables x 3 steps, "

@@ -13,9 +13,10 @@ from repro.harness.figures import figure3_enmax_ensemble
 from repro.harness.report import format_value, render_boxplot, write_csv
 
 
-def test_figure3(benchmark, ctx, results_dir):
-    data = benchmark.pedantic(
-        figure3_enmax_ensemble, args=(ctx,), rounds=1, iterations=1
+def test_figure3(benchmark, ctx, results_dir, bench_record):
+    data = bench_record.run(
+        benchmark, figure3_enmax_ensemble, ctx, metric="figure3_s",
+        threshold_pct=50.0,
     )
     pieces = []
     rows = []

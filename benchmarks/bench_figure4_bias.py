@@ -7,15 +7,15 @@ far off (.93-.97, off the plot in the paper); eq. 9 separates acceptable
 from unacceptable uncertainty.
 """
 
-from conftest import save_text
+from conftest import save_table
 
 from repro.harness.figures import figure4_bias
-from repro.harness.report import render_table, write_csv
 
 
-def test_figure4(benchmark, ctx, results_dir):
-    data = benchmark.pedantic(
-        figure4_bias, args=(ctx,), rounds=1, iterations=1
+def test_figure4(benchmark, ctx, results_dir, bench_record):
+    data = bench_record.run(
+        benchmark, figure4_bias, ctx, metric="figure4_s",
+        threshold_pct=50.0,
     )
     headers = ["variable", "variant", "slope", "intercept", "slope_lo",
                "slope_hi", "int_lo", "int_hi", "eq9_pass"]
@@ -28,11 +28,9 @@ def test_figure4(benchmark, ctx, results_dir):
                 fit.intercept_ci[0], fit.intercept_ci[1],
                 fit.passes(),
             ])
-    text = render_table(headers, rows,
-                        title="Figure 4: bias regressions (ideal = slope 1,"
-                              " intercept 0)", precision=4)
-    save_text(results_dir, "figure4.txt", text)
-    write_csv(results_dir / "figure4.csv", headers, rows)
+    save_table(results_dir, "figure4", headers, rows,
+               title="Figure 4: bias regressions (ideal = slope 1,"
+                     " intercept 0)", precision=4)
 
     # Near-lossless codecs regress onto the identity for every variable.
     for name in data:

@@ -10,16 +10,15 @@ over a slice of the catalog.
 """
 
 import numpy as np
-from conftest import save_text
+from conftest import save_table
 
 from repro.compressors import get_variant
-from repro.harness.report import render_table, write_csv
 
 _METHODS = ("NetCDF-4", "LZMA", "MAFISC", "ISOBAR", "fpzip-32",
             "fpzip-32-lorenzo")
 
 
-def test_lossless_comparison(benchmark, ctx, results_dir):
+def test_lossless_comparison(benchmark, ctx, results_dir, bench_record):
     specs = [s for s in ctx.ensemble.catalog if s.fill_mask == "none"][:16]
     member = int(ctx.test_members[0])
 
@@ -42,16 +41,17 @@ def test_lossless_comparison(benchmark, ctx, results_dir):
         ]
         return rows + [means]
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = render_table(
-        ["variable"] + list(_METHODS), rows,
-        title="Lossless comparison (CR, bit-exact; paper Section 2.1)",
+    rows = bench_record.run(benchmark, run, metric="lossless_sweep_s",
+                            threshold_pct=50.0)
+    save_table(
+        results_dir, "lossless_comparison", ["variable"] + list(_METHODS),
+        rows, title="Lossless comparison (CR, bit-exact; paper Section 2.1)",
     )
-    save_text(results_dir, "lossless_comparison.txt", text)
-    write_csv(results_dir / "lossless_comparison.csv",
-              ["variable"] + list(_METHODS), rows)
 
     means = dict(zip(_METHODS, rows[-1][1:]))
+    for method in ("MAFISC", "fpzip-32"):
+        bench_record.metric(f"{method}.mean_cr", means[method],
+                            threshold_pct=5.0)
     # MAFISC's adaptive filters never do worse than plain LZMA (the
     # paper's "slightly improves upon lmza").
     assert means["MAFISC"] <= means["LZMA"] + 1e-9

@@ -59,23 +59,28 @@ def _inactive_metric_cost(iterations=200_000):
     return (time.perf_counter() - t0) / iterations
 
 
-def test_roundtrip_untraced(benchmark, ctx):
+def test_roundtrip_untraced(benchmark, ctx, bench_record):
     codec = get_variant(_VARIANT)
     field = ctx.member_field("U")
     with obs.tracing(False):
-        benchmark(_roundtrip, codec, field)
+        bench_record.bench(benchmark, _roundtrip, codec, field,
+                           metric="roundtrip_untraced_s",
+                           threshold_pct=50.0)
 
 
-def test_roundtrip_traced(benchmark, ctx):
+def test_roundtrip_traced(benchmark, ctx, bench_record):
     codec = get_variant(_VARIANT)
     field = ctx.member_field("U")
     agg = obs.Aggregator()
     with obs.tracing(sinks=[agg]):
-        benchmark(_roundtrip, codec, field)
+        bench_record.bench(benchmark, _roundtrip, codec, field,
+                           metric="roundtrip_traced_s",
+                           threshold_pct=50.0)
     assert agg.get("compressors.compress").count > 0
 
 
-def test_untraced_overhead_below_two_percent(ctx, results_dir):
+def test_untraced_overhead_below_two_percent(ctx, results_dir,
+                                             bench_record):
     codec = get_variant(_VARIANT)
     field = ctx.member_field("U")
     with obs.tracing(False):
@@ -92,6 +97,8 @@ def test_untraced_overhead_below_two_percent(ctx, results_dir):
     with obs.tracing(sinks=[agg]):
         _roundtrip(codec, field)
         traced = _median_seconds(_roundtrip, codec, field)
+    bench_record.metric("untraced_overhead_pct", overhead * 100,
+                        unit="%", threshold_pct=100.0)
     save_text(
         results_dir, "obs_overhead.txt",
         f"{_VARIANT} roundtrip on U {field.shape}: "

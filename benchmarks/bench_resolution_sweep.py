@@ -10,11 +10,10 @@ relative-precision codecs (fpzip) are resolution-insensitive.
 """
 
 import numpy as np
-from conftest import save_text
+from conftest import save_table
 
 from repro.compressors import get_variant
 from repro.config import ReproConfig
-from repro.harness.report import render_table, write_csv
 from repro.metrics.correlation import pearson
 from repro.model.ensemble import CAMEnsemble
 
@@ -22,7 +21,7 @@ _VARIANTS = ("APAX-4", "APAX-5", "fpzip-24", "fpzip-16", "ISA-0.5")
 _VARIABLES = ("U", "FSDSC", "T", "Z3")
 
 
-def test_resolution_sweep(benchmark, results_dir):
+def test_resolution_sweep(benchmark, results_dir, bench_record):
     def sweep():
         rows = []
         for ne in (4, 6, 10):
@@ -40,16 +39,15 @@ def test_resolution_sweep(benchmark, results_dir):
                              float(np.mean(rhos))])
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = render_table(
+    rows = bench_record.run(benchmark, sweep, metric="sweep_s",
+                            threshold_pct=50.0)
+    save_table(
+        results_dir, "resolution_sweep",
         ["ne", "variant", "worst rho", "mean rho"], rows,
         title="Resolution sweep: reconstruction correlation vs grid "
               "resolution (paper grid: ne=30)",
         precision=7,
     )
-    save_text(results_dir, "resolution_sweep.txt", text)
-    write_csv(results_dir / "resolution_sweep.csv",
-              ["ne", "variant", "worst_rho", "mean_rho"], rows)
 
     by = {(ne, v): (worst, mean) for ne, v, worst, mean in rows}
     # Fixed-rate codecs gain monotonically with resolution.

@@ -33,21 +33,26 @@ def _median_seconds(codec, field, repeats=_REPEATS):
     return float(np.median(samples))
 
 
-def test_roundtrip_baseline(benchmark, ctx):
+def test_roundtrip_baseline(benchmark, ctx, bench_record):
     codec = get_variant(_VARIANT)
     field = ctx.member_field("U")
     with sanitized(False):
-        benchmark(_roundtrip, codec, field)
+        bench_record.bench(benchmark, _roundtrip, codec, field,
+                           metric="roundtrip_baseline_s",
+                           threshold_pct=50.0)
 
 
-def test_roundtrip_sanitized(benchmark, ctx):
+def test_roundtrip_sanitized(benchmark, ctx, bench_record):
     codec = get_variant(_VARIANT)
     field = ctx.member_field("U")
     with sanitized():
-        benchmark(_roundtrip, codec, field)
+        bench_record.bench(benchmark, _roundtrip, codec, field,
+                           metric="roundtrip_sanitized_s",
+                           threshold_pct=50.0)
 
 
-def test_sanitizer_overhead_below_ten_percent(ctx, results_dir):
+def test_sanitizer_overhead_below_ten_percent(ctx, results_dir,
+                                              bench_record):
     codec = get_variant(_VARIANT)
     field = ctx.member_field("U")
     # Warm both paths (imports, caches, allocator) before timing.
@@ -58,6 +63,8 @@ def test_sanitizer_overhead_below_ten_percent(ctx, results_dir):
         _roundtrip(codec, field)
         guarded = _median_seconds(codec, field)
     overhead = guarded / base - 1.0
+    bench_record.metric("sanitizer_overhead_pct", overhead * 100,
+                        unit="%", threshold_pct=100.0)
     save_text(
         results_dir, "sanitizer_overhead.txt",
         f"{_VARIANT} roundtrip on U {field.shape}: "

@@ -24,7 +24,7 @@ _REPEATS = 3
 _MIN_SPEEDUP = 5.0
 
 
-def test_table5_warm_rerun_is_5x_faster(results_dir):
+def test_table5_warm_rerun_is_5x_faster(results_dir, bench_record):
     ctx = ExperimentContext.test()
     with tempfile.TemporaryDirectory() as tmp:
         with storing(tmp) as st:
@@ -39,6 +39,9 @@ def test_table5_warm_rerun_is_5x_faster(results_dir):
             artifacts = st.ls()
         speedup = cold / warm if warm > 0 else float("inf")
 
+    bench_record.metric("cold_s", cold, unit="s", threshold_pct=50.0)
+    bench_record.metric("warm_speedup", speedup, direction="higher",
+                        threshold_pct=50.0)
     assert warm_headers == cold_headers
     assert warm_rows == cold_rows
     assert warm * _MIN_SPEEDUP <= cold, (

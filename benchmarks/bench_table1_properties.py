@@ -1,16 +1,15 @@
 """Table 1: algorithm property matrix."""
 
-from conftest import save_text
+from conftest import save_table
 
-from repro.harness.report import render_table, write_csv
 from repro.harness.tables import table1_properties
 
 
-def test_table1(benchmark, results_dir):
-    headers, rows = benchmark.pedantic(
-        table1_properties, rounds=1, iterations=1
+def test_table1(benchmark, results_dir, bench_record):
+    headers, rows = bench_record.run(
+        benchmark, table1_properties, metric="table1_s"
     )
-    text = render_table(headers, rows, title="Table 1: Algorithm properties")
-    save_text(results_dir, "table1.txt", text)
-    write_csv(results_dir / "table1.csv", headers, rows)
+    save_table(results_dir, "table1", headers, rows,
+               title="Table 1: Algorithm properties")
+    bench_record.metric("methods", len(rows), direction="higher")
     assert len(rows) == 4

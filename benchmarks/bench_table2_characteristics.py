@@ -1,24 +1,22 @@
 """Table 2: characteristics of the featured variable datasets."""
 
-from conftest import save_text
+from conftest import save_table
 
-from repro.harness.report import render_table, write_csv
 from repro.harness.tables import table2_characteristics
 
 
-def test_table2(benchmark, ctx, results_dir):
-    headers, rows = benchmark.pedantic(
-        table2_characteristics, args=(ctx,), rounds=1, iterations=1
+def test_table2(benchmark, ctx, results_dir, bench_record):
+    headers, rows = bench_record.run(
+        benchmark, table2_characteristics, ctx, metric="table2_s"
     )
-    text = render_table(
-        headers, rows,
+    save_table(
+        results_dir, "table2", headers, rows,
         title="Table 2: Characteristics of U, FSDSC, Z3, CCN3 "
               "(paper: U mean 6.39/std 12.2; CCN3 min 3.37e-5/max 1.24e3)",
     )
-    save_text(results_dir, "table2.txt", text)
-    write_csv(results_dir / "table2.csv", headers, rows)
 
     rec = {r[0]: dict(zip(headers, r)) for r in rows}
+    bench_record.metric("z3_lossless_cr", rec["Z3"]["CR"])
     # Shape assertions vs the paper's Table 2.
     assert abs(rec["U"]["mean"] - 6.39) < 2.0
     assert 8 < rec["U"]["std"] < 18

@@ -1,8 +1,7 @@
 """Table 4: maximum relative pointwise error (and CR) per variant."""
 
-from conftest import save_text
+from conftest import save_table
 
-from repro.harness.report import render_table, write_csv
 from repro.harness.tables import table3_nrmse, table4_enmax
 
 
@@ -10,16 +9,15 @@ def _err(cell: str) -> float:
     return float(cell.split()[0])
 
 
-def test_table4(benchmark, ctx, results_dir):
-    headers, rows = benchmark.pedantic(
-        table4_enmax, args=(ctx,), rounds=1, iterations=1
+def test_table4(benchmark, ctx, results_dir, bench_record):
+    headers, rows = bench_record.run(
+        benchmark, table4_enmax, ctx, metric="table4_s"
     )
-    text = render_table(
-        headers, rows, title="Table 4: e_nmax (CR) — paper shape: e_nmax "
-        "roughly an order of magnitude above NRMSE",
+    save_table(
+        results_dir, "table4", headers, rows,
+        title="Table 4: e_nmax (CR) — paper shape: e_nmax "
+              "roughly an order of magnitude above NRMSE",
     )
-    save_text(results_dir, "table4.txt", text)
-    write_csv(results_dir / "table4.csv", headers, rows)
 
     # e_nmax >= NRMSE cell-by-cell, and they "roughly correlate"
     # (Section 5.2).

@@ -21,30 +21,30 @@ and APAX-2 near the top, fpzip-16/APAX-5/ISA-1.0 near the bottom.  Set
 
 import os
 
-from conftest import save_text
+from conftest import save_table
 
-from repro.harness.report import render_table, write_csv
 from repro.harness.tables import table6_passes
 
 
-def test_table6(benchmark, ctx, results_dir, bench_workers):
+def test_table6(benchmark, ctx, results_dir, bench_workers, bench_record):
     run_bias = os.environ.get("REPRO_SKIP_BIAS", "0") != "1"
-    headers, rows = benchmark.pedantic(
-        table6_passes,
-        args=(ctx,),
-        kwargs={"run_bias": run_bias, "workers": bench_workers},
-        rounds=1, iterations=1,
+    headers, rows = bench_record.run(
+        benchmark, table6_passes, ctx,
+        run_bias=run_bias, workers=bench_workers, metric="table6_s",
+        threshold_pct=50.0,
     )
-    text = render_table(
-        headers, rows,
+    save_table(
+        results_dir, "table6", headers, rows,
         title=f"Table 6: passes out of {ctx.config.n_variables} variables "
               "(paper: fpzip-24 163 all, APAX-2 146, ISA-1.0 43)",
     )
-    save_text(results_dir, "table6.txt", text)
-    write_csv(results_dir / "table6.csv", headers, rows)
 
     rec = {r[0]: dict(zip(headers, r)) for r in rows}
     n = ctx.config.n_variables
+    for variant in ("fpzip-24", "APAX-2", "ISA-1.0"):
+        bench_record.metric(f"{variant}.all_passes",
+                            rec[variant]["all"], direction="higher",
+                            threshold_pct=10.0)
 
     # Quality ordering within families ("all" column).
     assert rec["APAX-2"]["all"] >= rec["APAX-4"]["all"] >= \

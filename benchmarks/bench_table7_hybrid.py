@@ -8,9 +8,8 @@ above rho ~0.999999; each hybrid's composition sums to 170 variables.
 import os
 
 import pytest
-from conftest import save_text
+from conftest import save_table
 
-from repro.harness.report import render_table, write_csv
 from repro.harness.tables import (
     table7_hybrid_summary,
     table8_hybrid_composition,
@@ -23,20 +22,22 @@ def hybrid_tables(ctx):
     return table7_hybrid_summary(ctx, run_bias=run_bias)
 
 
-def test_table7(benchmark, ctx, results_dir, hybrid_tables):
-    headers, rows, hybrids = benchmark.pedantic(
-        lambda: hybrid_tables, rounds=1, iterations=1
+def test_table7(benchmark, ctx, results_dir, hybrid_tables, bench_record):
+    headers, rows, hybrids = bench_record.run(
+        benchmark, lambda: hybrid_tables, metric="table7_s",
+        threshold_pct=50.0,
     )
-    text = render_table(
-        headers, rows,
+    save_table(
+        results_dir, "table7", headers, rows,
         title="Table 7: hybrid methods (paper: avg CR fpzip .18 < APAX .29 "
               "< GRIB2 .37 < ISABELA .42 < NC .61)",
     )
-    save_text(results_dir, "table7.txt", text)
-    write_csv(results_dir / "table7.csv", headers, rows)
 
     stat = {r[0]: dict(zip(headers, r)) for r in rows}
     avg = stat["avg. CR"]
+    for family in ("fpzip", "APAX"):
+        bench_record.metric(f"{family}.avg_cr", avg[family],
+                            threshold_pct=5.0)
     # fpzip wins; everything beats lossless-only NC.
     assert avg["fpzip"] == min(v for k, v in avg.items() if k != "statistic")
     for family in ("GRIB2", "ISABELA", "fpzip", "APAX"):
@@ -48,17 +49,16 @@ def test_table7(benchmark, ctx, results_dir, hybrid_tables):
     assert stat["avg. nrmse"]["NC"] == 0.0
 
 
-def test_table8(benchmark, ctx, results_dir, hybrid_tables):
+def test_table8(benchmark, ctx, results_dir, hybrid_tables, bench_record):
     _, _, hybrids = hybrid_tables
-    headers, rows = benchmark.pedantic(
-        table8_hybrid_composition, args=(hybrids,), rounds=1, iterations=1
+    headers, rows = bench_record.run(
+        benchmark, table8_hybrid_composition, hybrids, metric="table8_s",
+        threshold_pct=50.0,
     )
-    text = render_table(
-        headers, rows,
+    save_table(
+        results_dir, "table8", headers, rows,
         title="Table 8: variant composition of each hybrid method",
     )
-    save_text(results_dir, "table8.txt", text)
-    write_csv(results_dir / "table8.csv", headers, rows)
 
     n = ctx.config.n_variables
     for family in ("GRIB2", "ISABELA", "fpzip", "APAX"):

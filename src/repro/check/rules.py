@@ -17,6 +17,7 @@ it to :data:`RULES`.  The engine, the noqa machinery, the CLI, and the
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from pathlib import PurePath
 from typing import Callable, Sequence
@@ -451,6 +452,60 @@ def _check_rep010(tree: ast.AST, lines: Sequence[str],
     return [(1, 0, "module has no docstring")]
 
 
+# -- REP011 ------------------------------------------------------------------
+
+_BENCH_RECORD_NAMES = {"bench_record", "BenchRecord", "BenchReporter"}
+#: A time unit at the start of the literal text that follows an
+#: interpolated value in an f-string: `f"{dt:.3f} ms"`, `f"{t}s"`,
+#: `f"took {dt} seconds"`.  Anchoring to the post-interpolation position
+#: keeps throughput strings ("MB/s") and ordinary plurals out.
+_TIME_UNIT_RE = re.compile(r"^\s*(?:[mnu]?s|secs?|seconds?|minutes?)\b")
+
+
+def _prints_timing(node: ast.Call) -> bool:
+    for arg in node.args:
+        if not isinstance(arg, ast.JoinedStr):
+            continue
+        prev_interpolated = False
+        for part in arg.values:
+            if isinstance(part, ast.FormattedValue):
+                prev_interpolated = True
+                continue
+            if (prev_interpolated and isinstance(part, ast.Constant)
+                    and isinstance(part.value, str)
+                    and _TIME_UNIT_RE.match(part.value)):
+                return True
+            prev_interpolated = False
+    return False
+
+
+def _check_rep011(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    if PurePath(path).name.startswith("bench_"):
+        uses_record = any(
+            (isinstance(n, ast.Name) and n.id in _BENCH_RECORD_NAMES)
+            or (isinstance(n, ast.arg) and n.arg == "bench_record")
+            for n in ast.walk(tree)
+        )
+        if not uses_record:
+            found.append((
+                1, 0,
+                "benchmark module never touches bench_record/BenchRecord; "
+                "its results are invisible to `repro bench compare`",
+            ))
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and _attr_chain(node.func) == "print"
+                and _prints_timing(node)):
+            found.append((
+                node.lineno, node.col_offset,
+                "timing printed to stdout instead of recorded as a "
+                "BenchRecord metric",
+            ))
+    return found
+
+
 # -- registry ----------------------------------------------------------------
 
 RULES: tuple[Rule, ...] = (
@@ -584,6 +639,21 @@ RULES: tuple[Rule, ...] = (
                  "owns and which layer calls it",
         applies=_in("repro"),
         check=_check_rep010,
+    ),
+    Rule(
+        id="REP011",
+        title="benchmark result bypasses the BenchRecord telemetry",
+        severity="error",
+        rationale="`repro bench compare` can only gate on results that "
+                  "land in BENCH_<name>.json; a benchmark that prints its "
+                  "timings (or never takes the bench_record fixture) "
+                  "produces numbers the regression gate, the history log, "
+                  "and future sessions cannot see.",
+        fix_hint="take the bench_record fixture from benchmarks/conftest.py "
+                 "and record results via bench_record.run()/bench()/"
+                 "metric(); keep prose output in results/ via save_text",
+        applies=_in("benchmarks"),
+        check=_check_rep011,
     ),
 )
 

@@ -10,6 +10,11 @@ Exposes the paper's workflows as commands:
 - ``lint``         — run the repro.check numeric-safety static analyzer;
 - ``stats``        — run a small traced PVT workload (or aggregate an
   existing JSONL trace) and print the per-stage observability table;
+- ``report``       — the full per-run observability report (top spans,
+  counters, store hit rates, memory peaks; ``docs/observability.md``);
+- ``bench``        — inspect benchmark perf records and run the
+  regression gate (``ls`` / ``show`` / ``compare``,
+  see ``docs/benchmarks.md``);
 - ``store``        — inspect or trim the artifact cache (``ls`` /
   ``info`` / ``gc`` / ``clear``, see ``docs/caching.md``).
 
@@ -146,7 +151,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-jsonl", default=None, metavar="TRACE",
                    help="aggregate an existing REPRO_TRACE_JSONL file "
                         "instead of running a workload")
+    p.add_argument("--sort", choices=["stage", "time", "count", "bytes"],
+                   default="stage",
+                   help="row order: stage name (default) or descending "
+                        "time/count/bytes")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="keep only the first N rows after sorting")
     _add_scale_flags(p)
+
+    p = sub.add_parser(
+        "report",
+        help="per-run observability report: top stages, counters, "
+             "store hit rates, memory peaks (docs/observability.md)",
+    )
+    p.add_argument("variant", nargs="?", default="fpzip-24",
+                   help="codec label to verify (default: fpzip-24)")
+    p.add_argument("variables", nargs="*", default=[],
+                   help="variable names (default: the featured four)")
+    p.add_argument("--bias", action="store_true",
+                   help="include the whole-ensemble bias test (slow)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="process-pool width for the traced run (default 2;"
+                        " 0 keeps the run serial)")
+    p.add_argument("--from-jsonl", default=None, metavar="TRACE",
+                   help="report over an existing REPRO_TRACE_JSONL file "
+                        "instead of running a workload")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows per report section (default: 10)")
+    p.add_argument("--mem", action="store_true",
+                   help="profile memory during the traced run (as "
+                        "REPRO_TRACE_MEM=1 would)")
+    _add_scale_flags(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark perf records: list, show, or gate against "
+             "baselines (docs/benchmarks.md)",
+    )
+    p.add_argument("action", choices=["ls", "show", "compare"])
+    p.add_argument("name", nargs="?", default=None,
+                   help="benchmark name or record path (for show)")
+    p.add_argument("--dir", default=None, metavar="PATH",
+                   help="directory holding BENCH_*.json records "
+                        "(default: $REPRO_BENCH_DIR, else the current "
+                        "directory)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline record file or directory (default: "
+                        "benchmarks/baselines/ under the record dir)")
+    p.add_argument("--threshold", type=float, default=20.0,
+                   metavar="PCT",
+                   help="default regression threshold in percent for "
+                        "metrics without their own (default: 20)")
 
     p = sub.add_parser(
         "store",
@@ -192,34 +247,8 @@ def main(argv=None) -> int:
         return _store_command(args, render_table)
 
     if args.command == "stats":
-        from repro import obs
-
-        if args.from_jsonl:
-            agg = obs.Aggregator.from_jsonl(args.from_jsonl)
-            title = f"Per-stage stats from {args.from_jsonl}"
-        else:
-            from repro.compressors import get_variant
-            from repro.harness.experiments import ExperimentContext
-
-            # A deliberately small default run: stats is about timing
-            # visibility, not statistical power.
-            config = bench_scale().with_scale(
-                ne=args.ne, nlev=args.nlev,
-                n_members=args.members if args.members else 21,
-            )
-            with obs.tracing():
-                ctx = ExperimentContext.create(config)
-                ctx.pvt.evaluate_codec(
-                    get_variant(args.variant),
-                    variables=_featured_or(args.variables, ctx),
-                    run_bias=args.bias,
-                    workers=args.workers,
-                )
-            obs.flush_sinks()
-            agg = obs.aggregator()
-            title = (f"Per-stage stats: {args.variant}, "
-                     f"{config.n_members} members, ne={config.ne}")
-        headers, rows = agg.table()
+        agg, title = _traced_aggregator(args)
+        headers, rows = agg.table(sort=args.sort, top=args.top)
         print(render_table(headers, rows, title=title, precision=4))
         m_headers, m_rows = agg.metrics_table()
         if m_rows:
@@ -231,6 +260,16 @@ def main(argv=None) -> int:
             if path:
                 print(f"\n{env}: trace written to {path}")
         return 0
+
+    if args.command == "report":
+        from repro.obs.report import render_report
+
+        agg, title = _traced_aggregator(args, mem=args.mem)
+        print(render_report(agg, top=args.top, title=title))
+        return 0
+
+    if args.command == "bench":
+        return _bench_command(args, render_table)
 
     if args.command == "check":
         from repro.ncio.format import HistoryFile
@@ -354,6 +393,162 @@ def main(argv=None) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _traced_aggregator(args, mem: bool = False):
+    """The aggregator behind ``stats``/``report``: load a JSONL trace,
+    or run the small traced PVT workload.  Returns ``(agg, title)``."""
+    from repro import obs
+
+    if args.from_jsonl:
+        agg = obs.Aggregator.from_jsonl(args.from_jsonl)
+        return agg, f"Per-stage stats from {args.from_jsonl}"
+
+    from repro.compressors import get_variant
+    from repro.harness.experiments import ExperimentContext
+
+    # A deliberately small default run: stats is about timing
+    # visibility, not statistical power.
+    config = bench_scale().with_scale(
+        ne=args.ne, nlev=args.nlev,
+        n_members=args.members if args.members else 21,
+    )
+    with obs.tracing(), obs.profiling_memory(mem or obs.mem_active()):
+        ctx = ExperimentContext.create(config)
+        ctx.pvt.evaluate_codec(
+            get_variant(args.variant),
+            variables=_featured_or(args.variables, ctx),
+            run_bias=args.bias,
+            workers=args.workers,
+        )
+    obs.flush_sinks()
+    title = (f"Per-stage stats: {args.variant}, "
+             f"{config.n_members} members, ne={config.ne}")
+    return obs.aggregator(), title
+
+
+def _bench_command(args, render_table) -> int:
+    """The ``repro bench ls|show|compare`` actions."""
+    from pathlib import Path
+
+    from repro.obs import bench
+
+    root = Path(args.dir) if args.dir else bench.bench_dir()
+
+    if args.action == "ls":
+        rows = []
+        for path, record in bench.iter_records(root):
+            rows.append([
+                record.name, record.created,
+                len(record.metrics), len(record.spans),
+                record.fingerprint[:12],
+            ])
+        hist = bench.history_dir()
+        n_hist = len(list(hist.glob("*.jsonl"))) if hist.is_dir() else 0
+        print(render_table(
+            ["benchmark", "created", "metrics", "spans", "fingerprint"],
+            rows,
+            title=f"{len(rows)} bench record(s) in {root} "
+                  f"({n_hist} history file(s) in {hist})",
+        ))
+        return 0
+
+    if args.action == "show":
+        if not args.name:
+            print("repro bench show needs a benchmark name; "
+                  "see `repro bench ls`", file=sys.stderr)
+            return 2
+        path = Path(args.name)
+        if not path.is_file():
+            path = bench.record_path(args.name, root)
+        if not path.is_file():
+            print(f"no bench record at {path}", file=sys.stderr)
+            return 1
+        record = bench.load_record(path)
+        for label, value in [
+            ("name", record.name), ("created", record.created),
+            ("schema", record.schema),
+            ("fingerprint", record.fingerprint),
+            ("config", record.config), ("host", record.host),
+            ("mem", record.mem), ("path", path),
+        ]:
+            print(f"{label:12s} {value}")
+        rows = [
+            [name, m.value, m.unit, m.direction,
+             m.threshold_pct]
+            for name, m in sorted(record.metrics.items())
+        ]
+        print()
+        print(render_table(
+            ["metric", "value", "unit", "better", "threshold %"], rows,
+            title="Metrics", precision=4,
+        ))
+        if record.spans:
+            span_rows = [
+                [name, entry.get("count"), entry.get("total_s"),
+                 entry.get("mb"), entry.get("cr"),
+                 entry.get("mem_peak_mb")]
+                for name, entry in sorted(record.spans.items())
+            ]
+            print()
+            print(render_table(
+                ["stage", "count", "total (s)", "MB", "CR", "peak MB"],
+                span_rows, title="Span aggregates", precision=4,
+            ))
+        return 0
+
+    # compare: the regression gate.
+    if args.baseline and Path(args.baseline).is_file():
+        base_path = Path(args.baseline)
+        current_path = root / base_path.name
+        if not current_path.is_file():
+            print(f"no current record at {current_path} to compare "
+                  f"against {base_path}", file=sys.stderr)
+            return 2
+        current = bench.load_record(current_path)
+        baseline = bench.load_record(base_path)
+        if baseline.fingerprint != current.fingerprint:
+            print(f"{current.name}: config fingerprint differs from "
+                  "the baseline (different scale); not comparable",
+                  file=sys.stderr)
+            return 2
+        deltas_by_name = {current.name: bench.compare_records(
+            current, baseline, args.threshold)}
+        skipped: list[str] = []
+    else:
+        baseline_dir = (Path(args.baseline) if args.baseline
+                        else root / "benchmarks" / "baselines")
+        deltas_by_name, skipped = bench.compare_dirs(
+            root, baseline_dir, args.threshold)
+
+    regressions = 0
+    for name in sorted(deltas_by_name):
+        deltas = deltas_by_name[name]
+        rows = []
+        for d in deltas:
+            status = "REGRESSED" if d.regressed else "ok"
+            regressions += d.regressed
+            rows.append([d.metric, d.baseline, d.current,
+                         d.change_pct, d.threshold_pct, status])
+        print(render_table(
+            ["metric", "baseline", "current", "worse %", "threshold %",
+             "status"],
+            rows, title=f"{name}: {len(deltas)} comparable metric(s)",
+            precision=4,
+        ))
+        print()
+    for reason in skipped:
+        print(f"skipped {reason}", file=sys.stderr)
+    if not deltas_by_name and not skipped:
+        print(f"no BENCH_*.json records found in {root}",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"{regressions} metric(s) regressed past their threshold",
+              file=sys.stderr)
+        return 1
+    print(f"no regressions across {len(deltas_by_name)} record(s)")
+    return 0
 
 
 def _store_command(args, render_table) -> int:

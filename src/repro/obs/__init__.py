@@ -20,6 +20,13 @@ context manager); the untraced path costs one flag check per
 instrumentation point (<2% overhead, enforced by
 ``benchmarks/bench_obs_overhead.py``).  File sinks are configured with
 ``REPRO_TRACE_JSONL=<path>`` and ``REPRO_TRACE_CHROME=<path>``.
+``REPRO_TRACE_MEM=1`` (or :func:`profiling_memory`) additionally attaches
+tracemalloc peak/current deltas to every span and RSS gauges to root
+spans — see :mod:`repro.obs.memory`.  The benchmark-record /
+regression-gate layer (:mod:`repro.obs.bench`) and the per-run report
+(:mod:`repro.obs.report`) are deliberately *not* re-exported here: they
+may import :mod:`repro.store` / :mod:`repro.harness`, while this package
+root stays stdlib-only.
 
 The instrumentation contract — span naming scheme, which metrics each
 layer must emit, and how to open a trace in Perfetto — is documented in
@@ -53,6 +60,14 @@ from repro.obs.core import (
     traced,
     tracing,
 )
+from repro.obs.memory import (
+    get_mem_override,
+    mem_active,
+    peak_rss_bytes,
+    profiling_memory,
+    rss_bytes,
+    set_mem_override,
+)
 from repro.obs.sinks import (
     Aggregator,
     BufferSink,
@@ -82,10 +97,16 @@ __all__ = [
     "current_span_name",
     "flush_sinks",
     "gauge",
+    "get_mem_override",
     "get_override",
     "load_jsonl",
+    "mem_active",
     "merge_events",
+    "peak_rss_bytes",
+    "profiling_memory",
     "reset",
+    "rss_bytes",
+    "set_mem_override",
     "set_override",
     "span",
     "traced",

@@ -34,6 +34,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.obs import memory as _memory
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -170,6 +172,7 @@ def reset() -> None:
     _tls.stack = []
     _tls.base_parent = None
     _tls.base_depth = 0
+    _memory.reset()
 
 
 def _emit_span_record(record: SpanRecord) -> None:
@@ -223,7 +226,7 @@ class span:
     so a failing codec cannot corrupt nesting for its siblings.
     """
 
-    __slots__ = ("name", "meta", "_on", "_ts", "_t0")
+    __slots__ = ("name", "meta", "_on", "_mem", "_ts", "_t0")
 
     def __init__(self, name: str, **meta: Any) -> None:
         self._on = active()
@@ -233,6 +236,9 @@ class span:
     def __enter__(self) -> "span":
         if self._on:
             _tls.stack.append(self)
+            self._mem = _memory.mem_active()
+            if self._mem:
+                _memory.on_span_enter()
             self._ts = time.time()
             self._t0 = time.perf_counter()
         return self
@@ -246,6 +252,8 @@ class span:
         if not self._on:
             return False
         duration = time.perf_counter() - self._t0
+        if self._mem:
+            self.meta.update(_memory.on_span_exit())
         stack = _tls.stack
         # Unwind through any spans the body leaked (it raised before
         # closing a child): everything above us pops with us.
@@ -262,6 +270,16 @@ class span:
             parent=parent, depth=depth, pid=os.getpid(),
             tid=threading.get_ident(), meta=dict(self.meta),
         ))
+        if self._mem and not stack:
+            # Root spans (this thread's outermost, including a worker
+            # task's root) record the process footprint as a pid-labelled
+            # gauge so per-process RSS survives the aggregator's folding.
+            _emit_metric_event(MetricEvent(
+                kind="gauge", name="mem.rss_mb",
+                value=_memory.rss_bytes() / 1e6, ts=time.time(),
+                pid=os.getpid(), tid=threading.get_ident(),
+                labels={"pid": os.getpid()},
+            ))
         return False
 
 
@@ -392,10 +410,14 @@ class WorkerTask:
     """
 
     def __init__(self, fn: Callable, parent: str | None = None,
-                 depth: int = 0) -> None:
+                 depth: int = 0, mem: bool | None = None) -> None:
         self.fn = fn
         self.parent = parent
         self.depth = depth
+        #: Memory-profiling state captured on the parent side, so a
+        #: ``profiling_memory()`` override crosses the pool the same way
+        #: the tracing override does (env vars already cross via fork).
+        self.mem = _memory.mem_active() if mem is None else mem
 
     def __call__(self, item: Any) -> tuple[Any, list]:
         from repro.obs.sinks import BufferSink
@@ -406,10 +428,12 @@ class WorkerTask:
         prev_sinks = _sink_override
         prev_parent = _tls.base_parent
         prev_depth = _tls.base_depth
+        prev_mem = _memory.get_mem_override()
         # A fork-started worker inherits the parent's open span stack;
         # the submitting span is represented by parent/depth instead.
         prev_stack = _tls.stack
         set_override(True)
+        _memory.set_mem_override(self.mem)
         _sink_override = [buffer]
         _tls.base_parent = self.parent
         _tls.base_depth = self.depth
@@ -418,6 +442,7 @@ class WorkerTask:
             result = self.fn(item)
         finally:
             set_override(prev_override)
+            _memory.set_mem_override(prev_mem)
             _sink_override = prev_sinks
             _tls.base_parent = prev_parent
             _tls.base_depth = prev_depth

@@ -1,0 +1,193 @@
+"""Opt-in memory profiling: tracemalloc span deltas and RSS readings.
+
+Activation mirrors ``REPRO_TRACE`` (:mod:`repro.obs.core`) and
+``REPRO_STORE``: a tri-state override (:func:`set_mem_override` / the
+:func:`profiling_memory` context manager) falls back to the
+``REPRO_TRACE_MEM`` environment variable.  Memory profiling only ever
+fires *inside an active span* — with tracing off nothing here is
+reached, and with tracing on but ``REPRO_TRACE_MEM`` unset the cost is
+one flag check per span (``benchmarks/bench_mem_overhead.py`` enforces a
+<5% budget on that path).
+
+When active, every span carries two extra metadata keys on exit:
+
+- ``mem_peak``    — peak python-heap growth over the span (bytes),
+  including peaks reached inside child spans;
+- ``mem_current`` — net python-heap growth over the span (bytes).
+
+Peaks are tracked with :mod:`tracemalloc` (started lazily on the first
+profiled span): the per-span bookkeeping resets tracemalloc's peak on
+entry and folds a child's absolute peak back into its parent on exit, so
+nesting cannot hide an inner allocation spike from the enclosing span.
+Root spans additionally record an ``mem.rss_mb`` gauge (labelled by
+pid), which is how ``parallel_map`` workers report their own footprint —
+their buffered events merge back into the parent's sinks with the
+worker's pid preserved (:class:`repro.obs.core.WorkerTask`).
+
+Like :mod:`repro.obs.core`, this module is stdlib-only and imports
+nothing from the rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "get_mem_override",
+    "mem_active",
+    "peak_rss_bytes",
+    "profiling_memory",
+    "rss_bytes",
+    "set_mem_override",
+]
+
+#: Tri-state override; ``None`` defers to the ``REPRO_TRACE_MEM`` env var.
+_override: bool | None = None
+
+#: Whether *this module* called ``tracemalloc.start()`` (and therefore
+#: owns stopping it on :func:`reset` / ``profiling_memory`` exit).
+_started_here = False
+
+
+def set_mem_override(value: bool | None) -> None:
+    """Force memory profiling on/off (``None`` restores env control)."""
+    global _override
+    _override = value
+
+
+def get_mem_override() -> bool | None:
+    """Current override state (``None`` means env-controlled)."""
+    return _override
+
+
+def mem_active() -> bool:
+    """Whether spans should record tracemalloc deltas right now.
+
+    This is the *memory* half of the gate only: callers (``span``)
+    consult it after the tracing gate, so profiling never happens
+    outside an active trace.
+    """
+    if _override is not None:
+        return _override
+    return os.environ.get("REPRO_TRACE_MEM", "") not in ("", "0")
+
+
+@contextmanager
+def profiling_memory(enabled: bool = True) -> Iterator[None]:
+    """Force memory profiling on/off for a block (like ``tracing()``).
+
+    On exit, tracemalloc is stopped again if this profiling session was
+    the one that started it, so tests and drivers do not leak the
+    (expensive) global allocation hook into subsequent code.
+    """
+    global _started_here
+    prev = _override
+    was_started_here = _started_here
+    set_mem_override(bool(enabled))
+    try:
+        yield
+    finally:
+        set_mem_override(prev)
+        if _started_here and not was_started_here:
+            _stop_tracemalloc()
+
+
+# -- per-span bookkeeping ----------------------------------------------------
+
+class _MemTls(threading.local):
+    def __init__(self) -> None:
+        #: One ``[current_at_entry, absolute_peak_seen]`` frame per open
+        #: profiled span on this thread.
+        self.stack: list[list[int]] = []
+
+
+_tls = _MemTls()
+
+
+def _ensure_tracing() -> None:
+    global _started_here
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _started_here = True
+
+
+def _stop_tracemalloc() -> None:
+    global _started_here
+    if _started_here and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _started_here = False
+
+
+def on_span_enter() -> None:
+    """Open a profiling frame for the span being entered."""
+    _ensure_tracing()
+    current, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    _tls.stack.append([current, current])
+
+
+def on_span_exit() -> dict[str, int]:
+    """Close the innermost frame; returns the span's memory metadata.
+
+    The absolute peak observed inside the span (including peaks already
+    folded in from exited children) propagates to the parent frame, and
+    tracemalloc's running peak is reset so the parent only accumulates
+    what happens *after* this child.
+    """
+    if not _tls.stack:
+        return {}
+    current, peak = tracemalloc.get_traced_memory()
+    entry_current, peak_abs = _tls.stack.pop()
+    peak_abs = max(peak_abs, peak, current)
+    if _tls.stack:
+        parent = _tls.stack[-1]
+        parent[1] = max(parent[1], peak_abs)
+    tracemalloc.reset_peak()
+    return {
+        "mem_peak": max(peak_abs - entry_current, 0),
+        "mem_current": current - entry_current,
+    }
+
+
+def reset() -> None:
+    """Drop per-thread frames and release the tracemalloc hook
+    (test isolation; called from :func:`repro.obs.reset`)."""
+    _tls.stack = []
+    _stop_tracemalloc()
+
+
+# -- process RSS -------------------------------------------------------------
+
+_PAGE_SIZE = os.sysconf("SC_PAGESIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes() -> int:
+    """Current resident-set size of this process in bytes.
+
+    Read from ``/proc/self/statm`` where available; falls back to the
+    (peak) ``ru_maxrss`` from :mod:`resource`, and to 0 on platforms
+    with neither.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.readline().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return peak_rss_bytes()
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    # Linux reports ru_maxrss in KiB; macOS in bytes.  Assume KiB on
+    # anything that is not darwin, which covers the supported platforms.
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024

@@ -65,8 +65,10 @@ class SpanStats:
     max: float = 0.0
     bytes: int = 0
     bytes_out: int = 0
+    mem_peak: int = 0
 
-    def add(self, duration: float, n_bytes: int, n_bytes_out: int) -> None:
+    def add(self, duration: float, n_bytes: int, n_bytes_out: int,
+            mem_peak: int = 0) -> None:
         """Fold one span's duration (seconds) and byte metadata in."""
         self.count += 1
         self.total += duration
@@ -74,6 +76,7 @@ class SpanStats:
         self.max = max(self.max, duration)
         self.bytes += n_bytes
         self.bytes_out += n_bytes_out
+        self.mem_peak = max(self.mem_peak, mem_peak)
 
     @property
     def mean(self) -> float:
@@ -98,7 +101,10 @@ class SpanStats:
 def _metric_key(name: str, labels: dict) -> str:
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    # Canonicalize label values through _jsonable so a key built from
+    # live events matches one rebuilt from a JSONL trace (numpy scalars
+    # keep their int-ness via .item(); tuples render as lists either way).
+    inner = ",".join(f"{k}={_jsonable(labels[k])}" for k in sorted(labels))
     return f"{name}[{inner}]"
 
 
@@ -120,17 +126,18 @@ class Aggregator(Sink):
         """Fold one span record into the per-stage statistics."""
         n_bytes = int(record.meta.get("bytes", 0))
         n_out = int(record.meta.get("bytes_out", 0))
+        mem_peak = int(record.meta.get("mem_peak", 0))
         stats = self.spans.get(record.name)
         if stats is None:
             stats = self.spans[record.name] = SpanStats()
-        stats.add(record.duration, n_bytes, n_out)
+        stats.add(record.duration, n_bytes, n_out, mem_peak)
         codec = record.meta.get("codec")
         if codec is not None:
             key = (record.name, str(codec))
             per = self._by_codec.get(key)
             if per is None:
                 per = self._by_codec[key] = SpanStats()
-            per.add(record.duration, n_bytes, n_out)
+            per.add(record.duration, n_bytes, n_out, mem_peak)
 
     def on_metric(self, event: MetricEvent) -> None:
         """Fold one counter increment / gauge observation in."""
@@ -157,18 +164,48 @@ class Aggregator(Sink):
 
     # -- rendering ---------------------------------------------------------
 
-    def table(self) -> tuple[list[str], list[list]]:
-        """The ``repro stats`` per-stage table as ``(headers, rows)``."""
+    def table(self, sort: str = "stage",
+              top: int | None = None) -> tuple[list[str], list[list]]:
+        """The ``repro stats`` per-stage table as ``(headers, rows)``.
+
+        ``sort`` orders rows by ``"stage"`` (name, ascending) or by
+        ``"time"``/``"count"``/``"bytes"`` (descending); ``top`` keeps
+        only the first N rows after sorting.  A trailing ``peak MB``
+        column appears when any span recorded a tracemalloc peak
+        (``REPRO_TRACE_MEM``).
+        """
+        keys: dict[str, Any] = {
+            "time": lambda s: s.total,
+            "count": lambda s: s.count,
+            "bytes": lambda s: s.bytes,
+        }
+        if sort != "stage" and sort not in keys:
+            raise ValueError(
+                f"unknown sort {sort!r}; expected one of: "
+                f"stage, {', '.join(keys)}"
+            )
+        names = sorted(self.spans)
+        if sort != "stage":
+            names.sort(key=lambda n: keys[sort](self.spans[n]),
+                       reverse=True)
+        if top is not None:
+            names = names[:max(top, 0)]
+        with_mem = any(s.mem_peak for s in self.spans.values())
         headers = ["stage", "count", "total (s)", "mean (s)",
                    "MB", "CR", "MB/s"]
+        if with_mem:
+            headers.append("peak MB")
         rows: list[list] = []
-        for name in sorted(self.spans):
+        for name in names:
             s = self.spans[name]
-            rows.append([
+            row = [
                 name, s.count, s.total, s.mean,
                 s.bytes / 1e6 if s.bytes else None,
                 s.cr, s.mb_per_s,
-            ])
+            ]
+            if with_mem:
+                row.append(s.mem_peak / 1e6 if s.mem_peak else None)
+            rows.append(row)
         return headers, rows
 
     def metrics_table(self) -> tuple[list[str], list[list]]:
@@ -219,7 +256,17 @@ def _jsonable(value: Any) -> Any:
         return {str(k): _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
-    # numpy scalars and anything else exotic: collapse via float/str.
+    # numpy scalars unwrap via .item() (duck-typed — this module stays
+    # stdlib-only) so np.int64(2) survives a JSONL round trip as 2, not
+    # 2.0; anything else exotic collapses via float/str.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            unwrapped = item()
+        except (TypeError, ValueError):
+            unwrapped = None
+        if isinstance(unwrapped, (str, int, float, bool)):
+            return unwrapped
     try:
         return float(value)
     except (TypeError, ValueError):

@@ -99,7 +99,10 @@ def parallel_map(
         with ProcessPoolExecutor(max_workers=n) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
     with obs.span("parallel.map", tasks=len(items), workers=n) as sp:
-        task = obs.WorkerTask(fn, parent=sp.name, depth=obs.current_depth())
+        # mem is resolved here, parent-side: a profiling_memory() override
+        # active in the parent turns on tracemalloc in every worker too.
+        task = obs.WorkerTask(fn, parent=sp.name, depth=obs.current_depth(),
+                              mem=obs.mem_active())
         with ProcessPoolExecutor(max_workers=n) as pool:
             packed = list(pool.map(task, items, chunksize=chunksize))
     results = []

@@ -1,0 +1,8 @@
+"""Keep lint fixtures out of test collection.
+
+``python_files`` includes ``bench_*.py`` (for the real benchmark suite),
+which would otherwise collect ``fixtures/benchmarks/bench_*.py`` — those
+files exist to be *linted*, not run.
+"""
+
+collect_ignore_glob = ["fixtures/*"]

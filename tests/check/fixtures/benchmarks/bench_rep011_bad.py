@@ -1,0 +1,14 @@
+"""Fixture: benchmark that hand-rolls timing and never emits a record."""
+
+import time
+
+
+def test_roundtrip_speed():
+    t0 = time.perf_counter()
+    work = sum(range(1000))
+    dt = time.perf_counter() - t0
+    print(f"roundtrip took {dt * 1e3:.2f} ms")
+    print(f"total {dt:.3f} seconds for {work} units")
+    print(f"warmup {dt:.4f}s")  # repro: noqa[REP011]
+    print(f"compression ratio {work / 3.0:.2f}")  # unitless: not a finding
+    print(f"throughput {work / dt:.1f} MB/s")  # rate, not a timing

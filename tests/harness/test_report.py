@@ -31,6 +31,24 @@ class TestFormatValue:
     def test_zero(self):
         assert format_value(0.0) == "0"
 
+    def test_nan_and_inf_render_as_words(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+    def test_numpy_scalars(self):
+        assert format_value(np.float64(2.5)) == "2.5"
+        assert format_value(np.float32(0.0)) == "0"
+        assert format_value(np.float64("nan")) == "nan"
+        assert format_value(np.int32(-7)) == "-7"
+        assert format_value(np.bool_(True)) in ("Y", "True")
+
+    def test_huge_goes_scientific(self):
+        assert "e" in format_value(1.23e12)
+
+    def test_strings_pass_through(self):
+        assert format_value("fpzip-24") == "fpzip-24"
+
 
 class TestRenderTable:
     def test_alignment_and_content(self):
@@ -46,6 +64,30 @@ class TestRenderTable:
     def test_empty_rows(self):
         text = render_table(["x"], [])
         assert "x" in text
+
+    def test_nonfinite_and_none_cells(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", float("nan")], ["b", float("inf")], ["c", None]],
+        )
+        lines = text.splitlines()
+        assert "nan" in text and "inf" in text and "-" in text
+        assert len(set(len(ln) for ln in lines)) == 1  # still aligned
+
+    def test_numpy_scalar_cells(self):
+        text = render_table(["n", "x"], [[np.int64(170), np.float64(0.5)]])
+        assert "170" in text and "0.5" in text
+
+    def test_zero_width_column(self):
+        # An empty header over empty-string cells must not break the
+        # width computation or the separator line.
+        text = render_table(["", "v"], [["", 1], ["", 2]])
+        lines = text.splitlines()
+        assert lines[1].startswith("-")
+        assert {len(ln) for ln in lines} == {len(lines[0])}
+
+    def test_empty_headers_no_rows(self):
+        assert render_table([], []) == "\n"  # header row + separator
 
 
 class TestBoxplotStats:

@@ -10,11 +10,15 @@ from repro import obs
 @pytest.fixture(autouse=True)
 def clean_obs(monkeypatch):
     """Reset sinks/override and scrub the trace env vars around each test."""
-    for var in ("REPRO_TRACE", "REPRO_TRACE_JSONL", "REPRO_TRACE_CHROME"):
+    for var in ("REPRO_TRACE", "REPRO_TRACE_JSONL", "REPRO_TRACE_CHROME",
+                "REPRO_TRACE_MEM"):
         monkeypatch.delenv(var, raising=False)
     prev = obs.get_override()
+    prev_mem = obs.get_mem_override()
     obs.set_override(None)
+    obs.set_mem_override(None)
     obs.reset()
     yield
     obs.set_override(prev)
+    obs.set_mem_override(prev_mem)
     obs.reset()

@@ -1,0 +1,122 @@
+"""REPRO_TRACE_MEM: tracemalloc span peaks, RSS gauges, worker merge."""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+import numpy as np
+
+from repro import obs
+from repro.parallel.executor import parallel_map
+
+_MB = 1_000_000
+
+
+def _alloc(n_bytes: int) -> np.ndarray:
+    return np.ones(n_bytes, dtype=np.uint8)
+
+
+def alloc_task(x: int) -> int:
+    """Module-level (picklable) task that allocates inside a span."""
+    with obs.span("work.alloc", item=x):
+        buf = _alloc(2 * _MB)
+        return int(buf[0]) + x
+
+
+def test_mem_off_by_default():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        with obs.span("demo.alloc"):
+            _alloc(4 * _MB)
+    assert not tracemalloc.is_tracing()
+    assert agg.get("demo.alloc").mem_peak == 0
+
+
+def test_env_var_enables(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_MEM", "1")
+    assert obs.mem_active()
+    monkeypatch.setenv("REPRO_TRACE_MEM", "0")
+    assert not obs.mem_active()
+
+
+def test_override_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_MEM", "0")
+    with obs.profiling_memory():
+        assert obs.mem_active()
+    assert not obs.mem_active()
+    monkeypatch.setenv("REPRO_TRACE_MEM", "1")
+    with obs.profiling_memory(False):
+        assert not obs.mem_active()
+    assert obs.mem_active()
+
+
+def test_span_records_tracemalloc_peak():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), obs.profiling_memory():
+        with obs.span("demo.alloc"):
+            _alloc(8 * _MB)
+    peak = agg.get("demo.alloc").mem_peak
+    assert 8 * _MB <= peak < 9 * _MB
+
+
+def test_child_peak_folds_into_parent():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), obs.profiling_memory():
+        with obs.span("demo.outer"):
+            with obs.span("demo.inner"):
+                _alloc(6 * _MB)
+    inner = agg.get("demo.inner").mem_peak
+    outer = agg.get("demo.outer").mem_peak
+    assert inner >= 6 * _MB
+    assert outer >= inner
+
+
+def test_transient_child_spike_not_hidden_from_parent():
+    # The inner array dies before the outer span exits; the fold on child
+    # exit must still charge the spike to the parent's peak.
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), obs.profiling_memory():
+        with obs.span("demo.outer"):
+            with obs.span("demo.inner"):
+                _alloc(6 * _MB)
+            _alloc(1)
+    assert agg.get("demo.outer").mem_peak >= 6 * _MB
+
+
+def test_root_span_emits_rss_gauge():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), obs.profiling_memory():
+        with obs.span("demo.root"):
+            pass
+    assert agg.gauges[f"mem.rss_mb[pid={os.getpid()}]"] > 0
+
+
+def test_tracemalloc_released_after_block():
+    assert not tracemalloc.is_tracing()
+    with obs.tracing(), obs.profiling_memory():
+        with obs.span("demo.noop"):
+            pass
+        assert tracemalloc.is_tracing()
+    assert not tracemalloc.is_tracing()
+
+
+def test_worker_spans_carry_peaks():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), obs.profiling_memory():
+        results = parallel_map(alloc_task, [1, 2, 3, 4], workers=2)
+    assert results == [2, 3, 4, 5]
+    stats = agg.get("work.alloc")
+    assert stats.count == 4
+    assert stats.mem_peak >= 2 * _MB
+    # Per-pid RSS gauges: the parent plus at least one worker process.
+    rss_keys = [k for k in agg.gauges if k.startswith("mem.rss_mb[")]
+    assert len(rss_keys) >= 2
+    assert f"mem.rss_mb[pid={os.getpid()}]" in rss_keys
+
+
+def test_rss_readings_sane():
+    rss = obs.rss_bytes()
+    peak = obs.peak_rss_bytes()
+    assert rss > 10 * _MB  # a python + numpy process is bigger than this
+    assert peak >= 10 * _MB

@@ -1,0 +1,102 @@
+"""The per-run report: ``render_report`` sections and ``repro report``."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.cli import main
+from repro.obs.report import render_report
+
+SCALE = ["--ne", "3", "--nlev", "5", "--members", "21"]
+
+
+def _workload_agg() -> obs.Aggregator:
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        with obs.span("compressors.compress", codec="demo",
+                      bytes=1000, bytes_out=250):
+            pass
+        with obs.span("pvt.zscore"):
+            pass
+        obs.counter("compressors.bytes_in").add(1000)
+        obs.counter("store.hits").add(3)
+        obs.counter("store.misses").add(1)
+        obs.counter("store.puts").add(1)
+        obs.gauge("demo.level").set(0.5)
+    return agg
+
+
+def test_report_has_spans_counters_gauges_store():
+    text = render_report(_workload_agg())
+    assert "Top 2 stages by total time" in text
+    assert "compressors.compress" in text and "pvt.zscore" in text
+    assert "Counters" in text and "compressors.bytes_in" in text
+    assert "Gauges" in text and "demo.level" in text
+    assert "Artifact store" in text
+    assert "75" in text and "25" in text  # hit/miss percentages
+    # store.* counters live in their own section, not under Counters.
+    counters = text.split("Counters")[1].split("Gauges")[0]
+    assert "store." not in counters
+    assert "Memory" not in text  # nothing memory-ish was recorded
+
+
+def test_report_memory_section():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), obs.profiling_memory():
+        with obs.span("demo.alloc"):
+            blob = bytearray(4_000_000)
+            del blob
+    text = render_report(agg)
+    assert "Memory: top 1 span peaks (tracemalloc)" in text
+    assert "Memory: process RSS" in text
+    assert "mem.rss_mb[pid=" in text
+
+
+def test_report_top_limits_span_rows():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        for i in range(5):
+            with obs.span(f"demo.stage{i}"):
+                pass
+    text = render_report(agg, top=2)
+    assert "Top 2 stages by total time" in text
+
+
+def test_empty_report_says_how_to_enable():
+    assert "REPRO_TRACE=1" in render_report(obs.Aggregator())
+
+
+def test_report_title_leads_the_page():
+    text = render_report(_workload_agg(), title="demo run")
+    assert text.startswith("demo run")
+
+
+def test_cli_report_runs_traced_workload(capsys):
+    assert main(["report", "NetCDF-4", "U", "--workers", "1", *SCALE]) == 0
+    out = capsys.readouterr().out
+    assert "stages by total time" in out
+    assert "compressors.compress" in out
+    assert "Artifact store" not in out or "lookups" in out
+    assert not obs.active()
+
+
+def test_cli_report_mem_flag_adds_memory_section(capsys):
+    assert main(["report", "NetCDF-4", "U", "--workers", "1", "--mem",
+                 *SCALE]) == 0
+    out = capsys.readouterr().out
+    assert "Memory: process RSS" in out
+
+
+def test_cli_report_from_jsonl(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    sink = obs.JsonlSink(trace)
+    with obs.tracing(sinks=[sink]):
+        with obs.span("compressors.compress", codec="demo",
+                      bytes=100, bytes_out=50):
+            pass
+        obs.counter("store.hits").add(1)
+        obs.counter("store.misses").add(1)
+    sink.close()
+    assert main(["report", "--from-jsonl", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "compressors.compress" in out
+    assert "Artifact store" in out

@@ -10,9 +10,11 @@ format change.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro import obs
+from repro.obs.sinks import load_jsonl
 
 GOLDEN = Path(__file__).parent / "golden"
 
@@ -71,6 +73,58 @@ def test_jsonl_roundtrips_through_aggregator(tmp_path):
     assert agg.counters["demo.items[kind=a]"] == 2
     assert agg.counters["demo.items"] == 1
     assert agg.gauges["demo.level"] == 0.5
+
+
+def test_rebuilt_aggregator_equals_live(tmp_path):
+    """A JSONL round trip preserves metric keys and span stats exactly.
+
+    Labels carrying numpy scalars or tuples used to drift through the
+    round trip (np.int64(2) came back as 2.0, tuples as lists), splitting
+    one live metric key into two.  Live and rebuilt aggregators must now
+    agree key-for-key and value-for-value.
+    """
+    import numpy as np
+
+    trace = tmp_path / "trace.jsonl"
+    sink = obs.JsonlSink(trace)
+    live = obs.Aggregator()
+    with obs.tracing(sinks=[sink, live]):
+        with obs.span("demo.work", bytes=np.int64(1000),
+                      bytes_out=np.int64(500)):
+            pass
+        obs.counter("demo.items").add(2, kind=np.int64(2))
+        obs.counter("demo.items").add(3, kind=np.int64(2))
+        obs.gauge("demo.pair").set(0.5, pair=(1, 2))
+        obs.gauge("mem.rss_mb").set(123.0, pid=4242)
+    sink.close()
+    rebuilt = obs.Aggregator.from_jsonl(trace)
+    assert rebuilt.counters == live.counters == {"demo.items[kind=2]": 5.0}
+    assert rebuilt.gauges == live.gauges
+    assert set(live.gauges) == {"demo.pair[pair=[1, 2]]",
+                                "mem.rss_mb[pid=4242]"}
+    assert rebuilt.spans == live.spans  # SpanStats dataclass equality
+
+
+def test_worker_events_roundtrip_with_pids(tmp_path):
+    """Worker-merged spans keep their pid/tid through the JSONL sink."""
+    from repro.parallel.executor import parallel_map
+
+    from tests.obs.test_parallel_merge import traced_task
+
+    trace = tmp_path / "trace.jsonl"
+    sink = obs.JsonlSink(trace)
+    buf = obs.BufferSink()
+    with obs.tracing(sinks=[sink, buf]):
+        parallel_map(traced_task, [1, 2, 3, 4], workers=2)
+    sink.close()
+    originals = {(e.name, e.pid, e.tid) for e in buf.events
+                 if isinstance(e, obs.SpanRecord)}
+    reloaded = {(e.name, e.pid, e.tid)
+                for e in load_jsonl(trace)
+                if isinstance(e, obs.SpanRecord)}
+    assert reloaded == originals
+    worker_pids = {pid for name, pid, _ in originals if name == "work.unit"}
+    assert worker_pids and all(pid != os.getpid() for pid in worker_pids)
 
 
 def test_chrome_matches_golden(tmp_path):

@@ -16,6 +16,61 @@ def test_parser_defaults():
     assert args.workers == 2
     assert not args.bias
     assert args.from_jsonl is None
+    assert args.sort == "stage"
+    assert args.top is None
+
+
+def _synthetic_agg() -> obs.Aggregator:
+    agg = obs.Aggregator()
+    specs = [  # (name, duration, bytes, count)
+        ("alpha", 5.0, 100, 1),
+        ("beta", 1.0, 900, 3),
+        ("gamma", 3.0, 500, 2),
+    ]
+    for name, dur, n_bytes, count in specs:
+        for _ in range(count):
+            agg.on_span(obs.SpanRecord(
+                name=name, ts=0.0, duration=dur / count, parent=None,
+                depth=0, pid=0, tid=0, meta={"bytes": n_bytes // count},
+            ))
+    return agg
+
+
+def test_table_sort_orders():
+    agg = _synthetic_agg()
+    by = {sort: [row[0] for row in agg.table(sort=sort)[1]]
+          for sort in ("stage", "time", "count", "bytes")}
+    assert by["stage"] == ["alpha", "beta", "gamma"]
+    assert by["time"] == ["alpha", "gamma", "beta"]
+    assert by["count"] == ["beta", "gamma", "alpha"]
+    assert by["bytes"] == ["beta", "gamma", "alpha"]
+
+
+def test_table_top_truncates_after_sorting():
+    headers, rows = _synthetic_agg().table(sort="time", top=2)
+    assert [row[0] for row in rows] == ["alpha", "gamma"]
+    assert _synthetic_agg().table(sort="stage", top=0)[1] == []
+
+
+def test_table_rejects_unknown_sort():
+    with pytest.raises(ValueError, match="unknown sort"):
+        _synthetic_agg().table(sort="vibes")
+
+
+def test_stats_cli_sort_and_top(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    sink = obs.JsonlSink(trace)
+    with obs.tracing(sinks=[sink]):
+        with obs.span("demo.slow"):
+            pass
+        with obs.span("demo.fast"):
+            pass
+    sink.close()
+    assert main(["stats", "--from-jsonl", str(trace),
+                 "--sort", "time", "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    stages = [ln for ln in out.splitlines() if ln.startswith("demo.")]
+    assert len(stages) == 1
 
 
 def test_stats_runs_traced_workload(capsys):
