@@ -1,0 +1,83 @@
+"""Executor overhead: the fault-tolerant map must stay within 5% of a
+raw ``ProcessPoolExecutor`` on the no-fault path.
+
+``parallel_map`` adds chunk wrapping, per-attempt accounting, and
+worker-event merging on top of the stdlib pool.  All of that buys retry
+and crash recovery, but the paper's sweeps run overwhelmingly without
+faults, so the healthy path is the one that must stay cheap.  Both sides
+of the A/B pay for pool creation and teardown — that is part of what a
+caller of either API experiences — and run the same picklable CPU-bound
+task over the same argument list.
+"""
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+from conftest import save_text
+
+from repro.parallel.executor import parallel_map
+
+_WORKERS = 2
+_TASKS = 12
+_WORK = 150_000  # inner-loop iterations per task (~10-20 ms each)
+_REPEATS = 7
+
+
+def _burn(n):
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    return acc
+
+
+def _raw_map(args):
+    with ProcessPoolExecutor(max_workers=_WORKERS) as pool:
+        return list(pool.map(_burn, args))
+
+
+def _executor_map(args):
+    return parallel_map(_burn, args, workers=_WORKERS, backend="process")
+
+
+def _median_seconds(fn, *args, repeats=_REPEATS):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def test_raw_pool_baseline(benchmark, bench_record):
+    args = [_WORK] * _TASKS
+    bench_record.bench(benchmark, _raw_map, args,
+                       metric="raw_pool_map_s", threshold_pct=50.0)
+
+
+def test_executor_map(benchmark, bench_record):
+    args = [_WORK] * _TASKS
+    bench_record.bench(benchmark, _executor_map, args,
+                       metric="executor_map_s", threshold_pct=50.0)
+
+
+def test_overhead_below_five_percent(results_dir, bench_record):
+    args = [_WORK] * _TASKS
+    expected = [_burn(_WORK)] * _TASKS
+    # Warm both paths (imports, fork machinery) before timing.
+    assert _raw_map(args) == expected
+    assert _executor_map(args) == expected
+    raw = _median_seconds(_raw_map, args)
+    ours = _median_seconds(_executor_map, args)
+    overhead = ours / raw - 1
+    bench_record.metric("executor_overhead_pct", overhead * 100,
+                        unit="%", threshold_pct=100.0)
+    save_text(
+        results_dir, "executor_overhead.txt",
+        f"{_TASKS} tasks x {_WORK} iterations on {_WORKERS} workers: "
+        f"raw pool {raw * 1e3:.1f} ms, executor {ours * 1e3:.1f} ms "
+        f"-> overhead {overhead * 100:+.2f}% (budget 5%)",
+    )
+    assert overhead < 0.05, (
+        f"executor overhead {overhead * 100:.2f}% exceeds the 5% budget"
+    )

@@ -28,6 +28,7 @@ import pytest
 from repro.harness.experiments import ExperimentContext
 from repro.harness.report import render_table, write_csv
 from repro.obs.bench import BenchRecord
+from repro.parallel.executor import effective_workers
 
 REPO_ROOT = Path(__file__).parent.parent
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -46,11 +47,8 @@ def results_dir() -> Path:
 
 @pytest.fixture(scope="session")
 def bench_workers() -> int:
-    """Worker processes for the heavy sweeps (0 disables)."""
-    raw = os.environ.get("REPRO_WORKERS")
-    if raw is not None:
-        return int(raw)
-    return os.cpu_count() or 1
+    """Worker processes for the heavy sweeps ($REPRO_WORKERS caps it)."""
+    return effective_workers()
 
 
 class BenchReporter:

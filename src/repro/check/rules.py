@@ -506,6 +506,47 @@ def _check_rep011(tree: ast.AST, lines: Sequence[str],
     return found
 
 
+# -- REP012 ------------------------------------------------------------------
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains any ``raise`` statement.
+
+    A nested function definition starts a new scope whose ``raise``
+    executes later (if ever), so raises inside one do not count.
+    """
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _check_rep012(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            continue  # bare except is REP004's finding; don't double-report
+        names = [node.type] if not isinstance(node.type, ast.Tuple) \
+            else list(node.type.elts)
+        catches_base = any(_attr_chain(n).split(".")[-1] == "BaseException"
+                           for n in names)
+        if catches_base and not _handler_reraises(node):
+            found.append((
+                node.lineno, node.col_offset,
+                "except BaseException without re-raise: KeyboardInterrupt/"
+                "SystemExit would be folded into a task result",
+            ))
+    return found
+
+
 # -- registry ----------------------------------------------------------------
 
 RULES: tuple[Rule, ...] = (
@@ -654,6 +695,23 @@ RULES: tuple[Rule, ...] = (
                  "metric(); keep prose output in results/ via save_text",
         applies=_in("benchmarks"),
         check=_check_rep011,
+    ),
+    Rule(
+        id="REP012",
+        title="swallowed BaseException in the execution subsystem",
+        severity="error",
+        rationale="The executor's whole failure contract is that every "
+                  "misbehaving task becomes a structured TaskFailure — "
+                  "built from `except Exception` capture.  A handler that "
+                  "catches BaseException and does not re-raise also "
+                  "captures KeyboardInterrupt, SystemExit, and the pool's "
+                  "own shutdown signals, turning a Ctrl-C into a 'failed "
+                  "task' and an unkillable map.",
+        fix_hint="catch Exception (WorkerCrashError included) for task "
+                 "capture; if BaseException must be intercepted for "
+                 "cleanup, end the handler with a bare `raise`",
+        applies=_in("parallel", "testing"),
+        check=_check_rep012,
     ),
 )
 

@@ -65,6 +65,40 @@ def _activate_store(args) -> None:
         store.set_store(store.ArtifactStore(path))
 
 
+def _add_exec_flags(parser: argparse.ArgumentParser,
+                    workers_default: int | None = None) -> None:
+    """Execution-policy flags shared by the run-style commands."""
+    if workers_default is not None:
+        parser.add_argument("--workers", type=int, default=workers_default,
+                            help="parallel workers (capped by "
+                                 "$REPRO_WORKERS; <=1 runs inline)")
+    parser.add_argument("--backend", choices=["serial", "thread", "process"],
+                        default=None,
+                        help="execution backend (default: $REPRO_BACKEND "
+                             "or process)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry each failed task up to N times with "
+                             "exponential backoff (default: $REPRO_RETRIES "
+                             "or 0)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task deadline; a timed-out worker is "
+                             "killed and the task retried or recorded as "
+                             "a failure (default: $REPRO_TASK_TIMEOUT)")
+
+
+def _activate_exec(args) -> None:
+    """Install the ``--backend/--retries/--task-timeout`` policy override."""
+    backend = getattr(args, "backend", None)
+    retries = getattr(args, "retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    if backend is not None or retries is not None or task_timeout is not None:
+        from repro import parallel
+
+        parallel.configure(backend=backend, retries=retries,
+                           task_timeout=task_timeout)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -88,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-bias", action="store_true",
                    help="skip the whole-ensemble bias test")
     _add_scale_flags(p)
+    _add_exec_flags(p, workers_default=0)
 
     p = sub.add_parser("hybrid",
                        help="build a per-variable hybrid plan (Section 5.4)")
@@ -102,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int, choices=range(1, 9))
     p.add_argument("--no-bias", action="store_true")
     _add_scale_flags(p)
+    _add_exec_flags(p, workers_default=0)
 
     p = sub.add_parser(
         "summary",
@@ -126,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the repro.check static analyzer (REP001..REP010)",
+        help="run the repro.check static analyzer (REP001..REP012)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -158,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=None, metavar="N",
                    help="keep only the first N rows after sorting")
     _add_scale_flags(p)
+    _add_exec_flags(p)
 
     p = sub.add_parser(
         "report",
@@ -182,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile memory during the traced run (as "
                         "REPRO_TRACE_MEM=1 would)")
     _add_scale_flags(p)
+    _add_exec_flags(p)
 
     p = sub.add_parser(
         "bench",
@@ -224,6 +262,7 @@ def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     _activate_store(args)
+    _activate_exec(args)
 
     if args.command == "lint":
         from repro.check.__main__ import main as check_main
@@ -321,7 +360,7 @@ def main(argv=None) -> int:
         codec = get_variant(args.variant)
         report = ctx.pvt.evaluate_codec(
             codec, variables=_featured_or(args.variables, ctx),
-            run_bias=not args.no_bias,
+            run_bias=not args.no_bias, workers=args.workers,
         )
         rows = [
             [v.variable, v.rho.passed, v.rmsz.passed, v.enmax.passed,
@@ -333,6 +372,12 @@ def main(argv=None) -> int:
             rows, title=f"Acceptance tests for {args.variant} "
                         f"(members {ctx.test_members.tolist()})",
         ))
+        if report.failures:
+            print(f"\n{len(report.failures)} variable(s) failed to "
+                  "evaluate (partial result):")
+            for name, failure in sorted(report.failures.items()):
+                print(f"  {name}: {failure}")
+            return 1
         return 0 if all(v.all_passed for v in report.verdicts.values()) else 1
 
     if args.command == "hybrid":
@@ -379,7 +424,8 @@ def main(argv=None) -> int:
             headers, rows = t.table5_timings(ctx)
         elif n == 6:
             headers, rows = t.table6_passes(ctx,
-                                            run_bias=not args.no_bias)
+                                            run_bias=not args.no_bias,
+                                            workers=args.workers)
         elif n == 7:
             headers, rows, _ = t.table7_hybrid_summary(
                 ctx, run_bias=not args.no_bias

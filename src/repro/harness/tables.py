@@ -7,9 +7,12 @@ benchmark harness can both print the table and archive it.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro import obs, store
+from repro.parallel.failures import TaskFailure
 from repro.compressors import (
     Apax,
     Fpzip,
@@ -54,14 +57,21 @@ def _cached_table(stage, ctx, build, **params):
     ``build()``.
     """
     if store.get_store() is None:
-        return build()
+        try:
+            return build()
+        except store.SkipStore as skip:
+            return skip.value
     key = store.artifact_key(stage, config=ctx.config, **params)
-    packed = store.cached(
-        key,
-        lambda: _pack_table(build()),
-        kind="json",
-        stage=stage,
-    )
+
+    def compute():
+        try:
+            return _pack_table(build())
+        except store.SkipStore as skip:
+            # Partial table (some parallel tasks failed): deliver it to
+            # the caller but keep it out of the cache.
+            raise store.SkipStore(_pack_table(skip.value)) from None
+
+    packed = store.cached(key, compute, kind="json", stage=stage)
     return packed["headers"], packed["rows"]
 
 
@@ -213,6 +223,8 @@ def _table6_impl(ctx, run_bias, variants, workers):
     names = [spec.name for spec in ctx.ensemble.catalog]
     members = tuple(int(m) for m in ctx.test_members)
 
+    failures = []
+    n_evaluated = len(names)
     if workers and workers > 1:
         from repro.parallel.executor import parallel_map
         from repro.parallel.partition import partition_work
@@ -223,12 +235,17 @@ def _table6_impl(ctx, run_bias, variants, workers):
              store.current_root())
             for chunk in chunks
         ]
-        partials = parallel_map(_variant_passes_for_names, args,
-                                workers=workers)
+        result = parallel_map(_variant_passes_for_names, args,
+                              workers=workers, on_failure="collect")
         per_variant = {v: np.zeros(5, dtype=int) for v in variants}
-        for partial in partials:
+        n_evaluated = 0
+        for chunk, partial in zip(chunks, result):
+            if isinstance(partial, TaskFailure):
+                continue  # this chunk's variables drop out of the tallies
+            n_evaluated += len(chunk)
             for v, counts in partial.items():
                 per_variant[v] += counts
+        failures = result.failures
     else:
         per_variant = _passes_over_names(
             ctx.ensemble, names, variants, members, run_bias
@@ -239,8 +256,17 @@ def _table6_impl(ctx, run_bias, variants, workers):
         c = per_variant[variant]
         rows.append(
             [variant, int(c[0]), int(c[1]), int(c[2]),
-             int(c[3]) if run_bias else None, int(c[4]), len(names)]
+             int(c[3]) if run_bias else None, int(c[4]), n_evaluated]
         )
+    if failures:
+        # Degraded run: report the partial table (n_vars says how
+        # partial) but never let it masquerade as the cached full one.
+        warnings.warn(
+            f"table6 evaluated {n_evaluated}/{len(names)} variables; "
+            + "; ".join(str(f) for f in failures),
+            RuntimeWarning, stacklevel=2,
+        )
+        raise store.SkipStore((headers, rows))
     return headers, rows
 
 

@@ -1,18 +1,57 @@
-"""Parallel execution substrate.
+"""Parallel execution subsystem.
 
-The paper's workflow compresses 170 variables x 9 variants x up to 101
-members — embarrassingly parallel across variables.  This package provides
-a process-pool map with chunked work partitioning and deterministic result
-ordering, so the verification harness scales to paper-size runs on a
-multi-core node.
+The paper's workflow compresses 170 variables x 13 variants x up to 101
+members — embarrassingly parallel across variables, and long enough that
+one hung codec or crashed worker must cost its task, never the campaign.
+This package provides :class:`Executor` / :func:`parallel_map`: a
+deterministic, order-preserving map over pluggable backends (``serial``,
+``thread``, ``process``) with per-task timeouts, bounded retries with
+exponential backoff, and structured :class:`TaskFailure` degradation —
+collected into a :class:`MapResult` or re-raised per policy — plus
+chunked work partitioning for paper-size runs.
+
+Backend, retry budget, and timeout come from call arguments, the
+process-wide :func:`configure` override (the CLI's
+``--backend/--retries/--task-timeout`` flags), or the ``REPRO_BACKEND``
+/ ``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` / ``REPRO_WORKERS``
+environment knobs, in that order.  See ``docs/parallel.md``.
 """
 
-from repro.parallel.executor import parallel_map, effective_workers
+from repro.parallel.clock import SYSTEM_CLOCK, Clock, SystemClock
+from repro.parallel.executor import Executor, effective_workers, parallel_map
+from repro.parallel.failures import (
+    MapResult,
+    TaskError,
+    TaskFailure,
+    WorkerCrashError,
+)
 from repro.parallel.partition import chunk_indices, partition_work
+from repro.parallel.policy import (
+    BACKENDS,
+    ExecutionPolicy,
+    configure,
+    default_policy,
+    executing,
+    reset_policy,
+)
 
 __all__ = [
-    "parallel_map",
-    "effective_workers",
+    "BACKENDS",
+    "Clock",
+    "ExecutionPolicy",
+    "Executor",
+    "MapResult",
+    "SYSTEM_CLOCK",
+    "SystemClock",
+    "TaskError",
+    "TaskFailure",
+    "WorkerCrashError",
     "chunk_indices",
+    "configure",
+    "default_policy",
+    "effective_workers",
+    "executing",
+    "parallel_map",
     "partition_work",
+    "reset_policy",
 ]

@@ -1,34 +1,81 @@
-"""Process-pool map with deterministic ordering.
+"""Fault-tolerant multi-backend map with deterministic ordering.
 
-``parallel_map(fn, args)`` behaves like ``list(map(fn, args))`` but fans
-the calls out over worker processes.  Results always come back in input
-order; worker exceptions propagate to the caller.  With ``workers <= 1``
-(or a single task) it degrades to a plain loop, which keeps the same code
-path debuggable and avoids pool overhead for small runs.
+``parallel_map(fn, args)`` still behaves like ``list(map(fn, args))`` —
+results in input order, worker exceptions propagated — but it is now a
+thin wrapper over :class:`Executor`, which adds the robustness a
+paper-scale sweep (170 variables x 13 variants) needs:
 
-Under ``REPRO_TRACE=1`` the whole map is timed as a ``parallel.map`` span
-and the span context crosses the pool: each task runs inside
-:class:`repro.obs.WorkerTask`, which buffers the worker's spans/metrics
-and hands them back with the result so the parent can merge them into its
-sinks (nested under the submitting span, worker pid/tid preserved).
+- **pluggable backends** (``serial`` / ``thread`` / ``process``), chosen
+  per call, per :class:`~repro.parallel.policy.ExecutionPolicy`, or via
+  ``REPRO_BACKEND``;
+- **per-task timeouts** — a chunk's deadline is ``task_timeout`` times
+  its length; on expiry the process backend kills and rebuilds the pool
+  (reclaiming truly hung workers), the thread backend abandons the
+  future, and the serial backend detects overruns post hoc from the
+  injectable clock;
+- **bounded retries with exponential backoff** — each failed task is
+  retried up to ``retries`` times, with the delay between rounds growing
+  per :meth:`ExecutionPolicy.backoff_delay` and recorded as a
+  ``parallel.retry`` span;
+- **graceful degradation** — a task that exhausts its budget becomes a
+  structured :class:`~repro.parallel.failures.TaskFailure`: re-raised
+  under the default ``on_failure="raise"`` policy (the original
+  exception object when it survived pickling, so caller-side ``except
+  SomeError`` keeps working), or collected into a
+  :class:`~repro.parallel.failures.MapResult` under ``"collect"`` so one
+  bad cell never poisons a table.
+
+Execution proceeds in *rounds*: pending tasks are chunked, submitted
+(at most ``workers`` chunks in flight so deadlines stay honest), and
+their outcomes folded; tasks whose attempts are exhausted are settled,
+the rest carry into the next round after the backoff sleep.  A crashed
+process pool charges one ``crash`` attempt to every in-flight chunk
+(the culprit is unknowable), is rebuilt, and the survivors re-run —
+results already folded are never discarded.
+
+Under ``REPRO_TRACE=1`` the map is a ``parallel.map`` span;
+``parallel.tasks`` / ``parallel.retries`` / ``parallel.failures``
+counters track the lifecycle.  On the process backend each task runs
+inside :class:`repro.obs.WorkerTask`, whose buffered events are merged
+parent-side *only for successful attempts* — a retried attempt's events
+are discarded with it, so the aggregator sees each task exactly once.
+On the thread backend worker spans nest via thread-local parent seeds
+and flow to the shared sinks directly.
 """
 
 from __future__ import annotations
 
 import functools
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+import pickle
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait as _wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro import obs
 from repro.check import hooks
+from repro.obs import core as _obs_core
+from repro.parallel.backends import Backend, make_backend
+from repro.parallel.clock import SYSTEM_CLOCK, Clock
+from repro.parallel.failures import (
+    MapResult,
+    TaskFailure,
+    WorkerCrashError,
+)
+from repro.parallel.policy import ExecutionPolicy, default_policy
 
-__all__ = ["parallel_map", "effective_workers"]
+__all__ = ["Executor", "parallel_map", "effective_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 _TASKS = obs.counter("parallel.tasks")
+_RETRIES = obs.counter("parallel.retries")
+_FAILURES = obs.counter("parallel.failures")
+
+#: Valid ``on_failure`` policies for :meth:`Executor.map`.
+ON_FAILURE = ("raise", "collect")
 
 
 def _require_picklable_callable(fn: Callable) -> None:
@@ -60,12 +107,423 @@ def _require_picklable_callable(fn: Callable) -> None:
 
 def effective_workers(workers: int | None = None,
                       n_tasks: int | None = None) -> int:
-    """Resolve a worker count: default CPU count, capped by task count."""
+    """Resolve a worker count.
+
+    ``REPRO_WORKERS`` supplies the default when ``workers`` is unset and
+    caps an explicit request otherwise, so CI and laptops can bound pool
+    width without code changes; an unparsable or non-positive value is
+    ignored.  The result is always capped by the task count and at
+    least 1.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    env_cap: int | None = None
+    if raw:
+        try:
+            env_cap = int(raw)
+        except ValueError:
+            env_cap = None
+        if env_cap is not None and env_cap <= 0:
+            env_cap = None
     if workers is None or workers <= 0:
-        workers = os.cpu_count() or 1
+        workers = env_cap if env_cap is not None else (os.cpu_count() or 1)
+    elif env_cap is not None:
+        workers = min(workers, env_cap)
     if n_tasks is not None:
         workers = min(workers, max(n_tasks, 1))
     return max(workers, 1)
+
+
+# -- worker side --------------------------------------------------------------
+
+@dataclass
+class _Attempt:
+    """Outcome of one attempt at one task, as reported by the runner."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    events: list | None = None      #: buffered obs events (process backend)
+    duration: float = 0.0           #: runner-clock seconds
+    kind: str = "exception"
+    error_type: str = ""
+    message: str = ""
+    tb: str = ""
+    exc: BaseException | None = None
+
+
+class _ChunkRunner:
+    """Runs one chunk ``[(index, item), ...]`` and reports per-item outcomes.
+
+    Catching each item's exception here — instead of letting it abort
+    the chunk — means one bad task never discards its chunk-mates'
+    finished work.  :class:`WorkerCrashError` is the one exception
+    re-raised: it *emulates* a dead worker, so the whole chunk must be
+    charged, exactly as a real pool crash would charge it.
+    """
+
+    def __init__(self, fn: Callable, clock: Clock,
+                 task: "obs.WorkerTask | None" = None,
+                 seed: tuple[str | None, int] | None = None,
+                 pickle_errors: bool = False) -> None:
+        self.fn = fn
+        self.clock = clock
+        self.task = task                    #: buffered tracing (process)
+        self.seed = seed                    #: parent/depth seeds (thread)
+        self.pickle_errors = pickle_errors  #: drop unpicklable exc objects
+
+    def _run_one(self, item: Any) -> tuple[Any, list | None]:
+        if self.task is not None:
+            return self.task(item)
+        return self.fn(item), None
+
+    def __call__(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
+        if self.seed is not None:
+            return self._seeded(payload)
+        return self._run(payload)
+
+    def _seeded(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
+        # Thread workers start with an empty span stack; seed the
+        # thread-local parent/depth so their spans nest under the
+        # submitting ``parallel.map`` span in the shared sinks.
+        tls = _obs_core._tls
+        prev_parent, prev_depth = tls.base_parent, tls.base_depth
+        tls.base_parent, tls.base_depth = self.seed
+        try:
+            return self._run(payload)
+        finally:
+            tls.base_parent, tls.base_depth = prev_parent, prev_depth
+
+    def _run(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
+        out: list[_Attempt] = []
+        for index, item in payload:
+            t0 = self.clock.now()
+            try:
+                value, events = self._run_one(item)
+            except WorkerCrashError:
+                raise
+            except Exception as exc:
+                out.append(_Attempt(
+                    index=index, ok=False,
+                    duration=self.clock.now() - t0,
+                    kind="exception",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    tb=_traceback.format_exc(),
+                    exc=self._portable(exc),
+                ))
+            else:
+                out.append(_Attempt(
+                    index=index, ok=True, value=value, events=events,
+                    duration=self.clock.now() - t0,
+                ))
+        return out
+
+    def _portable(self, exc: BaseException) -> BaseException | None:
+        if not self.pickle_errors:
+            return exc
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            return None  # unpicklable: the caller gets type/message/tb
+        return exc
+
+
+# -- parent side --------------------------------------------------------------
+
+class Executor:
+    """Maps functions over sequences with retries, timeouts, and backends.
+
+    Stateless between calls (each :meth:`map` builds and releases its own
+    pool), so one executor can be shared freely.  Construction arguments
+    override the process default policy
+    (:func:`repro.parallel.policy.default_policy`) field by field.
+    """
+
+    def __init__(self, backend: str | None = None, *,
+                 workers: int | None = None,
+                 retries: int | None = None,
+                 task_timeout: float | None = None,
+                 policy: ExecutionPolicy | None = None,
+                 clock: Clock | None = None) -> None:
+        base = policy if policy is not None else default_policy()
+        self.policy = base.merged(backend=backend, retries=retries,
+                                  task_timeout=task_timeout)
+        self.workers = workers
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+
+    def map(self, fn: Callable[[T], R], args: Iterable[T], *,
+            workers: int | None = None, chunksize: int = 1,
+            on_failure: str = "raise") -> "list[R] | MapResult":
+        """Map ``fn`` over ``args``, preserving input order.
+
+        ``on_failure="raise"`` (default) re-raises the first exhausted
+        task's error; ``"collect"`` returns a :class:`MapResult` whose
+        failed slots hold :class:`TaskFailure` records.
+        """
+        items = list(args)
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be positive, got {chunksize}")
+        if on_failure not in ON_FAILURE:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE}, got {on_failure!r}")
+        if workers is None:
+            workers = self.workers
+        n = effective_workers(workers, len(items))
+        backend_name = self.policy.backend
+        if n == 1 or len(items) <= 1:
+            # Small maps degrade to the inline path: same semantics,
+            # no pool overhead, closures allowed.
+            backend_name = "serial"
+        if backend_name == "process":
+            _require_picklable_callable(fn)
+        _TASKS.add(len(items))
+        run = _MapRun(self, fn, items, n, chunksize, backend_name, on_failure)
+        result = run.execute()
+        if backend_name == "serial" and items and hooks.active():
+            first = result[0] if len(result) else None
+            if not isinstance(first, TaskFailure) and not run.failures:
+                # REPRO_SANITIZE: replay the first task and require
+                # identical output, catching nondeterministic task
+                # functions while the serial path keeps them observable.
+                hooks.check_serial_replay(fn, items[0], first)
+        return result
+
+
+class _MapRun:
+    """One :meth:`Executor.map` call's round-by-round state machine."""
+
+    def __init__(self, executor: Executor, fn: Callable, items: list,
+                 n_workers: int, chunksize: int, backend_name: str,
+                 on_failure: str) -> None:
+        self.policy = executor.policy
+        self.clock = executor.clock
+        self.fn = fn
+        self.items = items
+        self.n_workers = n_workers
+        self.chunksize = chunksize
+        self.backend_name = backend_name
+        self.on_failure = on_failure
+        self.results: list = [None] * len(items)
+        self.attempts = [0] * len(items)
+        self.failures: dict[int, TaskFailure] = {}
+        self.pending: set[int] = set(range(len(items)))
+        #: Set when the pool was killed or work abandoned mid-flight;
+        #: close must then never wait on it.
+        self.dirty = False
+
+    # -- orchestration --------------------------------------------------------
+
+    def execute(self) -> "list | MapResult":
+        span_workers = 1 if self.backend_name == "serial" else self.n_workers
+        with obs.span("parallel.map", tasks=len(self.items),
+                      workers=span_workers) as sp:
+            backend = make_backend(self.backend_name, self.n_workers)
+            try:
+                runner = self._make_runner(sp)
+                first_round = True
+                while self.pending:
+                    if not first_round:
+                        self._backoff()
+                    first_round = False
+                    self._run_round(backend, runner)
+            finally:
+                backend.close(kill=self.dirty)
+            if self.failures:
+                sp.note(failures=len(self.failures))
+        if self.on_failure == "collect":
+            return MapResult(self.results, sorted(self.failures.values(),
+                                                  key=lambda f: f.index))
+        return list(self.results)
+
+    def _make_runner(self, sp: "obs.span") -> _ChunkRunner:
+        if self.backend_name == "process":
+            task = None
+            if obs.active():
+                # mem is resolved here, parent-side: a profiling_memory()
+                # override active in the parent turns on tracemalloc in
+                # every worker too.
+                task = obs.WorkerTask(self.fn, parent=sp.name,
+                                      depth=obs.current_depth(),
+                                      mem=obs.mem_active())
+            # The runner crosses a pickle boundary, so it always carries
+            # the (stateless) system clock; the injected clock stays
+            # parent-side, where it drives backoff.  Virtual-clock
+            # timeouts are therefore a serial-backend-only feature.
+            return _ChunkRunner(self.fn, SYSTEM_CLOCK, task=task,
+                                pickle_errors=True)
+        seed = None
+        if self.backend_name == "thread" and obs.active():
+            seed = (sp.name, obs.current_depth())
+        return _ChunkRunner(self.fn, self.clock, seed=seed)
+
+    def _backoff(self) -> None:
+        delay = max(self.policy.backoff_delay(self.attempts[i])
+                    for i in self.pending)
+        if delay > 0:
+            with obs.span("parallel.retry", tasks=len(self.pending),
+                          delay=delay):
+                self.clock.sleep(delay)
+
+    def _run_round(self, backend: Backend, runner: _ChunkRunner) -> None:
+        order = sorted(self.pending)
+        queue = [order[i:i + self.chunksize]
+                 for i in range(0, len(order), self.chunksize)]
+        queue.reverse()  # pop() serves chunks in ascending index order
+        timeout = self.policy.task_timeout
+        inflight: dict = {}  # future -> (chunk, deadline)
+        aborted = False
+        while True:
+            while queue and not aborted and len(inflight) < self.n_workers:
+                chunk = queue.pop()
+                payload = [(i, self.items[i]) for i in chunk]
+                try:
+                    fut = backend.submit(runner, payload)
+                except BrokenExecutor as exc:
+                    self._charge_chunk(chunk, "crash", exc)
+                    self._recover_crash(backend, inflight)
+                    aborted = True
+                    break
+                deadline = None
+                if timeout is not None and backend.name != "serial":
+                    deadline = SYSTEM_CLOCK.now() + timeout * len(chunk)
+                inflight[fut] = (chunk, deadline)
+            if not inflight:
+                return
+            if not self._drain(backend, inflight, timeout):
+                aborted = True
+
+    def _drain(self, backend: Backend, inflight: dict,
+               timeout: float | None) -> bool:
+        """Wait for one completion or expiry; False aborts the round."""
+        wait_for = None
+        deadlines = [d for _, d in inflight.values() if d is not None]
+        if deadlines:
+            wait_for = max(0.0, min(deadlines) - SYSTEM_CLOCK.now())
+        done, _ = _wait(set(inflight), timeout=wait_for,
+                        return_when=FIRST_COMPLETED)
+        if done:
+            # Fold clean completions before any crash-bearing future:
+            # a pool crash charges everything still in flight, and a
+            # chunk that already finished must not be among the victims.
+            for fut in sorted(done, key=lambda f: f.exception() is not None):
+                chunk, _ = inflight.pop(fut)
+                if not self._fold_future(fut, chunk, backend, inflight):
+                    return False
+            return True
+        return self._expire(backend, inflight)
+
+    def _fold_future(self, fut, chunk: list[int], backend: Backend,
+                     inflight: dict) -> bool:
+        exc = fut.exception()
+        if exc is None:
+            for attempt in fut.result():
+                self._fold_attempt(attempt)
+            return True
+        if isinstance(exc, BrokenExecutor):
+            # The pool itself died: the culprit is unknowable, so every
+            # in-flight chunk is charged one crash attempt (innocents
+            # succeed on retry) and the pool is rebuilt.
+            self._charge_chunk(chunk, "crash", exc)
+            self._recover_crash(backend, inflight)
+            return False
+        if isinstance(exc, WorkerCrashError):
+            # Emulated crash (serial/thread backends, or raised through
+            # a healthy process pool): charge just this chunk.
+            self._charge_chunk(chunk, "crash", exc)
+            return True
+        # Infrastructure failure outside the runner's own capture (e.g.
+        # an unpicklable chunk result): charge the chunk as exceptions.
+        self._charge_chunk(chunk, "exception", exc)
+        return True
+
+    def _expire(self, backend: Backend, inflight: dict) -> bool:
+        now = SYSTEM_CLOCK.now()
+        expired = [fut for fut, (_, d) in inflight.items()
+                   if d is not None and now >= d]
+        if not expired:
+            return True  # spurious wakeup; keep draining
+        for fut in expired:
+            chunk, _ = inflight.pop(fut)
+            fut.cancel()
+            self._charge_chunk(chunk, "timeout", None)
+        self.dirty = True
+        if backend.kills_on_timeout:
+            # Kill and rebuild the pool; other in-flight chunks are
+            # victims — uncharged, still pending, re-run next round.
+            inflight.clear()
+            backend.recycle(kill=True)
+            return False
+        return True
+
+    def _recover_crash(self, backend: Backend, inflight: dict) -> None:
+        for chunk, _ in inflight.values():
+            self._charge_chunk(chunk, "crash", None)
+        inflight.clear()
+        self.dirty = True
+        backend.recycle(kill=True)
+
+    # -- outcome folding ------------------------------------------------------
+
+    def _fold_attempt(self, attempt: _Attempt) -> None:
+        timeout = self.policy.task_timeout
+        if (attempt.ok and timeout is not None
+                and self.backend_name == "serial"
+                and attempt.duration > timeout):
+            # Serial has no preemption: an overrun is detected after the
+            # fact and its result discarded for parity with the killing
+            # backends.
+            self._charge_one(attempt.index, "timeout", None,
+                             duration=attempt.duration)
+            return
+        if attempt.ok:
+            if attempt.index in self.pending:
+                self.results[attempt.index] = attempt.value
+                self.pending.discard(attempt.index)
+                if attempt.events:
+                    obs.merge_events(attempt.events)
+            return
+        self._charge_one(attempt.index, attempt.kind, attempt.exc,
+                         error_type=attempt.error_type,
+                         message=attempt.message, tb=attempt.tb)
+
+    def _charge_chunk(self, chunk: list[int], kind: str,
+                      exc: BaseException | None) -> None:
+        for index in chunk:
+            self._charge_one(index, kind, exc)
+
+    def _charge_one(self, index: int, kind: str, exc: BaseException | None,
+                    *, error_type: str = "", message: str = "",
+                    tb: str = "", duration: float | None = None) -> None:
+        if index not in self.pending:
+            return
+        self.attempts[index] += 1
+        if self.attempts[index] <= self.policy.retries:
+            _RETRIES.add(1)
+            return
+        if not error_type:
+            if exc is not None:
+                error_type, message = type(exc).__name__, str(exc)
+            elif kind == "timeout":
+                error_type = "Timeout"
+                budget = self.policy.task_timeout
+                took = (f" after {duration:.3f}s"
+                        if duration is not None else "")
+                message = f"exceeded task_timeout={budget}s{took}"
+            else:
+                error_type = "WorkerCrash"
+                message = "worker died before returning a result"
+        failure = TaskFailure(
+            index=index, kind=kind, error_type=error_type,
+            message=message, attempts=self.attempts[index],
+            traceback=tb, exc=exc,
+        )
+        self.failures[index] = failure
+        self.results[index] = failure
+        self.pending.discard(index)
+        _FAILURES.add(1)
+        if self.on_failure == "raise":
+            self.dirty = True
+            raise failure.as_error()
 
 
 def parallel_map(
@@ -73,40 +531,25 @@ def parallel_map(
     args: Iterable[T],
     workers: int | None = None,
     chunksize: int = 1,
-) -> list[R]:
-    """Map ``fn`` over ``args`` across processes, preserving order.
+    *,
+    backend: str | None = None,
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    on_failure: str = "raise",
+    clock: Clock | None = None,
+) -> "list[R] | MapResult":
+    """Map ``fn`` over ``args`` with fault tolerance, preserving order.
 
-    ``fn`` and each argument must be picklable (module-level functions and
-    plain data).  ``chunksize > 1`` batches tasks per IPC round trip,
-    which pays off when individual tasks are sub-millisecond.
+    The long-standing entry point, now executor-backed: with no keyword
+    overrides it follows the process default policy
+    (``REPRO_BACKEND`` / ``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` or
+    :func:`repro.parallel.configure`), which preserves the historical
+    behaviour — process pool, no retries, failures re-raised.  On the
+    process backend ``fn`` and each argument must be picklable;
+    ``chunksize > 1`` batches tasks per IPC round trip, which pays off
+    when individual tasks are sub-millisecond.
     """
-    items: Sequence[T] = list(args)
-    if chunksize < 1:
-        raise ValueError(f"chunksize must be positive, got {chunksize}")
-    n = effective_workers(workers, len(items))
-    _TASKS.add(len(items))
-    if n == 1 or len(items) <= 1:
-        with obs.span("parallel.map", tasks=len(items), workers=1):
-            results = [fn(item) for item in items]
-        if items and hooks.active():
-            # REPRO_SANITIZE: replay the first task and require identical
-            # output, catching nondeterministic task functions while the
-            # serial path keeps them observable.
-            hooks.check_serial_replay(fn, items[0], results[0])
-        return results
-    _require_picklable_callable(fn)
-    if not obs.active():
-        with ProcessPoolExecutor(max_workers=n) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    with obs.span("parallel.map", tasks=len(items), workers=n) as sp:
-        # mem is resolved here, parent-side: a profiling_memory() override
-        # active in the parent turns on tracemalloc in every worker too.
-        task = obs.WorkerTask(fn, parent=sp.name, depth=obs.current_depth(),
-                              mem=obs.mem_active())
-        with ProcessPoolExecutor(max_workers=n) as pool:
-            packed = list(pool.map(task, items, chunksize=chunksize))
-    results = []
-    for result, events in packed:
-        obs.merge_events(events)
-        results.append(result)
-    return results
+    ex = Executor(backend=backend, retries=retries,
+                  task_timeout=task_timeout, clock=clock)
+    return ex.map(fn, args, workers=workers, chunksize=chunksize,
+                  on_failure=on_failure)

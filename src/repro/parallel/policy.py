@@ -1,0 +1,171 @@
+"""Execution policy: backend choice, retry budget, timeout, backoff.
+
+One frozen :class:`ExecutionPolicy` travels from the configuration
+surface (CLI flags, ``REPRO_BACKEND`` / ``REPRO_RETRIES`` /
+``REPRO_TASK_TIMEOUT`` environment knobs, or :func:`configure`) into the
+:class:`repro.parallel.executor.Executor`, so every ``parallel_map`` call
+in the pipeline — PVT sweeps, table drivers, time-series conversion —
+inherits the same robustness settings without threading arguments
+through every layer.
+
+Resolution order for each field: explicit call argument, then the
+process-wide override installed by :func:`configure` (what the CLI's
+``--backend/--retries/--task-timeout`` flags use), then the environment,
+then the dataclass default.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionPolicy",
+    "configure",
+    "default_policy",
+    "executing",
+    "reset_policy",
+]
+
+#: Recognized backend names, in increasing isolation order.
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a map executes: where tasks run and how failures are handled."""
+
+    backend: str = "process"          #: ``serial`` | ``thread`` | ``process``
+    retries: int = 0                  #: extra attempts after the first
+    task_timeout: float | None = None  #: per-task deadline in seconds
+    backoff_base: float = 0.05        #: delay before the first retry (s)
+    backoff_factor: float = 2.0       #: growth per further retry
+    backoff_max: float = 2.0          #: delay ceiling (s)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{', '.join(BACKENDS)}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+
+    def backoff_delay(self, failed_attempts: int) -> float:
+        """Backoff before the retry following ``failed_attempts`` tries.
+
+        Exponential with a ceiling: ``base * factor**(n-1)`` capped at
+        ``backoff_max``; zero for tasks that have not failed yet.
+        """
+        if failed_attempts < 1 or self.backoff_base <= 0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
+        return min(delay, self.backoff_max)
+
+    def merged(self, *, backend: str | None = None,
+               retries: int | None = None,
+               task_timeout: float | None = None) -> "ExecutionPolicy":
+        """A copy with the given (non-``None``) fields replaced."""
+        kwargs: dict = {}
+        if backend is not None:
+            kwargs["backend"] = backend
+        if retries is not None:
+            kwargs["retries"] = retries
+        if task_timeout is not None:
+            kwargs["task_timeout"] = task_timeout
+        return replace(self, **kwargs) if kwargs else self
+
+
+def _env_backend() -> str | None:
+    raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if not raw:
+        return None
+    if raw not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND={raw!r} is not a backend; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return raw
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name}={raw!r} is not an integer") from exc
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name}={raw!r} is not a number") from exc
+
+
+def env_policy() -> ExecutionPolicy:
+    """The policy the environment alone describes."""
+    return ExecutionPolicy().merged(
+        backend=_env_backend(),
+        retries=_env_int("REPRO_RETRIES"),
+        task_timeout=_env_float("REPRO_TASK_TIMEOUT"),
+    )
+
+
+#: Process-wide override installed by :func:`configure`; ``None`` defers
+#: to the environment (mirrors the tri-state gating of repro.obs/check).
+_override: ExecutionPolicy | None = None
+
+
+def default_policy() -> ExecutionPolicy:
+    """The policy an ``Executor`` starts from when given no arguments."""
+    if _override is not None:
+        return _override
+    return env_policy()
+
+
+def configure(*, backend: str | None = None, retries: int | None = None,
+              task_timeout: float | None = None,
+              policy: ExecutionPolicy | None = None) -> ExecutionPolicy:
+    """Install a process-wide default policy (the CLI flag seam).
+
+    Starts from the current default (so repeated calls compose), applies
+    the given fields, installs and returns the result.  ``policy``
+    replaces the baseline outright before the field overrides apply.
+    """
+    global _override
+    base = policy if policy is not None else default_policy()
+    _override = base.merged(backend=backend, retries=retries,
+                            task_timeout=task_timeout)
+    return _override
+
+
+def reset_policy() -> None:
+    """Drop the :func:`configure` override (environment control resumes)."""
+    global _override
+    _override = None
+
+
+@contextmanager
+def executing(*, backend: str | None = None, retries: int | None = None,
+              task_timeout: float | None = None) -> Iterator[ExecutionPolicy]:
+    """Scope a policy override to a block (test/driver convenience)."""
+    global _override
+    prev = _override
+    try:
+        yield configure(backend=backend, retries=retries,
+                        task_timeout=task_timeout)
+    finally:
+        _override = prev

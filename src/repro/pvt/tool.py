@@ -19,6 +19,7 @@ import numpy as np
 
 from repro import obs, store
 from repro.compressors.base import Compressor
+from repro.parallel.failures import TaskFailure
 from repro.metrics.characterize import valid_mask
 from repro.model.ensemble import CAMEnsemble
 from repro.pvt.acceptance import VariableVerdict, evaluate_variable
@@ -44,10 +45,22 @@ class PortVerdict:
 
 @dataclass
 class PvtReport:
-    """Aggregated acceptance results for one codec over many variables."""
+    """Aggregated acceptance results for one codec over many variables.
+
+    ``failures`` records variables whose parallel evaluation exhausted
+    its retries (:class:`repro.parallel.TaskFailure` per variable name);
+    their verdicts are absent and every tally is over the evaluated
+    variables only, so a degraded report stays usable and honest.
+    """
 
     codec: str
     verdicts: dict[str, VariableVerdict]
+    failures: dict[str, TaskFailure] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when no variable's evaluation failed."""
+        return not self.failures
 
     def pass_counts(self) -> dict[str, int]:
         """A Table 6 row: passes per test plus the "all" column.
@@ -101,8 +114,9 @@ class CesmPvt:
                       variables=len(names)):
             if workers and workers > 1:
                 from repro.parallel.executor import parallel_map
+                from repro.parallel.failures import MapResult
 
-                results = parallel_map(
+                result: MapResult = parallel_map(
                     _evaluate_one_remote,
                     [
                         (self.ensemble.config, codec, name,
@@ -111,14 +125,25 @@ class CesmPvt:
                         for name in names
                     ],
                     workers=workers,
+                    on_failure="collect",
                 )
-                verdicts = dict(zip(names, results))
+                # Degrade per variable: a failed evaluation costs its
+                # verdict, never the report.
+                verdicts = {
+                    name: slot for name, slot in zip(names, result)
+                    if not isinstance(slot, TaskFailure)
+                }
+                failures = {
+                    names[f.index]: f for f in result.failures
+                }
             else:
                 verdicts = {
                     name: self._evaluate_one(codec, name, run_bias)
                     for name in names
                 }
-        return PvtReport(codec=codec.variant, verdicts=verdicts)
+                failures = {}
+        return PvtReport(codec=codec.variant, verdicts=verdicts,
+                         failures=failures)
 
     def _evaluate_one(self, codec: Compressor, name: str,
                       run_bias: bool) -> VariableVerdict:

@@ -40,7 +40,7 @@ from repro.store.keys import (
     config_fingerprint,
     jsonable,
 )
-from repro.store.memo import cached, memoized_stage
+from repro.store.memo import SkipStore, cached, memoized_stage
 
 __all__ = [
     "Artifact",
@@ -50,6 +50,7 @@ __all__ = [
     "current_root",
     "KINDS",
     "STORE_SALT",
+    "SkipStore",
     "array_fingerprint",
     "artifact_key",
     "cached",

@@ -9,6 +9,13 @@ hash is unchanged is a read, not a recompute.
 
 A failed write-back (disk full, permissions) never fails the pipeline:
 the computed value is returned and ``store.put_errors`` ticks.
+
+A compute function can also *veto* the write-back by raising
+:class:`SkipStore` around its value: ``cached()`` returns the value but
+stores nothing and ticks ``store.skipped``.  The executor-integration
+layers use this for partial results — a table built while some parallel
+tasks failed must reach the caller (degraded, with its failure summary)
+but must never be served from cache as if it were complete.
 """
 
 from __future__ import annotations
@@ -20,9 +27,22 @@ from repro import obs
 from repro.store.core import ArtifactStore, get_store
 from repro.store.keys import artifact_key
 
-__all__ = ["cached", "memoized_stage"]
+__all__ = ["SkipStore", "cached", "memoized_stage"]
 
 _PUT_ERRORS = obs.counter("store.put_errors")
+_SKIPPED = obs.counter("store.skipped")
+
+
+class SkipStore(Exception):
+    """Raised by a compute function to return a value without caching it.
+
+    ``raise SkipStore(value)`` inside ``cached()``'s compute makes the
+    call behave as if no store were active for this one result.
+    """
+
+    def __init__(self, value: Any) -> None:
+        super().__init__("store write suppressed for this value")
+        self.value = value
 
 #: Internal miss sentinel so a legitimately cached ``None`` still hits.
 _MISSING = object()
@@ -48,11 +68,18 @@ def cached(
     """
     st = store if store is not None else get_store()
     if st is None:
-        return compute()
+        try:
+            return compute()
+        except SkipStore as skip:
+            return skip.value
     found = st.get(key, _MISSING)
     if found is not _MISSING:
         return decode(found) if decode is not None else found
-    value = compute()
+    try:
+        value = compute()
+    except SkipStore as skip:
+        _SKIPPED.add(1, stage=stage)
+        return skip.value
     storable = encode(value) if encode is not None else value
     try:
         st.put(key, storable, kind=kind, stage=stage, meta=meta)

@@ -1,0 +1,40 @@
+"""REP012 fixture: swallowed BaseException in executor-layer code."""
+
+
+def run_task(fn, item):
+    try:
+        return fn(item)
+    except BaseException as exc:  # finding: KeyboardInterrupt swallowed
+        return ("failed", str(exc))
+
+
+def run_chunk(fn, items):
+    out = []
+    for item in items:
+        try:
+            out.append(fn(item))
+        except (ValueError, BaseException):  # finding: tuple hides the catch
+            out.append(None)
+    return out
+
+
+def run_suppressed(fn, item):
+    try:
+        return fn(item)
+    except BaseException:  # repro: noqa[REP012]
+        return None
+
+
+def run_with_cleanup(fn, item, pool):
+    try:
+        return fn(item)
+    except BaseException:  # ok: cleanup then re-raise
+        pool.shutdown()
+        raise
+
+
+def run_structured(fn, item):
+    try:
+        return fn(item)
+    except Exception as exc:  # ok: Exception capture is the contract
+        return ("failed", type(exc).__name__, str(exc))

@@ -29,6 +29,7 @@ CASES = [
     ("REP009", "rep009_bad.py", 5),
     ("REP010", "repro/rep010_bad.py", 1),
     ("REP011", "benchmarks/bench_rep011_bad.py", 3),
+    ("REP012", "parallel/rep012_bad.py", 2),
 ]
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro import obs
 from repro.parallel.executor import parallel_map
+from repro.testing import FakeClock, FaultPlan
 
 
 def traced_task(x: int) -> int:
@@ -67,3 +68,55 @@ def test_untraced_parallel_map_unchanged():
     assert parallel_map(traced_task, [2, 3], workers=2) == [4, 9]
     agg = obs.aggregator()
     assert agg is not None and agg.empty
+
+
+def test_merge_survives_chunking():
+    # chunksize > 1 batches tasks per IPC round trip; every task's
+    # events must still merge exactly once.
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        results = parallel_map(traced_task, list(range(10)), workers=2,
+                               chunksize=3)
+    assert results == [x * x for x in range(10)]
+    assert agg.counters["work.items"] == 10
+    assert agg.counters["parallel.tasks"] == 10
+    assert agg.get("work.unit").count == 10
+
+
+def test_merge_is_exactly_once_across_a_mid_map_retry(tmp_path):
+    # Task 2 fails twice before succeeding, inside a chunk shared with
+    # healthy tasks.  Successful attempts merge exactly once: no
+    # worker event is duplicated by the retry rounds, and the failed
+    # attempts' partial events are discarded with them.
+    plan = FaultPlan(tmp_path).fail(2, times=2)
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        results = parallel_map(plan.wrap(traced_task), list(range(6)),
+                               workers=2, chunksize=2, retries=2,
+                               clock=FakeClock())
+    assert results == [x * x for x in range(6)]
+    # Exactly one merged work.unit span and counter tick per task —
+    # the faulted task raised before tracing its span, so its two
+    # failed attempts contribute nothing.
+    assert agg.counters["work.items"] == 6
+    assert agg.get("work.unit").count == 6
+    assert agg.counters["parallel.tasks"] == 6  # parent-side, once
+    # The retry lifecycle itself is observable.
+    assert agg.counters["parallel.retries"] == 2
+    assert "parallel.failures" not in agg.counters
+    assert agg.get("parallel.retry").count == 2
+
+
+def test_failure_counter_ticks_on_exhaustion(tmp_path):
+    plan = FaultPlan(tmp_path).fail(1, times=10)
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        result = parallel_map(plan.wrap(traced_task), list(range(4)),
+                              workers=2, retries=1, on_failure="collect",
+                              clock=FakeClock())
+    assert result.failed_indices() == [1]
+    assert agg.counters["parallel.retries"] == 1
+    assert agg.counters["parallel.failures"] == 1
+    # The three healthy tasks merged exactly once each.
+    assert agg.counters["work.items"] == 3
+    assert agg.get("work.unit").count == 3

@@ -97,7 +97,8 @@ class TestPicklabilityValidation:
 
 
 class TestEffectiveWorkers:
-    def test_default_is_cpu_count(self):
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert effective_workers() == (os.cpu_count() or 1)
 
     def test_capped_by_tasks(self):
@@ -105,3 +106,42 @@ class TestEffectiveWorkers:
 
     def test_minimum_one(self):
         assert effective_workers(0, n_tasks=0) == 1
+
+
+class TestReproWorkersEnv:
+    """$REPRO_WORKERS bounds pool width without code changes."""
+
+    def test_env_supplies_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert effective_workers() == 3
+
+    def test_env_caps_an_explicit_request(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert effective_workers(8) == 2
+
+    def test_env_does_not_raise_an_explicit_request(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "16")
+        assert effective_workers(2) == 2
+
+    def test_task_cap_still_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert effective_workers(n_tasks=3) == 3
+
+    @pytest.mark.parametrize("bad", ["", "  ", "zero", "-1", "0", "2.5"])
+    def test_invalid_values_are_ignored(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        assert effective_workers() == (os.cpu_count() or 1)
+
+    def test_env_reaches_parallel_map(self, monkeypatch):
+        # With the pool capped to one worker the map takes the inline
+        # path, so a closure (unpicklable) succeeds.
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        marker = []
+
+        def record(x):
+            marker.append(x)
+            return x
+
+        with sanitized(False):
+            assert parallel_map(record, [1, 2], workers=4) == [1, 2]
+        assert marker == [1, 2]

@@ -1,0 +1,76 @@
+"""Property-based tests: the executor is ``map``, whatever the knobs.
+
+For random task counts, worker counts, and chunk sizes, every backend
+must return exactly ``list(map(fn, args))`` — same values, same order —
+and :func:`chunk_indices` must produce contiguous, disjoint ranges that
+cover the input exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import chunk_indices, parallel_map
+
+n_tasks = st.integers(min_value=0, max_value=12)
+workers = st.integers(min_value=1, max_value=4)
+chunksizes = st.integers(min_value=1, max_value=5)
+
+
+def affine(x):
+    """Module-level task so the process backend can pickle it."""
+    return 2 * x + 1
+
+
+def reference(n):
+    return [affine(i) for i in range(n)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(n_tasks, workers, chunksizes)
+def test_serial_backend_is_map(n, w, cs):
+    assert parallel_map(affine, range(n), workers=w, chunksize=cs,
+                        backend="serial") == reference(n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_tasks, workers, chunksizes)
+def test_thread_backend_is_map(n, w, cs):
+    assert parallel_map(affine, range(n), workers=w, chunksize=cs,
+                        backend="thread") == reference(n)
+
+
+@settings(max_examples=8, deadline=None)
+@given(n_tasks, st.integers(min_value=2, max_value=3), chunksizes)
+def test_process_backend_is_map(n, w, cs):
+    # Few examples: each parallel draw builds a real process pool.
+    assert parallel_map(affine, range(n), workers=w, chunksize=cs,
+                        backend="process") == reference(n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_tasks, workers, chunksizes, st.integers(min_value=0, max_value=3))
+def test_retry_knobs_do_not_change_faultless_results(n, w, cs, retries):
+    # With no faults, retries/timeouts are invisible.
+    assert parallel_map(affine, range(n), workers=w, chunksize=cs,
+                        backend="serial", retries=retries,
+                        task_timeout=60.0) == reference(n)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=1, max_value=64))
+def test_chunk_indices_contiguous_disjoint_covering(n_items, n_chunks):
+    ranges = chunk_indices(n_items, n_chunks)
+    # Contiguous and disjoint: each chunk starts where the previous
+    # stopped, beginning at 0...
+    position = 0
+    for start, stop in ranges:
+        assert start == position
+        assert stop > start  # empty chunks are omitted
+        position = stop
+    # ...and together they cover exactly [0, n_items).
+    assert position == n_items
+    assert len(ranges) <= n_chunks
+    if n_items:
+        # Balanced block distribution: sizes differ by at most one.
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1

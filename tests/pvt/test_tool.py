@@ -1,10 +1,13 @@
 """CesmPvt orchestrator and port verification."""
 
+import functools
+
 import numpy as np
 import pytest
 
 from repro.compressors import get_variant
 from repro.model.ensemble import CAMEnsemble
+from repro.pvt import tool
 from repro.pvt.tool import CesmPvt
 
 
@@ -87,3 +90,40 @@ class TestParallelEvaluation:
         for name in ("U", "FSDSC"):
             assert serial.verdicts[name].as_row() == \
                 parallel.verdicts[name].as_row()
+
+
+_REAL_REMOTE = tool._evaluate_one_remote
+
+
+def _remote_failing_for(target, args):
+    """Picklable worker stand-in failing one variable's evaluation."""
+    if args[2] == target:
+        raise RuntimeError("injected evaluation failure")
+    return _REAL_REMOTE(args)
+
+
+class TestDegradedEvaluation:
+    def test_failed_variable_costs_its_verdict_not_the_report(
+        self, pvt, monkeypatch
+    ):
+        monkeypatch.setattr(
+            tool, "_evaluate_one_remote",
+            functools.partial(_remote_failing_for, "U"),
+        )
+        report = pvt.evaluate_codec(
+            get_variant("NetCDF-4"), variables=["U", "FSDSC"],
+            run_bias=False, workers=2,
+        )
+        assert set(report.verdicts) == {"FSDSC"}
+        assert set(report.failures) == {"U"}
+        assert not report.complete
+        failure = report.failures["U"]
+        assert failure.kind == "exception"
+        assert failure.error_type == "RuntimeError"
+
+    def test_clean_parallel_report_is_complete(self, pvt):
+        report = pvt.evaluate_codec(
+            get_variant("NetCDF-4"), variables=["U", "FSDSC"],
+            run_bias=False, workers=2,
+        )
+        assert report.complete and report.failures == {}

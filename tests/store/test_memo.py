@@ -4,6 +4,7 @@ import numpy as np
 
 from repro.store import (
     ArtifactStore,
+    SkipStore,
     array_fingerprint,
     cached,
     clear_override,
@@ -128,3 +129,54 @@ def test_memoized_stage_default_key(tmp_path):
         assert add(1, y=2) == 3
         assert add(2, y=2) == 4
     assert calls == [(1, 2), (2, 2)]
+
+
+def test_skipstore_returns_value_without_a_store():
+    clear_override()
+
+    def degraded():
+        raise SkipStore("partial")
+
+    with storing(None):
+        assert cached("d" * 64, degraded) == "partial"
+
+
+def test_skipstore_suppresses_the_write(tmp_path):
+    degraded_calls = []
+
+    def degraded():
+        degraded_calls.append(1)
+        raise SkipStore({"rows": 1})
+
+    full_calls = []
+
+    def full():
+        full_calls.append(1)
+        return {"rows": 9}
+
+    with storing(tmp_path):
+        # A vetoed value reaches the caller but never the store: the
+        # second call recomputes instead of hitting a cached partial.
+        assert cached("e" * 64, degraded, kind="json", stage="s") == {
+            "rows": 1
+        }
+        assert cached("e" * 64, degraded, kind="json", stage="s") == {
+            "rows": 1
+        }
+        assert len(degraded_calls) == 2
+        # A later clean compute fills the slot normally.
+        assert cached("e" * 64, full, kind="json", stage="s") == {"rows": 9}
+        assert cached("e" * 64, full, kind="json", stage="s") == {"rows": 9}
+    assert len(full_calls) == 1
+
+
+def test_skipstore_ticks_the_skipped_counter(tmp_path):
+    from repro import obs
+
+    def degraded():
+        raise SkipStore(5)
+
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), storing(tmp_path):
+        assert cached("f" * 64, degraded, stage="deg") == 5
+    assert agg.counters["store.skipped[stage=deg]"] == 1
