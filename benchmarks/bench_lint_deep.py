@@ -1,0 +1,56 @@
+"""Deep-lint wall time: whole-program analysis of ``src/`` under 5 s.
+
+The ``--deep`` pass parses every module, links the call graph, runs the
+binding fixpoint, and evaluates REP013..REP017 — it runs in the tier-1
+gate (``tests/check/test_lint_src_clean.py``), so its cost is paid on
+every test run and must stay interactive.  The budget is asserted on
+the median of several repeats; the graph-build/rule-evaluation split is
+recorded so a regression points at the guilty half.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import save_text
+
+from repro.check.flow import build_program, deep_lint
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+_REPEATS = 3
+_BUDGET_S = 5.0
+
+
+def test_deep_lint_src_within_budget(results_dir, bench_record):
+    findings = deep_lint([SRC])  # warm-up; also re-checks cleanliness
+    assert findings == [], [f.format() for f in findings]
+    samples = []
+    for _ in range(_REPEATS):
+        t0 = time.perf_counter()
+        deep_lint([SRC])
+        samples.append(time.perf_counter() - t0)
+    median = float(np.median(samples))
+    bench_record.metric("deep_lint_src_s", median, unit="s",
+                        threshold_pct=75.0)
+    save_text(
+        results_dir, "lint_deep.txt",
+        f"deep lint of src/: median {median:.3f} s over "
+        f"{_REPEATS} repeats (budget {_BUDGET_S:.0f} s)",
+    )
+    assert median < _BUDGET_S, (
+        f"deep lint took {median:.2f} s, over the {_BUDGET_S:.0f} s budget"
+    )
+
+
+def test_graph_build_and_rule_split(bench_record):
+    t0 = time.perf_counter()
+    program = build_program([str(SRC)])
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    deep_lint([SRC], program=program)
+    rules_s = time.perf_counter() - t0
+    bench_record.metric("graph_build_s", build_s, unit="s",
+                        threshold_pct=100.0)
+    bench_record.metric("flow_rules_s", rules_s, unit="s",
+                        threshold_pct=100.0)
+    assert build_s + rules_s < _BUDGET_S

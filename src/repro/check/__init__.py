@@ -1,36 +1,51 @@
 """Numeric-safety checking for the compression/PVT pipeline.
 
-Two cooperating halves:
+Three cooperating parts:
 
 - :mod:`repro.check.engine` / :mod:`repro.check.rules` — an AST-based
-  static analyzer (``python -m repro.check lint src/``) with repo-specific
-  rules (REP001..REP008) that machine-check the invariants the paper's
-  methodology depends on: dtype preservation through codecs, seeded
-  randomness, tolerance-based float comparisons in the verification
-  metrics, picklable parallel entry points, and canonical fill values.
-- :mod:`repro.check.sanitize` — a ``REPRO_SANITIZE=1`` runtime sanitizer
-  that guards ``Compressor.compress``/``decompress``, the PVT
-  z-score/E_nmax paths, and ``parallel_map`` with cheap invariant checks,
-  raising structured :class:`SanitizerError`\\ s when a codec or metric
-  path silently violates its contract.
+  per-file static analyzer (``python -m repro.check lint src/``) with
+  repo-specific rules (REP001..REP012) that machine-check the
+  invariants the paper's methodology depends on: dtype preservation
+  through codecs, seeded randomness, tolerance-based float comparisons
+  in the verification metrics, picklable parallel entry points, and
+  canonical fill values.
+- :mod:`repro.check.flow` — a whole-program layer (``repro lint
+  --deep``) that links the import/call graph, finds every callable
+  reaching ``Executor``/``parallel_map``/``cached()``, and runs the
+  concurrency/determinism rules REP013..REP017 over those bound
+  callables.  :mod:`repro.check.baseline` lets strict rules land
+  incrementally; ``python -m repro.check graph`` dumps the call graph.
+  See ``docs/static-analysis.md`` for the full rule table.
+- :mod:`repro.check.sanitize` — a ``REPRO_SANITIZE=1`` runtime
+  sanitizer that guards ``Compressor.compress``/``decompress``, the
+  PVT z-score/E_nmax paths, and ``parallel_map`` with cheap invariant
+  checks, raising structured :class:`SanitizerError`\\ s when a codec
+  or metric path silently violates its contract.
 
-The static half never imports production modules (it parses them); the
-runtime half hooks into them through :mod:`repro.check.hooks`, which is
-dependency-free so that low-level packages can import it without cycles.
+The static halves never import production modules (they parse them);
+the runtime half hooks into them through :mod:`repro.check.hooks`.
 """
 
 from __future__ import annotations
 
+from repro.check.baseline import BaselineEntry, BaselineError
 from repro.check.engine import Finding, lint_file, lint_paths, render_json, render_text
+from repro.check.flow import FLOW_RULES, FlowRule, build_program, deep_lint
 from repro.check.hooks import SanitizerError
 from repro.check.rules import RULES, Rule
 from repro.check.sanitize import sanitize_active, sanitize_guard, sanitized
 
 __all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "FLOW_RULES",
     "Finding",
+    "FlowRule",
     "RULES",
     "Rule",
     "SanitizerError",
+    "build_program",
+    "deep_lint",
     "lint_file",
     "lint_paths",
     "render_json",

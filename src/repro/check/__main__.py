@@ -3,9 +3,18 @@
 Commands:
 
 - ``lint <paths...>`` — lint files/trees; exit 0 iff no findings.
-  ``--format=json`` for machine-readable output, ``--select`` to restrict
-  to specific rule IDs.
-- ``rules`` — print the rule table (ID, severity, title, rationale, fix).
+  ``--format=json`` for machine-readable output, ``--select`` to
+  restrict to specific rule IDs.  ``--deep`` additionally links the
+  whole program and runs the REP013..REP017 flow rules; selecting a
+  flow rule implies ``--deep``.  With ``--deep``, findings accepted by
+  a baseline file (``.repro-lint-baseline.json``, discovered upward
+  from the first path or named via ``--baseline``) are suppressed;
+  ``--update-baseline`` rewrites that file from the current findings
+  and ``--no-baseline`` ignores it.
+- ``graph <paths...>`` — dump the whole-program call graph with its
+  worker/cache entry points as Graphviz DOT (default) or JSON.
+- ``rules`` — print the rule table, errors first; ``--format=json``
+  for a machine-readable table.
 """
 
 from __future__ import annotations
@@ -17,8 +26,15 @@ from typing import Sequence
 
 from pathlib import Path
 
-from repro.check.engine import lint_paths, render_json, render_text
-from repro.check.rules import RULES, rules_by_id
+from repro.check import baseline as baseline_mod
+from repro.check import flow
+from repro.check.engine import Finding, lint_paths, render_json, \
+    render_text
+from repro.check.flow.rules import FLOW_RULES, FlowRule, \
+    flow_rules_by_id
+from repro.check.rules import RULES, Rule, rules_by_id
+
+RuleLike = Rule | FlowRule
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,19 +51,150 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--select", default=None,
                    help="comma-separated rule IDs to run (default: all)")
+    p.add_argument("--deep", action="store_true",
+                   help="also run the whole-program flow rules "
+                        "(REP013..REP017)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline file of accepted findings (default: "
+                        "discovered .repro-lint-baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current "
+                        "findings and exit 0")
+
+    p = sub.add_parser(
+        "graph",
+        help="dump the whole-program call graph (DOT or JSON)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to analyze (default: src)")
+    p.add_argument("--format", choices=["dot", "json"], default="dot")
 
     p = sub.add_parser("rules", help="list the REP rule set")
     p.add_argument("--format", choices=["text", "json"], default="text")
     return parser
 
 
+def _all_rules() -> list[RuleLike]:
+    """Every rule, errors before warnings, by ID within severity."""
+    merged: list[RuleLike] = [*RULES, *FLOW_RULES]
+    merged.sort(key=lambda r: (r.severity != "error", r.id))
+    return merged
+
+
 def _rules_text() -> str:
+    deep_ids = flow_rules_by_id().keys()
     out = []
-    for rule in RULES:
-        out.append(f"{rule.id} [{rule.severity}] {rule.title}")
+    for rule in _all_rules():
+        deep = " (deep)" if rule.id in deep_ids else ""
+        out.append(f"{rule.id} [{rule.severity}]{deep} {rule.title}")
         out.append(f"    why: {rule.rationale}")
         out.append(f"    fix: {rule.fix_hint}")
     return "\n".join(out)
+
+
+def _rules_json() -> str:
+    deep_ids = flow_rules_by_id().keys()
+    entries = [
+        {"id": r.id, "severity": r.severity, "title": r.title,
+         "rationale": r.rationale, "fix_hint": r.fix_hint,
+         "deep": r.id in deep_ids}
+        for r in _all_rules()
+    ]
+    return json.dumps({"rules": entries, "count": len(entries)},
+                      indent=2)
+
+
+def _known_rule_ids() -> dict[str, RuleLike]:
+    known: dict[str, RuleLike] = dict(rules_by_id())
+    known.update(flow_rules_by_id())
+    return known
+
+
+def _resolve_baseline(args: argparse.Namespace) \
+        -> tuple[list[baseline_mod.BaselineEntry], Path | None]:
+    if args.no_baseline:
+        return [], None
+    if args.baseline:
+        path = Path(args.baseline)
+        return baseline_mod.load_baseline(path), path
+    found = baseline_mod.discover_baseline(Path(args.paths[0]))
+    if found is None:
+        return [], None
+    return baseline_mod.load_baseline(found), found
+
+
+def _lint_command(args: argparse.Namespace) -> int:
+    select = None
+    if args.select:
+        select = [s.strip().upper() for s in args.select.split(",")
+                  if s.strip()]
+        known = _known_rule_ids()
+        unknown = sorted(set(select) - known.keys())
+        if unknown:
+            # A typo'd --select silently passing everything would defeat
+            # the gate; reject it like argparse rejects a bad choice.
+            print(f"repro.check: unknown rule id(s): "
+                  f"{', '.join(unknown)} "
+                  f"(known: {', '.join(known)})", file=sys.stderr)
+            return 2
+        if any(s in flow_rules_by_id() for s in select):
+            args.deep = True
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro.check: no such file or directory: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = lint_paths(args.paths, select=select)
+    if args.deep:
+        findings = sorted(
+            findings + flow.deep_lint(args.paths, select=select),
+            key=lambda f: (f.path, f.line, f.col, f.rule_id),
+        )
+
+    use_baseline = args.deep or args.baseline or args.update_baseline
+    if use_baseline:
+        if args.update_baseline:
+            target = Path(args.baseline) if args.baseline else (
+                baseline_mod.discover_baseline(Path(args.paths[0]))
+                or Path(baseline_mod.BASELINE_NAME))
+            n = baseline_mod.write_baseline(target, findings)
+            print(f"repro.check: wrote {n} entr"
+                  f"{'y' if n == 1 else 'ies'} to {target}")
+            return 0
+        try:
+            entries, source = _resolve_baseline(args)
+        except baseline_mod.BaselineError as exc:
+            print(f"repro.check: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = baseline_mod.apply_baseline(
+            findings, entries)
+        if suppressed:
+            print(f"repro.check: {len(suppressed)} finding(s) "
+                  f"suppressed by baseline {source}", file=sys.stderr)
+        for entry in stale:
+            print(f"repro.check: stale baseline entry ({entry.rule} "
+                  f"{entry.symbol or entry.path}) matched nothing — "
+                  "delete it", file=sys.stderr)
+
+    print(render_json(findings) if args.format == "json"
+          else render_text(findings))
+    return 1 if findings else 0
+
+
+def _graph_command(args: argparse.Namespace) -> int:
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro.check: no such file or directory: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 2
+    program = flow.build_program(args.paths)
+    if args.format == "json":
+        print(json.dumps(flow.graph_json(program), indent=2))
+    else:
+        print(flow.graph_dot(program))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -55,36 +202,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "rules":
-        if args.format == "json":
-            print(json.dumps([
-                {"id": r.id, "severity": r.severity, "title": r.title,
-                 "rationale": r.rationale, "fix_hint": r.fix_hint}
-                for r in RULES
-            ], indent=2))
-        else:
-            print(_rules_text())
+        print(_rules_json() if args.format == "json"
+              else _rules_text())
         return 0
-
-    select = None
-    if args.select:
-        select = [s.strip().upper() for s in args.select.split(",")
-                  if s.strip()]
-        unknown = sorted(set(select) - rules_by_id().keys())
-        if unknown:
-            # A typo'd --select silently passing everything would defeat
-            # the gate; reject it like argparse rejects a bad choice.
-            print(f"repro.check: unknown rule id(s): {', '.join(unknown)} "
-                  f"(known: {', '.join(rules_by_id())})", file=sys.stderr)
-            return 2
-    missing = [p for p in args.paths if not Path(p).exists()]
-    if missing:
-        print(f"repro.check: no such file or directory: "
-              f"{', '.join(missing)}", file=sys.stderr)
-        return 2
-    findings = lint_paths(args.paths, select=select)
-    print(render_json(findings) if args.format == "json"
-          else render_text(findings))
-    return 1 if findings else 0
+    if args.command == "graph":
+        return _graph_command(args)
+    return _lint_command(args)
 
 
 if __name__ == "__main__":

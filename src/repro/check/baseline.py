@@ -1,0 +1,202 @@
+"""Findings baseline: land strict rules without blocking on debatable
+positives.
+
+``.repro-lint-baseline.json`` holds a list of *accepted* findings.
+Each entry matches on ``(rule, path suffix, symbol)`` — deliberately
+not on line numbers, which drift with every edit — and **must** carry
+a non-empty ``reason`` string saying why the finding is tolerated;
+loading rejects entries without one, so the file cannot silently
+become a dumping ground.
+
+CLI wiring (see :mod:`repro.check.__main__`): ``--baseline PATH``
+names the file explicitly, otherwise it is discovered by walking up
+from the first linted path; ``--no-baseline`` ignores any file;
+``--update-baseline`` rewrites the file from the current findings with
+a placeholder reason to edit.
+
+Schema::
+
+    {"version": 1,
+     "entries": [{"rule": "REP015", "path": "src/repro/store/core.py",
+                  "symbol": "repro.store.core.get_store",
+                  "reason": "..."}]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Iterable, Sequence
+
+from repro.check.engine import Finding
+
+__all__ = [
+    "BASELINE_NAME",
+    "BaselineEntry",
+    "BaselineError",
+    "apply_baseline",
+    "discover_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_NAME = ".repro-lint-baseline.json"
+BASELINE_VERSION = 1
+
+#: Reason written by ``--update-baseline``; meant to be hand-edited.
+DEFAULT_REASON = ("accepted via --update-baseline; replace with the "
+                  "actual justification")
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be trusted: bad schema or reasons."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: identity plus mandatory justification."""
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether ``finding`` is the finding this entry accepts."""
+        if self.rule != finding.rule_id:
+            return False
+        if self.symbol != finding.symbol:
+            return False
+        entry_parts = PurePath(self.path).parts
+        finding_parts = PurePath(finding.path).parts
+        n = len(entry_parts)
+        return n > 0 and finding_parts[-n:] == entry_parts
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Parse and validate a baseline file.
+
+    Raises :class:`BaselineError` on unreadable JSON, an unknown
+    schema version, or any entry missing ``rule``/``path``/``reason``
+    (an empty ``reason`` counts as missing).
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") \
+            from exc
+    if not isinstance(payload, dict) or \
+            payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected an object with "
+            f"version == {BASELINE_VERSION}")
+    raw_entries = payload.get("entries")
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path}: 'entries' must be a "
+                            "list")
+    entries: list[BaselineEntry] = []
+    for i, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(
+                f"baseline {path}: entry {i} is not an object")
+        rule = raw.get("rule", "")
+        epath = raw.get("path", "")
+        reason = raw.get("reason", "")
+        if not (isinstance(rule, str) and rule):
+            raise BaselineError(
+                f"baseline {path}: entry {i} has no 'rule'")
+        if not (isinstance(epath, str) and epath):
+            raise BaselineError(
+                f"baseline {path}: entry {i} has no 'path'")
+        if not (isinstance(reason, str) and reason.strip()):
+            raise BaselineError(
+                f"baseline {path}: entry {i} ({rule} in {epath}) has "
+                "no reason — every baselined finding must say why it "
+                "is accepted")
+        entries.append(BaselineEntry(
+            rule=rule, path=epath,
+            symbol=str(raw.get("symbol", "")), reason=reason))
+    return entries
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding],
+                   reason: str = DEFAULT_REASON) -> int:
+    """Write ``findings`` as a fresh baseline; returns the entry count.
+
+    Existing entries' reasons are preserved when the same finding is
+    re-baselined.
+    """
+    path = Path(path)
+    old: list[BaselineEntry] = []
+    if path.is_file():
+        try:
+            old = load_baseline(path)
+        except BaselineError:
+            old = []
+    entries = []
+    seen: set[tuple[str, str, str]] = set()
+    for f in findings:
+        rel = _repo_relative(f.path, path.parent)
+        key = (f.rule_id, rel, f.symbol)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept = next((e.reason for e in old
+                     if e.rule == f.rule_id and e.symbol == f.symbol
+                     and e.path == rel), reason)
+        entries.append({"rule": f.rule_id, "path": rel,
+                        "symbol": f.symbol, "reason": kept})
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n",
+                    encoding="utf-8")
+    return len(entries)
+
+
+def _repo_relative(finding_path: str, root: Path) -> str:
+    try:
+        return str(Path(finding_path).resolve()
+                   .relative_to(root.resolve()))
+    except ValueError:
+        return finding_path
+
+
+def discover_baseline(start: str | Path) -> Path | None:
+    """Nearest :data:`BASELINE_NAME` at or above ``start``."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    while True:
+        candidate = current / BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+        if current.parent == current:
+            return None
+        current = current.parent
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Sequence[BaselineEntry],
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into ``(kept, suppressed, stale_entries)``.
+
+    ``stale_entries`` are baseline entries that matched nothing — the
+    debt was paid and the entry should be deleted.
+    """
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    used: set[int] = set()
+    for finding in findings:
+        hit = None
+        for i, entry in enumerate(entries):
+            if entry.matches(finding):
+                hit = i
+                break
+        if hit is None:
+            kept.append(finding)
+        else:
+            used.add(hit)
+            suppressed.append(finding)
+    stale = [e for i, e in enumerate(entries) if i not in used]
+    return kept, suppressed, stale

@@ -34,7 +34,13 @@ _ALL = frozenset({"*"})
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding, ready for text or JSON rendering."""
+    """One lint finding, ready for text or JSON rendering.
+
+    ``symbol`` is the stable identity a whole-program (``--deep``)
+    finding anchors to — the bound function's qualname — used by the
+    baseline file to match findings across line-number drift.  Per-file
+    syntactic findings leave it empty.
+    """
 
     rule_id: str
     severity: str
@@ -43,6 +49,7 @@ class Finding:
     col: int
     message: str
     fix_hint: str
+    symbol: str = ""
 
     def format(self) -> str:
         """``path:line:col: REPxxx [severity] message (hint: ...)``."""

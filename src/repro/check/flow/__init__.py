@@ -1,0 +1,104 @@
+"""Whole-program concurrency and determinism analysis (``--deep``).
+
+Where :mod:`repro.check.engine` lints one file at a time,
+:mod:`repro.check.flow` links every module under the given paths into
+a :class:`~repro.check.flow.callgraph.Program` — import graph, symbol
+tables, call graph — runs a capture/escape fixpoint to find every
+callable that executes inside a worker process or computes a
+store-cached value, and checks those callables against the REP013 to
+REP017 rules (:mod:`repro.check.flow.rules`).
+
+:func:`deep_lint` is the library entry point; the CLI exposes it as
+``repro lint --deep`` and the graph itself as
+``python -m repro.check graph``.  Findings carry the bound function's
+qualname in :attr:`~repro.check.engine.Finding.symbol`, which is what
+the baseline file (:mod:`repro.check.baseline`) matches on.
+
+The per-file ``# repro: noqa[REPxxx]`` machinery applies to deep
+findings exactly as it does to syntactic ones.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.check.engine import Finding, _noqa_suppressions, _suppressed
+from repro.check.flow.callgraph import (
+    BindOrigin,
+    Bindings,
+    CallSite,
+    EntryPoint,
+    FunctionInfo,
+    Program,
+    Use,
+    build_program,
+)
+from repro.check.flow.modules import ModuleInfo, Symbol, \
+    discover_modules
+from repro.check.flow.render import graph_dot, graph_json
+from repro.check.flow.rules import FLOW_RULES, FlowRule, \
+    flow_rules_by_id
+
+__all__ = [
+    "BindOrigin",
+    "Bindings",
+    "CallSite",
+    "EntryPoint",
+    "FLOW_RULES",
+    "FlowRule",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "Symbol",
+    "Use",
+    "build_program",
+    "deep_lint",
+    "discover_modules",
+    "flow_rules_by_id",
+    "graph_dot",
+    "graph_json",
+]
+
+
+def deep_lint(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    program: Program | None = None,
+) -> list[Finding]:
+    """Run the whole-program rules over ``paths``.
+
+    ``select`` restricts to specific flow rule IDs; other IDs are
+    ignored here (the caller merges with the per-file engine).  Pass a
+    prebuilt ``program`` to reuse one across calls (the graph CLI and
+    the benchmark do).
+    """
+    if program is None:
+        program = build_program([str(p) for p in paths])
+    bindings = program.bindings()
+    wanted = None if select is None else {s.upper() for s in select}
+
+    noqa_cache: dict[str, tuple[frozenset[str],
+                                dict[int, frozenset[str]]]] = {}
+    for module in program.modules.values():
+        noqa_cache[str(module.path)] = _noqa_suppressions(module.lines)
+
+    findings: list[Finding] = []
+    for rule in FLOW_RULES:
+        if wanted is not None and rule.id not in wanted:
+            continue
+        for path, line, col, message, symbol in rule.check(
+                program, bindings):
+            file_noqa, line_noqa = noqa_cache.get(
+                path, (frozenset(), {}))
+            if _suppressed(rule.id, file_noqa):
+                continue
+            if _suppressed(rule.id, line_noqa.get(line, frozenset())):
+                continue
+            findings.append(Finding(
+                rule_id=rule.id, severity=rule.severity, path=path,
+                line=line, col=col, message=message,
+                fix_hint=rule.fix_hint, symbol=symbol,
+            ))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

@@ -1,0 +1,736 @@
+"""Call graph, capture analysis, and worker/cache binding fixpoint.
+
+Builds a :class:`FunctionInfo` for every function, method, lambda, and
+module body in the program, then resolves name chains through the
+symbol tables of :mod:`repro.check.flow.modules` to produce call edges.
+
+On top of the graph, :meth:`Program.bindings` runs the capture/escape
+fixpoint that answers the question the flow rules need: *which
+callables can execute inside a worker process, and which compute a
+value that lands in the artifact store?*  Seeds are the concurrency and
+caching entry points —
+
+- ``parallel_map(fn, ...)`` / ``Executor(...).map(fn, ...)`` /
+  ``ex.submit(fn, ...)`` bind ``fn`` as **worker**;
+- ``cached(key, compute)`` binds ``compute`` as **cache**;
+- ``@memoized_stage(...)`` binds the decorated function as **cache** —
+
+matched by (import-resolved) name tail so self-contained fixture
+packages exercise the same machinery as the real tree.  Bindings
+propagate transitively along resolved call edges, through
+``functools.partial``, and through *parameter forwarding*: when a bound
+function calls one of its own parameters, every call site of that
+function binds the argument it passes there (this is how
+``_cached_table(stage, ctx, build)``-style indirection resolves).  The
+walk stops at trusted modules (``repro.obs``, ``repro.config``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.check.flow.modules import (
+    ModuleInfo,
+    Symbol,
+    chain_of,
+    discover_modules,
+    is_trusted,
+    iter_own_nodes,
+    resolve_chain_text,
+)
+
+__all__ = [
+    "BindOrigin",
+    "Bindings",
+    "CallSite",
+    "EntryPoint",
+    "FunctionInfo",
+    "Program",
+    "Use",
+    "build_program",
+]
+
+#: Method tails that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "clear", "pop", "popitem",
+    "insert", "remove", "discard", "setdefault", "move_to_end",
+    "appendleft", "extendleft",
+})
+
+_WORKER_TAILS = frozenset({"parallel_map"})
+_EXECUTOR_METHODS = frozenset({"map", "submit"})
+_MAX_VIA = 8
+
+
+@dataclass(frozen=True)
+class Use:
+    """One read (or in-place mutation) of a dotted name chain."""
+
+    chain: tuple[str, ...]
+    line: int
+    col: int
+    mutation: bool = False
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function's own scope."""
+
+    chain: str  # dotted text of the callee ("" when not a name chain)
+    node: ast.Call
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """One scope in the program: function, method, lambda, or module."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.AST
+    name: str
+    lineno: int
+    parent: str | None = None  # enclosing function's qualname
+    class_qual: str = ""  # owning class qualname for methods
+    params: tuple[str, ...] = ()
+    locals: frozenset[str] = frozenset()
+    local_imports: dict[str, str] = field(default_factory=dict)
+    local_defs: dict[str, str] = field(default_factory=dict)
+    instance_types: dict[str, str] = field(default_factory=dict)
+    calls: list[CallSite] = field(default_factory=list)
+    uses: list[Use] = field(default_factory=list)
+    decorators: tuple[str, ...] = ()
+    raises_skipstore: bool = False
+    is_synthetic: bool = False  # the <module> pseudo-function
+
+    @property
+    def display(self) -> str:
+        """Qualname without the top-level package prefix."""
+        return self.qualname.split(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class BindOrigin:
+    """Why a function is worker- or cache-bound."""
+
+    kind: str  # "worker" | "cache"
+    entry: str  # e.g. "parallel_map() at src/.../tables.py:238"
+    via: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Human-readable provenance for finding messages."""
+        role = "worker task" if self.kind == "worker" \
+            else "cache compute"
+        text = f"{role} of {self.entry}"
+        if self.via:
+            shown = self.via[:4]
+            hop = " -> ".join(q.split(".")[-1] for q in shown)
+            if len(self.via) > 4:
+                hop += " -> ..."
+            text += f", via {hop}"
+        return text
+
+    def extend(self, qualname: str) -> "BindOrigin":
+        """Origin for a callee reached from this bound function."""
+        if len(self.via) >= _MAX_VIA:
+            return self
+        return BindOrigin(self.kind, self.entry, self.via + (qualname,))
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """A resolved concurrency/caching entry point (for ``graph``)."""
+
+    kind: str  # "worker" | "cache"
+    entry: str  # "<tail>() at path:line" or "@memoized_stage at ..."
+    target: str  # bound function's qualname
+
+
+@dataclass
+class Bindings:
+    """Result of the capture fixpoint."""
+
+    bound: dict[str, dict[str, BindOrigin]]
+    sink_params: dict[tuple[str, str], dict[str, BindOrigin]]
+    entries: list[EntryPoint]
+
+    def functions_bound(self, kind: str) -> list[str]:
+        """Qualnames bound with ``kind``, sorted."""
+        return sorted(q for q, kinds in self.bound.items()
+                      if kind in kinds)
+
+
+# -- scope collection --------------------------------------------------------
+
+
+def _nested_scopes(root: ast.AST) -> Iterator[ast.AST]:
+    """Directly nested function/lambda/class nodes of ``root``'s scope."""
+    if isinstance(root, ast.Lambda):
+        stack: list[ast.AST] = [root.body]
+    elif isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.Module)):
+        stack = list(root.body)
+    else:
+        stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            yield node
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _param_names(node: ast.AST) -> tuple[str, ...]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+        return ()
+    a = node.args
+    names = [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+    if a.vararg is not None:
+        names.append(a.vararg.arg)
+    if a.kwarg is not None:
+        names.append(a.kwarg.arg)
+    return tuple(names)
+
+
+def _decorator_chains(node: ast.AST,
+                      imports: dict[str, str]) -> tuple[str, ...]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return ()
+    chains = []
+    for dec in node.decorator_list:
+        expr = dec.func if isinstance(dec, ast.Call) else dec
+        chains.append(resolve_chain_text(chain_of(expr), imports))
+    return tuple(chains)
+
+
+def _target_names(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    else:
+        yield target
+
+
+def _scan_scope(fi: FunctionInfo) -> None:
+    """Populate locals, uses, calls, and flags from ``fi``'s own body."""
+    own = list(iter_own_nodes(fi.node))
+
+    globals_decl: set[str] = set()
+    assigned: set[str] = set()
+    for node in own:
+        if isinstance(node, ast.Global):
+            globals_decl.update(node.names)
+        elif isinstance(node, ast.Nonlocal):
+            globals_decl.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                               ast.NamedExpr)):
+            targets: Iterable[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            for t in targets:
+                for leaf in _target_names(t):
+                    if isinstance(leaf, ast.Name):
+                        assigned.add(leaf.id)
+        elif isinstance(node, ast.For):
+            for leaf in _target_names(node.target):
+                if isinstance(leaf, ast.Name):
+                    assigned.add(leaf.id)
+        elif isinstance(node, ast.withitem):
+            if node.optional_vars is not None:
+                for leaf in _target_names(node.optional_vars):
+                    if isinstance(leaf, ast.Name):
+                        assigned.add(leaf.id)
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                assigned.add(node.name)
+        elif isinstance(node, ast.comprehension):
+            for leaf in _target_names(node.target):
+                if isinstance(leaf, ast.Name):
+                    assigned.add(leaf.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                fi.local_imports[local] = target
+                assigned.add(local)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:  # relative: resolve against the module
+                anchor_parts = fi.module.name.split(".")
+                drop = node.level - (1 if fi.module.is_package else 0)
+                if drop < len(anchor_parts):
+                    anchor = ".".join(
+                        anchor_parts[: len(anchor_parts) - drop]
+                        if drop else anchor_parts)
+                    base = f"{anchor}.{node.module}" if node.module \
+                        else anchor
+                else:
+                    base = ""
+            if base:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    fi.local_imports[local] = f"{base}.{alias.name}"
+                    assigned.add(local)
+
+    fi.locals = frozenset(
+        (set(fi.params) | assigned | set(fi.local_defs)) - globals_decl
+    )
+
+    imports = dict(fi.module.imports)
+    imports.update(fi.local_imports)
+
+    def add_use(chain: str, node: ast.AST, mutation: bool) -> None:
+        if chain:
+            fi.uses.append(Use(
+                chain=tuple(chain.split(".")), line=node.lineno,
+                col=node.col_offset, mutation=mutation,
+            ))
+
+    for node in own:
+        if isinstance(node, ast.Call):
+            chain = chain_of(node.func)
+            fi.calls.append(CallSite(
+                chain=chain, node=node, line=node.lineno,
+                col=node.col_offset,
+            ))
+            if chain and "." in chain:
+                tail = chain.rsplit(".", 1)[-1]
+                add_use(chain, node, tail in MUTATOR_METHODS)
+            elif chain:
+                add_use(chain, node, False)
+        elif isinstance(node, ast.Name) and \
+                isinstance(node.ctx, ast.Load):
+            add_use(node.id, node, False)
+        elif isinstance(node, ast.Attribute) and \
+                isinstance(node.ctx, ast.Load):
+            add_use(chain_of(node), node, False)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for t in targets:
+                for leaf in _target_names(t):
+                    if isinstance(leaf, (ast.Subscript, ast.Attribute)):
+                        add_use(chain_of(
+                            leaf.value if isinstance(leaf, ast.Subscript)
+                            else leaf.value), leaf, True)
+                    elif isinstance(leaf, ast.Name) and \
+                            leaf.id in globals_decl:
+                        add_use(leaf.id, leaf, True)
+                    elif isinstance(leaf, ast.Name) and \
+                            isinstance(node, ast.AugAssign) and \
+                            leaf.id not in fi.locals:
+                        add_use(leaf.id, leaf, True)
+            if isinstance(node, ast.Assign) and \
+                    len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name) and \
+                    isinstance(node.value, ast.Call):
+                ctor = resolve_chain_text(
+                    chain_of(node.value.func), imports)
+                if ctor:
+                    fi.instance_types[node.targets[0].id] = ctor
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            name = chain_of(exc.func) if isinstance(exc, ast.Call) \
+                else chain_of(exc)
+            if name.rsplit(".", 1)[-1] == "SkipStore":
+                fi.raises_skipstore = True
+
+
+def _collect_module(module: ModuleInfo,
+                    functions: dict[str, FunctionInfo],
+                    node_map: dict[int, FunctionInfo]) -> None:
+    def build_scope(fi: FunctionInfo, qual_prefix: str) -> None:
+        """Scan ``fi``'s body and build its directly nested scopes."""
+        functions[fi.qualname] = fi
+        node_map[id(fi.node)] = fi
+        nested = list(_nested_scopes(fi.node))
+        for sub in nested:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fi.local_defs[sub.name] = f"{qual_prefix}.{sub.name}"
+        _scan_scope(fi)
+        if fi.is_synthetic:
+            # Module scope: every name falls through to the symbol
+            # table, so module-level registrations and entry calls
+            # resolve like they would in a function.
+            fi.locals = frozenset()
+        parent = None if fi.is_synthetic else fi.qualname
+        for sub in nested:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                build_scope(_make(sub, f"{qual_prefix}.{sub.name}",
+                                  sub.name, parent, ""),
+                            f"{qual_prefix}.{sub.name}")
+            elif isinstance(sub, ast.Lambda):
+                lam = f"{qual_prefix}.<lambda:{sub.lineno}>"
+                build_scope(_make(sub, lam, "<lambda>", parent, ""),
+                            lam)
+            elif isinstance(sub, ast.ClassDef):
+                cls_qual = f"{qual_prefix}.{sub.name}"
+                for item in _nested_scopes(sub):
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        build_scope(
+                            _make(item, f"{cls_qual}.{item.name}",
+                                  item.name, parent, cls_qual),
+                            f"{cls_qual}.{item.name}")
+                    elif isinstance(item, ast.Lambda):
+                        lam = f"{cls_qual}.<lambda:{item.lineno}>"
+                        build_scope(_make(item, lam, "<lambda>",
+                                          parent, ""), lam)
+
+    def _make(node: ast.AST, qualname: str, name: str,
+              parent: str | None, class_qual: str,
+              synthetic: bool = False) -> FunctionInfo:
+        return FunctionInfo(
+            qualname=qualname, module=module, node=node, name=name,
+            lineno=getattr(node, "lineno", 1), parent=parent,
+            class_qual=class_qual, params=_param_names(node),
+            decorators=_decorator_chains(node, module.imports),
+            is_synthetic=synthetic,
+        )
+
+    mod_fi = _make(module.tree, f"{module.name}.<module>", "<module>",
+                   None, "", synthetic=True)
+    build_scope(mod_fi, module.name)
+
+
+# -- the program -------------------------------------------------------------
+
+
+class Program:
+    """The whole-program view: modules, functions, resolution, bindings."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        self.node_map: dict[int, FunctionInfo] = {}
+        for module in modules.values():
+            _collect_module(module, self.functions, self.node_map)
+        self._mark_mutations()
+        self._bindings: Bindings | None = None
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve_dotted(
+        self, dotted: str, rest: tuple[str, ...] = (),
+    ) -> tuple[ModuleInfo, Symbol, tuple[str, ...]] | None:
+        """Chase a dotted name through modules and re-exports."""
+        parts = tuple(dotted.split(".")) + tuple(rest)
+        for _ in range(12):
+            module = None
+            idx = 0
+            for i in range(len(parts), 0, -1):
+                name = ".".join(parts[:i])
+                if name in self.modules:
+                    module = self.modules[name]
+                    idx = i
+                    break
+            if module is None or idx == len(parts):
+                return None
+            sym = module.symbols.get(parts[idx])
+            if sym is None:
+                return None
+            if sym.kind == "import":
+                parts = tuple(sym.target.split(".")) + parts[idx + 1:]
+                continue
+            return module, sym, parts[idx + 1:]
+        return None
+
+    def _function_for(
+        self, module: ModuleInfo, sym: Symbol, rest: tuple[str, ...],
+    ) -> FunctionInfo | None:
+        if sym.kind == "def" and not rest:
+            return self.functions.get(f"{module.name}.{sym.name}")
+        if sym.kind == "class" and len(rest) == 1:
+            return self.functions.get(
+                f"{module.name}.{sym.name}.{rest[0]}")
+        return None
+
+    def resolve_callable(
+        self, fi: FunctionInfo, chain: str,
+    ) -> FunctionInfo | tuple[str, str] | None:
+        """Resolve a callee chain from inside ``fi``.
+
+        Returns the target :class:`FunctionInfo`, a ``(owner_qualname,
+        param_name)`` pair when the chain names a parameter of ``fi``
+        or an enclosing function, or ``None``.
+        """
+        if not chain:
+            return None
+        parts = chain.split(".")
+        root = parts[0]
+        # self.method() inside a method
+        if fi.class_qual and fi.params and root == fi.params[0] \
+                and len(parts) == 2:
+            return self.functions.get(f"{fi.class_qual}.{parts[1]}")
+        # local instance: ex = Executor(...); ex.map(...)
+        if len(parts) == 2 and root in fi.instance_types:
+            ctor = fi.instance_types[root]
+            resolved = self.resolve_dotted(ctor)
+            if resolved is not None:
+                mod, sym, rest = resolved
+                if sym.kind == "class" and not rest:
+                    return self.functions.get(
+                        f"{mod.name}.{sym.name}.{parts[1]}")
+            return None
+        scope: FunctionInfo | None = fi
+        while scope is not None:
+            if root in scope.local_imports:
+                resolved = self.resolve_dotted(
+                    scope.local_imports[root], tuple(parts[1:]))
+                if resolved is None:
+                    return None
+                return self._function_for(*resolved)
+            if root in scope.local_defs and len(parts) == 1:
+                return self.functions.get(scope.local_defs[root])
+            if root in scope.params:
+                return (scope.qualname, root) if len(parts) == 1 \
+                    else None
+            if root in scope.locals:
+                return None
+            scope = self.functions.get(scope.parent) \
+                if scope.parent else None
+        sym = fi.module.symbols.get(root)
+        if sym is None:
+            return None
+        if sym.kind == "import":
+            resolved = self.resolve_dotted(sym.target, tuple(parts[1:]))
+            if resolved is None:
+                return None
+            return self._function_for(*resolved)
+        return self._function_for(fi.module, sym, tuple(parts[1:]))
+
+    def resolve_use(
+        self, fi: FunctionInfo, use: Use,
+    ) -> tuple[ModuleInfo, Symbol] | None:
+        """Module-level symbol a data use refers to, if any."""
+        root = use.chain[0]
+        scope: FunctionInfo | None = fi
+        while scope is not None:
+            if root in scope.local_imports:
+                resolved = self.resolve_dotted(
+                    scope.local_imports[root], tuple(use.chain[1:]))
+                return (resolved[0], resolved[1]) if resolved else None
+            if root in scope.locals or root in scope.params:
+                return None
+            scope = self.functions.get(scope.parent) \
+                if scope.parent else None
+        sym = fi.module.symbols.get(root)
+        if sym is None:
+            return None
+        if sym.kind == "import":
+            resolved = self.resolve_dotted(
+                sym.target, tuple(use.chain[1:]))
+            return (resolved[0], resolved[1]) if resolved else None
+        return fi.module, sym
+
+    def _mark_mutations(self) -> None:
+        for fi in self.functions.values():
+            for use in fi.uses:
+                if not use.mutation:
+                    continue
+                resolved = self.resolve_use(fi, use)
+                if resolved is not None:
+                    resolved[1].mutated = True
+
+    # -- binding fixpoint ------------------------------------------------
+
+    def bindings(self) -> Bindings:
+        """Worker/cache binding sets (computed once, then cached)."""
+        if self._bindings is not None:
+            return self._bindings
+        state = Bindings(bound={}, sink_params={}, entries=[])
+        changed = True
+        while changed:
+            changed = False
+            changed |= self._seed_decorators(state)
+            changed |= self._seed_call_sites(state)
+            changed |= self._propagate(state)
+        self._bindings = state
+        return state
+
+    def _bind(self, state: Bindings, fi: FunctionInfo | None,
+              kind: str, origin: BindOrigin) -> bool:
+        if fi is None or fi.is_synthetic or is_trusted(fi.module):
+            return False
+        kinds = state.bound.setdefault(fi.qualname, {})
+        if kind in kinds:
+            return False
+        kinds[kind] = origin
+        return True
+
+    def _bind_expr(self, state: Bindings, fi: FunctionInfo,
+                   expr: ast.AST | None, kind: str,
+                   origin: BindOrigin) -> tuple[bool, str]:
+        """Bind the callable an argument expression denotes.
+
+        Returns ``(changed, target_qualname)``.
+        """
+        if expr is None:
+            return False, ""
+        if isinstance(expr, ast.Lambda):
+            target = self.node_map.get(id(expr))
+            if target is None:
+                return False, ""
+            return self._bind(state, target, kind, origin), \
+                target.qualname
+        if isinstance(expr, ast.Call):
+            tail = chain_of(expr.func).rsplit(".", 1)[-1]
+            if tail == "partial" and expr.args:
+                return self._bind_expr(
+                    state, fi, expr.args[0], kind, origin)
+            return False, ""
+        chain = chain_of(expr)
+        if not chain:
+            return False, ""
+        resolved = self.resolve_callable(fi, chain)
+        if isinstance(resolved, FunctionInfo):
+            return self._bind(state, resolved, kind, origin), \
+                resolved.qualname
+        if isinstance(resolved, tuple):
+            owner, param = resolved
+            kinds = state.sink_params.setdefault((owner, param), {})
+            if kind not in kinds:
+                kinds[kind] = origin
+                return True, ""
+        return False, ""
+
+    def _entry_desc(self, tail: str, fi: FunctionInfo,
+                    cs: CallSite) -> str:
+        return f"{tail}() at {fi.module.path}:{cs.line}"
+
+    def _intrinsic_specs(
+        self, fi: FunctionInfo, cs: CallSite,
+    ) -> list[tuple[int, str | None, str, str]]:
+        """``(arg_index, kwarg_name, kind, entry_desc)`` sink specs."""
+        specs: list[tuple[int, str | None, str, str]] = []
+        tail = cs.chain.rsplit(".", 1)[-1] if cs.chain else ""
+        if tail in _WORKER_TAILS:
+            specs.append((0, "fn", "worker",
+                          self._entry_desc(tail, fi, cs)))
+        elif tail == "cached":
+            specs.append((1, "compute", "cache",
+                          self._entry_desc(tail, fi, cs)))
+        elif isinstance(cs.node.func, ast.Attribute) and \
+                cs.node.func.attr in _EXECUTOR_METHODS:
+            if self._executor_receiver(fi, cs.node.func.value):
+                specs.append((0, None, "worker",
+                              self._entry_desc(
+                                  f"Executor.{cs.node.func.attr}",
+                                  fi, cs)))
+        return specs
+
+    def _executor_receiver(self, fi: FunctionInfo,
+                           value: ast.AST) -> bool:
+        if isinstance(value, ast.Call):
+            ctor = chain_of(value.func)
+            return ctor.rsplit(".", 1)[-1] == "Executor"
+        chain = chain_of(value)
+        if chain and "." not in chain:
+            ctor = fi.instance_types.get(chain, "")
+            return ctor.rsplit(".", 1)[-1] == "Executor"
+        return False
+
+    def _seed_decorators(self, state: Bindings) -> bool:
+        changed = False
+        for fi in self.functions.values():
+            if is_trusted(fi.module):
+                continue
+            for dec in fi.decorators:
+                if dec.rsplit(".", 1)[-1] == "memoized_stage":
+                    entry = (f"@memoized_stage at "
+                             f"{fi.module.path}:{fi.lineno}")
+                    origin = BindOrigin("cache", entry)
+                    if self._bind(state, fi, "cache", origin):
+                        state.entries.append(EntryPoint(
+                            "cache", entry, fi.qualname))
+                        changed = True
+        return changed
+
+    def _seed_call_sites(self, state: Bindings) -> bool:
+        changed = False
+        for fi in self.functions.values():
+            if is_trusted(fi.module):
+                continue
+            for cs in fi.calls:
+                specs = list(self._intrinsic_specs(fi, cs))
+                is_entry = [True] * len(specs)
+                target = self.resolve_callable(fi, cs.chain) \
+                    if cs.chain else None
+                if isinstance(target, FunctionInfo):
+                    for pos, pname in enumerate(target.params):
+                        kinds = state.sink_params.get(
+                            (target.qualname, pname))
+                        if kinds:
+                            for kind, origin in kinds.items():
+                                specs.append(
+                                    (pos, pname, kind, origin.entry))
+                                is_entry.append(False)
+                for (idx, kwname, kind, entry), seed in \
+                        zip(specs, is_entry):
+                    expr = _call_arg(cs.node, idx, kwname)
+                    origin = BindOrigin(kind, entry)
+                    did, qual = self._bind_expr(
+                        state, fi, expr, kind, origin)
+                    if did:
+                        changed = True
+                        if seed and qual:
+                            state.entries.append(
+                                EntryPoint(kind, entry, qual))
+        return changed
+
+    def _propagate(self, state: Bindings) -> bool:
+        changed = False
+        for qual in list(state.bound):
+            fi = self.functions.get(qual)
+            if fi is None:
+                continue
+            kinds = dict(state.bound[qual])
+            for cs in fi.calls:
+                if not cs.chain:
+                    continue
+                target = self.resolve_callable(fi, cs.chain)
+                if isinstance(target, FunctionInfo):
+                    if target.is_synthetic or is_trusted(target.module):
+                        continue
+                    for kind, origin in kinds.items():
+                        if self._bind(state, target, kind,
+                                      origin.extend(fi.qualname)):
+                            changed = True
+                elif isinstance(target, tuple):
+                    owner, param = target
+                    sink = state.sink_params.setdefault(
+                        (owner, param), {})
+                    for kind, origin in kinds.items():
+                        if kind not in sink:
+                            sink[kind] = origin.extend(fi.qualname)
+                            changed = True
+        return changed
+
+
+def _call_arg(call: ast.Call, index: int,
+              kwname: str | None) -> ast.AST | None:
+    """Positional-or-keyword argument of a call, ``None`` if absent."""
+    positional = [a for a in call.args
+                  if not isinstance(a, ast.Starred)]
+    if len(positional) == len(call.args) and len(positional) > index:
+        return positional[index]
+    if kwname is not None:
+        for kw in call.keywords:
+            if kw.arg == kwname:
+                return kw.value
+    return None
+
+
+def build_program(paths: Iterable[str]) -> Program:
+    """Discover, parse, and link every module under ``paths``."""
+    return Program(discover_modules(paths))

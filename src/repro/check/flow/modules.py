@@ -1,0 +1,322 @@
+"""Module discovery and symbol tables for the whole-program analyzer.
+
+This is the bottom layer of :mod:`repro.check.flow`: it walks the input
+paths exactly like the per-file engine does (``**/*.py``), derives each
+file's dotted module name by ascending to the outermost package root
+(the last ancestor directory containing ``__init__.py``), parses it
+once, and builds a :class:`ModuleInfo` per module with
+
+- a symbol table (:class:`Symbol`) classifying every module-level
+  binding: definitions, classes, imports, and assignments — the latter
+  tagged with whether their initializer is a mutable container, an
+  unpicklable value (lambda, generator, ``iter``/``map`` object), or a
+  fork-unsafe resource (open file, lock, socket, subprocess handle);
+- an import map from local name to absolute dotted target, with
+  relative imports resolved against the module's package.
+
+The call-graph layer (:mod:`repro.check.flow.callgraph`) resolves names
+through these tables; the rules layer reads the symbol classifications.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "ModuleInfo",
+    "Symbol",
+    "chain_of",
+    "discover_modules",
+    "is_trusted",
+    "iter_own_nodes",
+    "resolve_chain_text",
+]
+
+#: Call tails whose result is a mutable container (mirrors REP005).
+MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "deque",
+    "Counter",
+})
+
+#: Resolved call chains whose result cannot cross a pickle boundary.
+UNPICKLABLE_CALLS = frozenset({"iter", "map", "filter", "zip"})
+
+#: Resolved call chains producing resources that must not be captured
+#: across a fork/spawn boundary, mapped to a human-readable kind.
+FORK_UNSAFE_CALLS: dict[str, str] = {
+    "open": "open file handle",
+    "io.open": "open file handle",
+    "tempfile.NamedTemporaryFile": "open file handle",
+    "tempfile.TemporaryFile": "open file handle",
+    "threading.Lock": "lock",
+    "threading.RLock": "lock",
+    "threading.Condition": "condition variable",
+    "threading.Event": "event",
+    "threading.Semaphore": "semaphore",
+    "threading.BoundedSemaphore": "semaphore",
+    "threading.Barrier": "barrier",
+    "multiprocessing.Lock": "lock",
+    "multiprocessing.RLock": "lock",
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+    "sqlite3.connect": "sqlite3 connection",
+    "subprocess.Popen": "subprocess handle",
+}
+
+#: Subpackages (relative to the top-level package) whose internals are
+#: exempt from the deep walk: they either *are* the sanctioned home for
+#: a source (``config`` owns env reads, ``obs`` owns clocks) or are
+#: tooling that never runs inside a worker or cache computation.
+TRUSTED_PREFIXES: tuple[str, ...] = ("obs", "config", "check", "testing")
+
+
+@dataclass
+class Symbol:
+    """One module-level binding and its flow-relevant classification."""
+
+    name: str
+    kind: str  # "def" | "class" | "import" | "assign"
+    lineno: int
+    target: str = ""  # dotted target for kind == "import"
+    mutable_kind: str = ""  # "list"/"dict"/... for mutable initializers
+    unpicklable_kind: str = ""  # "lambda"/"generator"/"iterator"
+    fork_unsafe_kind: str = ""  # "open file handle"/"lock"/...
+    mutated: bool = False  # set by the call-graph pass
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module: name, source, symbol table, import map."""
+
+    name: str
+    path: Path
+    is_package: bool
+    tree: ast.Module
+    lines: list[str]
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def relative_parts(self) -> tuple[str, ...]:
+        """Dotted-name components after the top-level package."""
+        return tuple(self.name.split("."))[1:]
+
+
+def is_trusted(module: ModuleInfo) -> bool:
+    """Whether the deep walk stops at this module's boundary."""
+    rel = module.relative_parts
+    return bool(rel) and rel[0] in TRUSTED_PREFIXES
+
+
+def chain_of(node: ast.AST) -> str:
+    """Dotted-name string for Name/Attribute chains (else ``''``)."""
+    out: list[str] = []
+    while isinstance(node, ast.Attribute):
+        out.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        out.append(node.id)
+        return ".".join(reversed(out))
+    return ""
+
+
+def resolve_chain_text(chain: str, imports: dict[str, str]) -> str:
+    """Rewrite a dotted chain's root through an import map.
+
+    ``environ.get`` with ``{"environ": "os.environ"}`` becomes
+    ``os.environ.get``; an unmapped root passes through unchanged.
+    """
+    if not chain:
+        return chain
+    root, _, rest = chain.partition(".")
+    target = imports.get(root)
+    if target is None:
+        return chain
+    return f"{target}.{rest}" if rest else target
+
+
+def iter_own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Nodes in ``root``'s own scope, skipping nested function bodies.
+
+    For a function/lambda, yields every node of its body without
+    descending into nested ``def``s, lambdas, or class bodies (those
+    are separate scopes with their own :class:`FunctionInfo`).  The
+    nested definition node itself is *not* yielded.
+    """
+    if isinstance(root, ast.Lambda):
+        stack: list[ast.AST] = [root.body]
+    elif isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        stack = list(root.body)
+    elif isinstance(root, ast.Module):
+        stack = [n for n in root.body
+                 if not isinstance(n, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef,
+                                       ast.ClassDef))]
+    else:
+        stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _classify_assign(value: ast.AST,
+                     imports: dict[str, str]) -> tuple[str, str, str]:
+    """``(mutable_kind, unpicklable_kind, fork_unsafe_kind)`` of an
+    initializer expression."""
+    mutable = unpicklable = fork_unsafe = ""
+    if isinstance(value, (ast.List, ast.ListComp)):
+        mutable = "list"
+    elif isinstance(value, (ast.Dict, ast.DictComp)):
+        mutable = "dict"
+    elif isinstance(value, (ast.Set, ast.SetComp)):
+        mutable = "set"
+    elif isinstance(value, ast.Lambda):
+        unpicklable = "lambda"
+    elif isinstance(value, ast.GeneratorExp):
+        unpicklable = "generator expression"
+    elif isinstance(value, ast.Call):
+        resolved = resolve_chain_text(chain_of(value.func), imports)
+        tail = resolved.rsplit(".", 1)[-1]
+        if tail in MUTABLE_CALLS:
+            mutable = tail
+        elif resolved in UNPICKLABLE_CALLS:
+            unpicklable = f"{resolved}() iterator"
+        elif resolved in FORK_UNSAFE_CALLS:
+            fork_unsafe = FORK_UNSAFE_CALLS[resolved]
+    return mutable, unpicklable, fork_unsafe
+
+
+def _import_anchor(module_name: str, is_package: bool, level: int) -> str:
+    """Absolute package a ``level``-dots relative import resolves in."""
+    drop = level - 1 if is_package else level
+    parts = module_name.split(".")
+    if drop >= len(parts):
+        return ""
+    return ".".join(parts[: len(parts) - drop]) if drop else module_name
+
+
+def _record_imports(info: ModuleInfo) -> None:
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                info.imports[local] = target
+                info.symbols[local] = Symbol(
+                    name=local, kind="import", lineno=stmt.lineno,
+                    target=target,
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level:
+                anchor = _import_anchor(
+                    info.name, info.is_package, stmt.level)
+                base = f"{anchor}.{stmt.module}" if stmt.module else anchor
+            else:
+                base = stmt.module or ""
+            if not base:
+                continue
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                target = f"{base}.{alias.name}"
+                info.imports[local] = target
+                info.symbols[local] = Symbol(
+                    name=local, kind="import", lineno=stmt.lineno,
+                    target=target,
+                )
+
+
+def _record_definitions(info: ModuleInfo) -> None:
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.symbols[stmt.name] = Symbol(
+                name=stmt.name, kind="def", lineno=stmt.lineno)
+        elif isinstance(stmt, ast.ClassDef):
+            info.symbols[stmt.name] = Symbol(
+                name=stmt.name, kind="class", lineno=stmt.lineno)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            if isinstance(stmt, ast.Assign):
+                targets: list[ast.expr] = list(stmt.targets)
+                value = stmt.value
+            else:
+                targets = [stmt.target]
+                value = stmt.value if stmt.value is not None else None
+            if value is None:
+                continue
+            mut, unp, fork = _classify_assign(value, info.imports)
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                info.symbols[target.id] = Symbol(
+                    name=target.id, kind="assign", lineno=stmt.lineno,
+                    mutable_kind=mut, unpicklable_kind=unp,
+                    fork_unsafe_kind=fork,
+                )
+
+
+def _module_name(path: Path) -> tuple[str, bool]:
+    """Dotted module name for ``path`` and whether it is a package."""
+    path = path.resolve()
+    is_package = path.name == "__init__.py"
+    parts: list[str] = [] if is_package else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if not parts:  # a stray __init__.py outside any package dir
+        parts = [path.parent.name]
+    return ".".join(reversed(parts)), is_package
+
+
+def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                files.append(f)
+    return files
+
+
+def discover_modules(
+    paths: Iterable[str | Path],
+) -> dict[str, ModuleInfo]:
+    """Parse every ``.py`` file under ``paths`` into a module table.
+
+    Files that do not parse are skipped here — the per-file engine
+    already reports them as ``REP000``.  On duplicate module names the
+    first file wins.
+    """
+    modules: dict[str, ModuleInfo] = {}
+    for file in _collect_files(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except (OSError, SyntaxError):
+            continue
+        name, is_package = _module_name(file)
+        if name in modules:
+            continue
+        info = ModuleInfo(
+            name=name, path=file, is_package=is_package,
+            tree=tree, lines=source.splitlines(),
+        )
+        _record_imports(info)
+        _record_definitions(info)
+        modules[name] = info
+    return modules

@@ -1,0 +1,216 @@
+"""Purity and determinism scanning for bound callables.
+
+Given a :class:`~repro.check.flow.callgraph.FunctionInfo`, these
+scanners look only at the function's *own* scope (nested scopes are
+bound and scanned separately if reachable) and report:
+
+- :func:`scan_sources` — nondeterministic *sources* whose value could
+  flow into a store key or a cached/retried result: wall clocks,
+  global-state or unseeded RNG, ``os.environ`` reads outside
+  ``repro.config``, entropy APIs (``uuid4``, ``os.urandom``,
+  ``secrets``), and iteration over sets (the one builtin whose order
+  is hash-randomized across processes);
+- :func:`scan_effects` — observable *side effects* that are not
+  idempotent under re-execution: append-mode ``open``, destructive
+  filesystem calls (``os.remove``, ``shutil.rmtree``, ``os.rename``),
+  and bare ``Path.unlink()`` without ``missing_ok=True``.
+  ``os.replace`` and whole-file ``write_text``/``write_bytes`` are
+  exempt: re-running them converges to the same state.
+
+Name chains are resolved through the module's (and the function's own)
+import maps, so ``from os import environ; environ.get(...)`` is still
+an env read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.check.flow.callgraph import FunctionInfo
+from repro.check.flow.modules import chain_of, iter_own_nodes, \
+    resolve_chain_text
+from repro.check.rules import _CLOCK_NAMES, _RNG_FACTORIES
+
+__all__ = ["EffectHit", "SourceHit", "scan_effects", "scan_sources"]
+
+#: ``random`` module functions that consult hidden global state.
+_RANDOM_GLOBAL_FUNCS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits",
+})
+
+_ENV_CALLS = frozenset({
+    "os.environ.get", "os.getenv", "os.environ.setdefault",
+    "os.environ.pop", "os.environ.copy", "os.environ.items",
+    "os.environ.keys",
+})
+
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+_DESTRUCTIVE_CALLS = {
+    "os.remove": "os.remove()",
+    "os.unlink": "os.unlink()",
+    "os.rmdir": "os.rmdir()",
+    "os.removedirs": "os.removedirs()",
+    "os.rename": "os.rename() (use os.replace for atomic overwrite)",
+    "shutil.rmtree": "shutil.rmtree()",
+    "shutil.move": "shutil.move()",
+}
+
+
+@dataclass(frozen=True)
+class SourceHit:
+    """One nondeterministic source found in a function's own scope."""
+
+    kind: str  # "clock" | "rng-global" | "rng-unseeded" | "env" | ...
+    detail: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class EffectHit:
+    """One non-idempotent observable side effect."""
+
+    kind: str  # "append-open" | "destructive" | "unlink"
+    detail: str
+    line: int
+    col: int
+
+
+def _imports_for(fi: FunctionInfo) -> dict[str, str]:
+    imports = dict(fi.module.imports)
+    imports.update(fi.local_imports)
+    return imports
+
+
+def _is_local(fi: FunctionInfo, root: str) -> bool:
+    return root in fi.locals and root not in fi.local_imports
+
+
+def _classify_call(fi: FunctionInfo, resolved: str,
+                   node: ast.Call) -> SourceHit | None:
+    parts = resolved.split(".")
+    tail = parts[-1]
+    line, col = node.lineno, node.col_offset
+    if resolved in _ENV_CALLS:
+        return SourceHit("env", f"{resolved}()", line, col)
+    if len(parts) == 2 and parts[0] == "time" and tail in _CLOCK_NAMES:
+        return SourceHit("clock", f"{resolved}()", line, col)
+    if parts[0] in ("datetime", "datetime.datetime") \
+            and tail in _DATETIME_NOW:
+        return SourceHit("clock", f"{resolved}()", line, col)
+    if len(parts) == 2 and parts[0] == "random" \
+            and tail in _RANDOM_GLOBAL_FUNCS:
+        return SourceHit("rng-global", f"{resolved}()", line, col)
+    is_np_random = len(parts) >= 2 and parts[-2] == "random" \
+        and parts[0] in ("np", "numpy")
+    if is_np_random and tail not in _RNG_FACTORIES:
+        return SourceHit("rng-global", f"{resolved}()", line, col)
+    if tail in _RNG_FACTORIES and (is_np_random or len(parts) == 1):
+        seeded = bool(node.args) or any(
+            kw.arg in ("seed", "bit_generator") for kw in node.keywords
+        )
+        if not seeded:
+            return SourceHit("rng-unseeded", f"unseeded {tail}()",
+                             line, col)
+    if resolved in ("uuid.uuid1", "uuid.uuid4", "os.urandom") \
+            or parts[0] == "secrets":
+        return SourceHit("entropy", f"{resolved}()", line, col)
+    return None
+
+
+def scan_sources(fi: FunctionInfo) -> list[SourceHit]:
+    """Nondeterministic sources in ``fi``'s own scope."""
+    imports = _imports_for(fi)
+    hits: list[SourceHit] = []
+    for node in iter_own_nodes(fi.node):
+        if isinstance(node, ast.Call):
+            chain = chain_of(node.func)
+            if not chain or _is_local(fi, chain.split(".")[0]):
+                continue
+            hit = _classify_call(
+                fi, resolve_chain_text(chain, imports), node)
+            if hit is not None:
+                hits.append(hit)
+        elif isinstance(node, ast.Subscript) and \
+                isinstance(node.ctx, ast.Load):
+            chain = chain_of(node.value)
+            if chain and not _is_local(fi, chain.split(".")[0]) and \
+                    resolve_chain_text(chain, imports) == "os.environ":
+                hits.append(SourceHit(
+                    "env", "os.environ[...]", node.lineno,
+                    node.col_offset))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            hit = _set_iteration(fi, node.iter, imports)
+            if hit is not None:
+                hits.append(hit)
+        elif isinstance(node, ast.comprehension):
+            hit = _set_iteration(fi, node.iter, imports)
+            if hit is not None:
+                hits.append(hit)
+    return hits
+
+
+def _set_iteration(fi: FunctionInfo, iter_expr: ast.expr,
+                   imports: dict[str, str]) -> SourceHit | None:
+    if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+        return SourceHit("set-order", "iteration over a set literal",
+                         iter_expr.lineno, iter_expr.col_offset)
+    if isinstance(iter_expr, ast.Call):
+        chain = chain_of(iter_expr.func)
+        if chain and not _is_local(fi, chain.split(".")[0]):
+            resolved = resolve_chain_text(chain, imports)
+            if resolved in ("set", "frozenset") and iter_expr.args:
+                return SourceHit(
+                    "set-order", f"iteration over {resolved}(...)",
+                    iter_expr.lineno, iter_expr.col_offset)
+    return None
+
+
+def _open_mode(node: ast.Call) -> str:
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return ""
+
+
+def scan_effects(fi: FunctionInfo) -> list[EffectHit]:
+    """Non-idempotent observable side effects in ``fi``'s own scope."""
+    imports = _imports_for(fi)
+    hits: list[EffectHit] = []
+    for node in iter_own_nodes(fi.node):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = chain_of(node.func)
+        if not chain:
+            continue
+        line, col = node.lineno, node.col_offset
+        root_is_local = _is_local(fi, chain.split(".")[0])
+        resolved = chain if root_is_local \
+            else resolve_chain_text(chain, imports)
+        tail = resolved.rsplit(".", 1)[-1]
+        if not root_is_local and resolved in _DESTRUCTIVE_CALLS:
+            hits.append(EffectHit(
+                "destructive", _DESTRUCTIVE_CALLS[resolved],
+                line, col))
+        elif not root_is_local and resolved in ("open", "io.open"):
+            if "a" in _open_mode(node):
+                hits.append(EffectHit(
+                    "append-open",
+                    f"open(..., {_open_mode(node)!r})", line, col))
+        elif tail == "unlink" and "." in chain and \
+                resolved not in ("os.unlink",):
+            if not any(kw.arg == "missing_ok" for kw in node.keywords):
+                hits.append(EffectHit(
+                    "unlink", f"{chain}.unlink() without "
+                    "missing_ok=True", line, col))
+    return hits

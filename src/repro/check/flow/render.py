@@ -1,0 +1,108 @@
+"""Call-graph rendering for ``python -m repro.check graph``.
+
+Two formats over the same :class:`~repro.check.flow.callgraph.Program`:
+
+- ``graph_json`` — modules, functions, resolved call edges, the
+  concurrency/caching entry points, and the worker/cache bound sets,
+  as one JSON-serializable dict (schema version ``1``);
+- ``graph_dot`` — a Graphviz digraph clustered by module, with
+  worker-bound nodes outlined red, cache-bound nodes blue, and entry
+  edges labelled with their kind.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.check.flow.callgraph import FunctionInfo, Program
+
+__all__ = ["GRAPH_SCHEMA_VERSION", "graph_dot", "graph_json"]
+
+GRAPH_SCHEMA_VERSION = 1
+
+
+def _edges(program: Program) -> list[tuple[str, str]]:
+    out: set[tuple[str, str]] = set()
+    for fi in program.functions.values():
+        for cs in fi.calls:
+            if not cs.chain:
+                continue
+            target = program.resolve_callable(fi, cs.chain)
+            if isinstance(target, FunctionInfo) and \
+                    not target.is_synthetic:
+                out.add((fi.qualname, target.qualname))
+    return sorted(out)
+
+
+def graph_json(program: Program) -> dict[str, Any]:
+    """The program's import/call graph as a JSON-ready dict."""
+    bindings = program.bindings()
+    return {
+        "schema": GRAPH_SCHEMA_VERSION,
+        "modules": sorted(program.modules),
+        "functions": [
+            {
+                "qualname": fi.qualname,
+                "path": str(fi.module.path),
+                "line": fi.lineno,
+            }
+            for fi in sorted(program.functions.values(),
+                             key=lambda f: f.qualname)
+            if not fi.is_synthetic
+        ],
+        "edges": [list(edge) for edge in _edges(program)],
+        "entries": [
+            {"kind": e.kind, "entry": e.entry, "target": e.target}
+            for e in bindings.entries
+        ],
+        "bound": {
+            "worker": bindings.functions_bound("worker"),
+            "cache": bindings.functions_bound("cache"),
+        },
+    }
+
+
+def _dot_id(qualname: str) -> str:
+    return '"' + qualname.replace('"', "'") + '"'
+
+
+def graph_dot(program: Program) -> str:
+    """The program's call graph as Graphviz DOT text."""
+    bindings = program.bindings()
+    worker = set(bindings.functions_bound("worker"))
+    cache = set(bindings.functions_bound("cache"))
+    lines = [
+        "digraph repro_flow {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=10, fontname="monospace"];',
+    ]
+    for i, (mod_name, module) in enumerate(sorted(program.modules
+                                                  .items())):
+        members = [fi for fi in program.functions.values()
+                   if fi.module is module and not fi.is_synthetic]
+        if not members:
+            continue
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f'    label="{mod_name}"; color=gray;')
+        for fi in sorted(members, key=lambda f: f.qualname):
+            attrs = []
+            if fi.qualname in worker:
+                attrs.append("color=red, penwidth=2")
+            elif fi.qualname in cache:
+                attrs.append("color=blue, penwidth=2")
+            label = fi.qualname[len(mod_name) + 1:] or fi.name
+            attrs.append(f'label="{label}"')
+            lines.append(
+                f"    {_dot_id(fi.qualname)} [{', '.join(attrs)}];")
+        lines.append("  }")
+    for src, dst in _edges(program):
+        lines.append(f"  {_dot_id(src)} -> {_dot_id(dst)};")
+    for e in bindings.entries:
+        lines.append(
+            f'  "entry:{e.kind}" [shape=ellipse, style=dashed, '
+            f'label="{e.kind} entry"];')
+        lines.append(
+            f'  "entry:{e.kind}" -> {_dot_id(e.target)} '
+            f"[style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,265 @@
+"""The whole-program flow rules: REP013 through REP017.
+
+Each rule consumes the :class:`~repro.check.flow.callgraph.Program`
+and its computed :class:`~repro.check.flow.callgraph.Bindings` and
+reports raw findings ``(path, line, col, message, symbol)``, where
+``symbol`` is the bound function's qualname — the stable identity the
+baseline file matches on (line numbers shift; qualnames rarely do).
+
+Scoping: a finding is only raised inside *untrusted* modules (the walk
+already stops at ``repro.obs``/``repro.config``/``repro.check``/
+``repro.testing``), and the captured global itself must live in an
+untrusted module too — reading a trusted module's internals is that
+module's contract to keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.check.flow.callgraph import Bindings, FunctionInfo, Program
+from repro.check.flow.purity import scan_effects, scan_sources
+from repro.check.flow.modules import is_trusted
+
+__all__ = ["FLOW_RULES", "FlowRule", "flow_rules_by_id"]
+
+RawFlowFinding = tuple[str, int, int, str, str]
+FlowChecker = Callable[[Program, Bindings], list[RawFlowFinding]]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One whole-program rule: identity, docs, and checker."""
+
+    id: str
+    title: str
+    severity: str  # "error" | "warning"
+    rationale: str
+    fix_hint: str
+    check: FlowChecker
+
+
+def _bound_functions(
+    program: Program, bindings: Bindings, kind: str,
+) -> list[tuple[FunctionInfo, str]]:
+    out = []
+    for qual in bindings.functions_bound(kind):
+        fi = program.functions.get(qual)
+        if fi is not None:
+            out.append((fi, qual))
+    return out
+
+
+def _capture_findings(
+    program: Program, bindings: Bindings, *,
+    symbol_kind: Callable[..., str], describe: str,
+) -> list[RawFlowFinding]:
+    """Shared capture scan: worker-bound uses of classified globals."""
+    out: list[RawFlowFinding] = []
+    seen: set[tuple[str, str, str]] = set()
+    for fi, qual in _bound_functions(program, bindings, "worker"):
+        origin = bindings.bound[qual]["worker"]
+        for use in fi.uses:
+            resolved = program.resolve_use(fi, use)
+            if resolved is None:
+                continue
+            module, sym = resolved
+            kind = symbol_kind(sym)
+            if not kind or is_trusted(module):
+                continue
+            key = (qual, module.name, sym.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((
+                str(fi.module.path), use.line, use.col,
+                f"{fi.display} ({origin.describe()}) captures "
+                f"{describe} {module.name}.{sym.name} ({kind})",
+                qual,
+            ))
+    return out
+
+
+def _check_rep013(program: Program,
+                  bindings: Bindings) -> list[RawFlowFinding]:
+    def mutable(sym: object) -> str:
+        kind = getattr(sym, "mutable_kind", "")
+        name = getattr(sym, "name", "")
+        mutated = getattr(sym, "mutated", False)
+        if not kind:
+            return ""
+        if name.upper() == name and not mutated:
+            return ""  # never-mutated ALL_CAPS constant table
+        if mutated:
+            return f"mutable {kind}, mutated at runtime"
+        return f"mutable {kind}"
+
+    return _capture_findings(
+        program, bindings, symbol_kind=mutable,
+        describe="mutable module global")
+
+
+def _check_rep014(program: Program,
+                  bindings: Bindings) -> list[RawFlowFinding]:
+    def unpicklable(sym: object) -> str:
+        return str(getattr(sym, "unpicklable_kind", ""))
+
+    return _capture_findings(
+        program, bindings, symbol_kind=unpicklable,
+        describe="non-picklable module global")
+
+
+def _check_rep016(program: Program,
+                  bindings: Bindings) -> list[RawFlowFinding]:
+    def fork_unsafe(sym: object) -> str:
+        return str(getattr(sym, "fork_unsafe_kind", ""))
+
+    return _capture_findings(
+        program, bindings, symbol_kind=fork_unsafe,
+        describe="fork-unsafe resource")
+
+
+def _check_rep015(program: Program,
+                  bindings: Bindings) -> list[RawFlowFinding]:
+    out: list[RawFlowFinding] = []
+    seen: set[tuple[str, str, str]] = set()
+    for qual in sorted(bindings.bound):
+        fi = program.functions.get(qual)
+        if fi is None:
+            continue
+        kinds = bindings.bound[qual]
+        origin = kinds.get("cache") or kinds["worker"]
+        consequence = (
+            "its value can flow into a store key or cached result"
+            if "cache" in kinds
+            else "its value can differ across executor retries"
+        )
+        for hit in scan_sources(fi):
+            key = (qual, hit.kind, hit.detail)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((
+                str(fi.module.path), hit.line, hit.col,
+                f"{fi.display} ({origin.describe()}) reads "
+                f"nondeterministic source {hit.detail}; {consequence}",
+                qual,
+            ))
+    return out
+
+
+def _check_rep017(program: Program,
+                  bindings: Bindings) -> list[RawFlowFinding]:
+    out: list[RawFlowFinding] = []
+    seen: set[tuple[str, str, str]] = set()
+    for fi, qual in _bound_functions(program, bindings, "worker"):
+        if fi.raises_skipstore:
+            continue  # partial results are already vetoed from cache
+        origin = bindings.bound[qual]["worker"]
+        for hit in scan_effects(fi):
+            key = (qual, hit.kind, hit.detail)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((
+                str(fi.module.path), hit.line, hit.col,
+                f"{fi.display} ({origin.describe()}) performs "
+                f"non-idempotent side effect {hit.detail}; a retry "
+                "re-executes it against already-modified state",
+                qual,
+            ))
+    return out
+
+
+FLOW_RULES: tuple[FlowRule, ...] = (
+    FlowRule(
+        id="REP013",
+        title="mutable module global captured by a worker-bound "
+              "callable",
+        severity="error",
+        rationale="A task that reads or mutates a module-level dict/"
+                  "list/set executes against a fork-copied snapshot "
+                  "that drifts per worker: results depend on which "
+                  "process ran the task and what ran there before.  "
+                  "This is the whole-program generalization of REP005 "
+                  "— the capture can be many calls away from the "
+                  "parallel_map that ships it.",
+        fix_hint="pass the state explicitly through task arguments, "
+                 "use functools.lru_cache for per-process memos, or "
+                 "rename to ALL_CAPS if it is a never-mutated constant "
+                 "table",
+        check=_check_rep013,
+    ),
+    FlowRule(
+        id="REP014",
+        title="non-picklable module global reaching a process-backend "
+              "task",
+        severity="error",
+        rationale="Module-level lambdas, generator expressions, and "
+                  "live iterators either fail to pickle when the task "
+                  "is shipped to a process pool or (for iterators) are "
+                  "silently re-created empty in the child — the task "
+                  "works on the serial backend and dies or drifts on "
+                  "the process backend.",
+        fix_hint="replace module-level lambdas with def functions and "
+                 "materialize iterators (list(...)) before they are "
+                 "captured by task code",
+        check=_check_rep014,
+    ),
+    FlowRule(
+        id="REP015",
+        title="nondeterministic source reaching a cached or retried "
+              "computation",
+        severity="error",
+        rationale="The store's contract is that a key identifies one "
+                  "value forever and a retried task recomputes the "
+                  "same result.  A clock, global/unseeded RNG, env "
+                  "read outside repro.config, or set-ordered iteration "
+                  "inside such a computation silently breaks both: "
+                  "cache hits return values no longer derivable from "
+                  "the inputs, and retries diverge from the run they "
+                  "replace.",
+        fix_hint="derive randomness from ReproConfig.base_seed, read "
+                 "environment knobs through repro.config accessors at "
+                 "the call boundary, use repro.obs for timing, and "
+                 "sort sets before iterating",
+        check=_check_rep015,
+    ),
+    FlowRule(
+        id="REP016",
+        title="fork-unsafe resource captured across a process boundary",
+        severity="error",
+        rationale="Open file handles, locks, sockets, and subprocess "
+                  "handles captured at module level are duplicated by "
+                  "fork and invalid after spawn: two processes share "
+                  "one file offset, a copied lock deadlocks, a socket "
+                  "fd is serviced twice.",
+        fix_hint="open the resource inside the task (per process), or "
+                 "pass a path/address and reconnect in the worker",
+        check=_check_rep016,
+    ),
+    FlowRule(
+        id="REP017",
+        title="retried task with non-idempotent observable side "
+              "effects",
+        severity="warning",
+        rationale="The executor's retry policy re-runs failed tasks; "
+                  "an append-mode write doubles its records, a bare "
+                  "unlink/rename raises on the second attempt, and an "
+                  "rmtree can destroy state a concurrent task is "
+                  "using.  Task effects must converge under "
+                  "re-execution, or the task must veto caching via "
+                  "SkipStore and declare itself unsafe to retry.",
+        fix_hint="make the effect idempotent (os.replace, write_text, "
+                 "unlink(missing_ok=True)) or raise SkipStore around "
+                 "partial results so they are never treated as "
+                 "authoritative",
+        check=_check_rep017,
+    ),
+)
+
+
+def flow_rules_by_id() -> dict[str, FlowRule]:
+    """Mapping from flow rule ID to rule."""
+    return {rule.id: rule for rule in FLOW_RULES}

@@ -9,13 +9,13 @@ checks and raises a structured :class:`SanitizerError` naming the check,
 the offending codec/function, and the diagnostic context.
 
 This module deliberately imports nothing from :mod:`repro` except the
-dependency-free container framing, so any layer can hook into it without
-import cycles.
+stdlib-only :mod:`repro.config` (thresholds and environment knobs) and
+the dependency-free container framing, so any layer can hook into it
+without import cycles.
 """
 
 from __future__ import annotations
 
-import os
 import struct
 from collections import OrderedDict
 from functools import wraps
@@ -23,6 +23,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import config
 from repro.config import SPECIAL_THRESHOLD
 from repro.encoding.container import SectionReader
 
@@ -86,7 +87,7 @@ def active() -> bool:
     """Whether sanitizer guards should run for the current call."""
     if _override is not None:
         return _override
-    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    return config.env_flag("REPRO_SANITIZE")
 
 
 # -- blob metadata cache -----------------------------------------------------

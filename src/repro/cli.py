@@ -26,10 +26,9 @@ invocation the way ``REPRO_STORE=PATH`` does persistently.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
-from repro.config import ReproConfig, bench_scale
+from repro.config import ReproConfig, bench_scale, env_str
 
 __all__ = ["main", "build_parser"]
 
@@ -162,13 +161,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the repro.check static analyzer (REP001..REP012)",
+        help="run the repro.check static analyzer (REP001..REP017)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--select", default=None,
                    help="comma-separated rule IDs to run (default: all)")
+    p.add_argument("--deep", action="store_true",
+                   help="also run the whole-program flow rules "
+                        "(REP013..REP017, docs/static-analysis.md)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="accepted-findings baseline (default: "
+                        "discovered .repro-lint-baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from current findings")
 
     p = sub.add_parser(
         "stats",
@@ -270,6 +279,14 @@ def main(argv=None) -> int:
         lint_args = ["lint", *args.paths, "--format", args.format]
         if args.select:
             lint_args += ["--select", args.select]
+        if args.deep:
+            lint_args.append("--deep")
+        if args.baseline:
+            lint_args += ["--baseline", args.baseline]
+        if args.no_baseline:
+            lint_args.append("--no-baseline")
+        if args.update_baseline:
+            lint_args.append("--update-baseline")
         return check_main(lint_args)
 
     if args.command == "variants":
@@ -295,7 +312,7 @@ def main(argv=None) -> int:
             print(render_table(m_headers, m_rows,
                                title="Counters and gauges", precision=4))
         for env in ("REPRO_TRACE_JSONL", "REPRO_TRACE_CHROME"):
-            path = os.environ.get(env, "")
+            path = env_str(env)
             if path:
                 print(f"\n{env}: trace written to {path}")
         return 0

@@ -51,6 +51,10 @@ __all__ = [
     "FILL_VALUE",
     "SPECIAL_THRESHOLD",
     "ReproConfig",
+    "env_flag",
+    "env_float_opt",
+    "env_int_opt",
+    "env_str",
     "get_config",
     "set_config",
     "paper_scale",
@@ -83,6 +87,55 @@ ENMAX_RATIO_LIMIT = 0.1
 #: Maximum allowed |s_ideal - s_worst_case| for the bias slope based on the
 #: 95% confidence region (paper eq. 9).
 BIAS_SLOPE_LIMIT = 0.05
+
+
+# -- environment accessors ----------------------------------------------------
+#
+# Every REPRO_* read in the library goes through these functions, so
+# config is the single module that touches ``os.environ``.  That makes
+# the knob surface auditable in one place and lets the whole-program
+# analyzer (repro.check.flow, rule REP015) treat environment reads
+# below this seam as configuration rather than as a nondeterministic
+# source leaking into cached computations.
+
+
+def env_str(name: str, default: str = "") -> str:
+    """The raw string value of the ``name`` knob (``default`` if unset)."""
+    return os.environ.get(name, default)
+
+
+def env_flag(name: str) -> bool:
+    """Tri-state knob collapsed to a bool: unset/``""``/``"0"`` is off."""
+    return os.environ.get(name, "") not in ("", "0")
+
+
+def env_int_opt(name: str) -> int | None:
+    """Optional integer knob; unset or blank means ``None``.
+
+    Raises :class:`ValueError` naming the knob on a non-integer value,
+    so a typo'd setting fails loudly instead of being silently dropped.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name}={raw!r} is not an integer") from exc
+
+
+def env_float_opt(name: str) -> float | None:
+    """Optional float knob; unset or blank means ``None``.
+
+    Raises :class:`ValueError` naming the knob on a non-numeric value.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name}={raw!r} is not a number") from exc
 
 
 def _env_int(name: str, default: int) -> int:

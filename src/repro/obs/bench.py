@@ -41,6 +41,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro import config as _config
 from repro.obs.sinks import Aggregator
 
 __all__ = [
@@ -71,7 +72,7 @@ def bench_dir() -> Path:
     directory (the repo root when invoking ``repro bench`` from a
     checkout — the benchmark conftest passes the root explicitly).
     """
-    return Path(os.environ.get("REPRO_BENCH_DIR") or ".")
+    return Path(_config.env_str("REPRO_BENCH_DIR") or ".")
 
 
 def history_dir() -> Path:
@@ -80,7 +81,7 @@ def history_dir() -> Path:
     ``REPRO_BENCH_HISTORY`` overrides; the default is
     ``benchmarks/results/history`` under :func:`bench_dir`.
     """
-    override = os.environ.get("REPRO_BENCH_HISTORY")
+    override = _config.env_str("REPRO_BENCH_HISTORY")
     if override:
         return Path(override)
     return bench_dir() / "benchmarks" / "results" / "history"

@@ -19,8 +19,9 @@ Span context crosses process boundaries: :class:`WorkerTask` wraps a
 parent merges them on return (:func:`merge_events`), preserving the
 worker's pid/tid so a Chrome trace shows one lane per process.
 
-This module imports nothing from :mod:`repro` (stdlib only), so every
-layer — including :mod:`repro.compressors.base` — can hook into it without
+This module imports nothing from :mod:`repro` beyond the stdlib-only
+:mod:`repro.config` (the environment-knob seam), so every layer —
+including :mod:`repro.compressors.base` — can hook into it without
 import cycles.  The span naming contract (``subsystem.stage``) is
 documented in ``docs/observability.md``.
 """
@@ -34,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
+from repro import config as _config
 from repro.obs import memory as _memory
 
 __all__ = [
@@ -109,7 +111,7 @@ def active() -> bool:
     """Whether instrumentation points should record for the current call."""
     if _override is not None:
         return _override
-    return os.environ.get("REPRO_TRACE", "") not in ("", "0")
+    return _config.env_flag("REPRO_TRACE")
 
 
 # -- sink routing ------------------------------------------------------------
@@ -124,10 +126,10 @@ def _build_default_sinks() -> list:
     from repro.obs import sinks as _sinks
 
     out: list = [_sinks.Aggregator()]
-    jsonl = os.environ.get("REPRO_TRACE_JSONL", "")
+    jsonl = _config.env_str("REPRO_TRACE_JSONL")
     if jsonl:
         out.append(_sinks.JsonlSink(jsonl))
-    chrome = os.environ.get("REPRO_TRACE_CHROME", "")
+    chrome = _config.env_str("REPRO_TRACE_CHROME")
     if chrome:
         out.append(_sinks.ChromeTraceSink(chrome))
     return out

@@ -36,6 +36,8 @@ import tracemalloc
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro import config as _config
+
 __all__ = [
     "get_mem_override",
     "mem_active",
@@ -73,7 +75,7 @@ def mem_active() -> bool:
     """
     if _override is not None:
         return _override
-    return os.environ.get("REPRO_TRACE_MEM", "") not in ("", "0")
+    return _config.env_flag("REPRO_TRACE_MEM")
 
 
 @contextmanager

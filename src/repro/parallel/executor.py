@@ -53,7 +53,7 @@ from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait as _wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from repro import obs
+from repro import config, obs
 from repro.check import hooks
 from repro.obs import core as _obs_core
 from repro.parallel.backends import Backend, make_backend
@@ -115,15 +115,13 @@ def effective_workers(workers: int | None = None,
     ignored.  The result is always capped by the task count and at
     least 1.
     """
-    raw = os.environ.get("REPRO_WORKERS", "").strip()
-    env_cap: int | None = None
-    if raw:
-        try:
-            env_cap = int(raw)
-        except ValueError:
-            env_cap = None
-        if env_cap is not None and env_cap <= 0:
-            env_cap = None
+    env_cap: int | None
+    try:
+        env_cap = config.env_int_opt("REPRO_WORKERS")
+    except ValueError:
+        env_cap = None
+    if env_cap is not None and env_cap <= 0:
+        env_cap = None
     if workers is None or workers <= 0:
         workers = env_cap if env_cap is not None else (os.cpu_count() or 1)
     elif env_cap is not None:

@@ -16,10 +16,11 @@ then the dataclass default.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterator
+
+from repro import config
 
 __all__ = [
     "BACKENDS",
@@ -84,7 +85,7 @@ class ExecutionPolicy:
 
 
 def _env_backend() -> str | None:
-    raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    raw = config.env_str("REPRO_BACKEND").strip().lower()
     if not raw:
         return None
     if raw not in BACKENDS:
@@ -95,32 +96,12 @@ def _env_backend() -> str | None:
     return raw
 
 
-def _env_int(name: str) -> int | None:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return None
-    try:
-        return int(raw)
-    except ValueError as exc:
-        raise ValueError(f"{name}={raw!r} is not an integer") from exc
-
-
-def _env_float(name: str) -> float | None:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return None
-    try:
-        return float(raw)
-    except ValueError as exc:
-        raise ValueError(f"{name}={raw!r} is not a number") from exc
-
-
 def env_policy() -> ExecutionPolicy:
     """The policy the environment alone describes."""
     return ExecutionPolicy().merged(
         backend=_env_backend(),
-        retries=_env_int("REPRO_RETRIES"),
-        task_timeout=_env_float("REPRO_TASK_TIMEOUT"),
+        retries=config.env_int_opt("REPRO_RETRIES"),
+        task_timeout=config.env_float_opt("REPRO_TASK_TIMEOUT"),
     )
 
 

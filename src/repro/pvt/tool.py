@@ -14,6 +14,7 @@ Two use cases, mirroring Section 4.3:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -237,15 +238,8 @@ def _evaluate_one_remote(args) -> VariableVerdict:
     )
 
 
-_ENSEMBLE_CACHE: dict = {}
-
-
+@lru_cache(maxsize=1)
 def _ensemble_for_config(config) -> CAMEnsemble:
-    key = (config.ne, config.nlev, config.n_members, config.n_2d,
-           config.n_3d, config.base_seed)
-    ens = _ENSEMBLE_CACHE.get(key)
-    if ens is None:
-        ens = CAMEnsemble(config)
-        _ENSEMBLE_CACHE.clear()
-        _ENSEMBLE_CACHE[key] = ens
-    return ens
+    # Per-process memo (ReproConfig is frozen, hence hashable): each
+    # pool worker rebuilds the ensemble once, not once per variable.
+    return CAMEnsemble(config)

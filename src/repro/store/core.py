@@ -27,7 +27,7 @@ from typing import Any, Iterator
 
 from contextlib import contextmanager
 
-from repro import obs
+from repro import config, obs
 from repro.store.artifacts import (
     Artifact,
     CorruptArtifact,
@@ -236,15 +236,9 @@ def clear_override() -> None:
 
 
 def _env_max_bytes() -> int | None:
-    raw = os.environ.get("REPRO_STORE_MAX_MB")
-    if not raw:
+    mb = config.env_float_opt("REPRO_STORE_MAX_MB")
+    if mb is None:
         return None
-    try:
-        mb = float(raw)
-    except ValueError as exc:
-        raise ValueError(
-            f"REPRO_STORE_MAX_MB must be a number, got {raw!r}"
-        ) from exc
     if mb <= 0:
         raise ValueError(f"REPRO_STORE_MAX_MB must be positive, got {mb}")
     return int(mb * 1_000_000)
@@ -259,7 +253,7 @@ def get_store() -> ArtifactStore | None:
     if _override is not _ENV:
         return _override
     global _default_store, _default_root
-    root = os.environ.get("REPRO_STORE", "")
+    root = config.env_str("REPRO_STORE")
     if root in ("", "0"):
         return None
     if _default_store is None or _default_root != root:

@@ -1,0 +1,8 @@
+"""Synthetic mini-package exercising the call-graph resolution paths.
+
+Re-exports mirror the real tree's ``repro.parallel``/``repro.store``
+surface so the tests can assert import chasing through ``__init__``.
+"""
+
+from miniwork.engine import Executor, cached, parallel_map
+from miniwork.pipeline import run_map

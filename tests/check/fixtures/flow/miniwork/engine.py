@@ -1,0 +1,22 @@
+"""Stand-in executor/cache seam carrying the real entry-point tails."""
+
+
+class Executor:
+    """Minimal executor with the ``map``/``submit`` surface."""
+
+    def __init__(self, workers=1):
+        self.workers = workers
+
+    def map(self, fn, items):
+        return [fn(x) for x in items]
+
+    def submit(self, fn, *args):
+        return fn(*args)
+
+
+def parallel_map(fn, items):
+    return [fn(x) for x in items]
+
+
+def cached(key, compute):
+    return compute()

@@ -1,0 +1,11 @@
+"""Import chasing: ``parallel_map`` arrives via the package re-export."""
+
+from miniwork import parallel_map
+
+
+def extra_task(x):
+    return x
+
+
+def run_extra(items):
+    return parallel_map(extra_task, items)

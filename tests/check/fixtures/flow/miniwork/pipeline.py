@@ -1,0 +1,72 @@
+"""Every binding path the call-graph tests assert on, in one module."""
+
+from functools import partial
+
+from miniwork.engine import Executor, cached, parallel_map
+
+
+def leaf(x):
+    return x + 1
+
+
+def deep_leaf(x):
+    return x * 2
+
+
+def mid(x):
+    return deep_leaf(leaf(x))
+
+
+def run_map(items):
+    return parallel_map(mid, items)
+
+
+def exec_task(x):
+    return leaf(x)
+
+
+def run_executor(items):
+    ex = Executor(workers=2)
+    return ex.map(exec_task, items)
+
+
+def run_submit(x):
+    return Executor().submit(leaf, x)
+
+
+def forward(build):
+    return cached("k", build)
+
+
+def table_builder():
+    return {"r": 1}
+
+
+def run_forward():
+    return forward(table_builder)
+
+
+def direct_builder():
+    return {"d": 2}
+
+
+def run_direct():
+    return cached("d", direct_builder)
+
+
+def run_partial(items):
+    return parallel_map(partial(mid), items)
+
+
+def run_lambda(items):
+    return parallel_map(lambda x: leaf(x), items)
+
+
+class Driver:
+    """Method binding through ``self`` inside a class."""
+
+    def compute(self, x):
+        return leaf(x)
+
+    def run(self, items):
+        return parallel_map(self.compute, items)

@@ -1,0 +1,26 @@
+"""Regression: the fixed store/core pattern stays REP015-clean.
+
+Mirrors ``repro.store.core.get_store`` after the fix: environment
+knobs are read through :mod:`repro.config` accessors, which are a
+trusted configuration seam, not a nondeterministic source.
+"""
+
+from repro import config
+from repro.store import cached
+
+_default_root = None
+
+
+def get_root():
+    root = config.env_str("FIXTURE_STORE")
+    if root in ("", "0"):
+        return None
+    return root
+
+
+def compute():
+    return {"root": get_root()}
+
+
+def build(key):
+    return cached(key, compute, kind="json", stage="fixture")

@@ -1,0 +1,15 @@
+"""REP013 negative: never-mutated ALL_CAPS table and local state."""
+
+from repro.parallel import parallel_map
+
+_TABLE = {"a": 1, "b": 2}
+
+
+def task(x):
+    local = {}
+    local[x] = _TABLE.get("a", 0)
+    return local[x]
+
+
+def run(items):
+    return parallel_map(task, items)

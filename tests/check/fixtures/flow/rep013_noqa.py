@@ -1,0 +1,14 @@
+"""REP013 noqa: the capture is acknowledged inline."""
+
+from repro.parallel import parallel_map
+
+_scratch: dict = {}
+
+
+def task(x):
+    _scratch[x] = x * 2  # repro: noqa[REP013]
+    return x
+
+
+def run(items):
+    return parallel_map(task, items)

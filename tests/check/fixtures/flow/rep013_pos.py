@@ -1,0 +1,14 @@
+"""REP013 positive: worker task mutates a module-level dict."""
+
+from repro.parallel import parallel_map
+
+_scratch: dict = {}
+
+
+def task(x):
+    _scratch[x] = x * 2
+    return x
+
+
+def run(items):
+    return parallel_map(task, items)

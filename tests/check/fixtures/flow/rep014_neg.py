@@ -1,0 +1,15 @@
+"""REP014 negative: a plain def pickles fine."""
+
+from repro.parallel import parallel_map
+
+
+def _transform(x):
+    return x + 1
+
+
+def task(x):
+    return _transform(x)
+
+
+def run(items):
+    return parallel_map(task, items)

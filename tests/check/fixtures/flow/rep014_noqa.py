@@ -1,0 +1,13 @@
+"""REP014 noqa: the lambda capture is acknowledged inline."""
+
+from repro.parallel import parallel_map
+
+_transform = lambda x: x + 1  # noqa: E731
+
+
+def task(x):
+    return _transform(x)  # repro: noqa[REP014]
+
+
+def run(items):
+    return parallel_map(task, items)

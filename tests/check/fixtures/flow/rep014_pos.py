@@ -1,0 +1,13 @@
+"""REP014 positive: module-level lambda captured by a worker task."""
+
+from repro.parallel import parallel_map
+
+_transform = lambda x: x + 1  # noqa: E731
+
+
+def task(x):
+    return _transform(x)
+
+
+def run(items):
+    return parallel_map(task, items)

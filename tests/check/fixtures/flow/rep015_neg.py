@@ -1,0 +1,16 @@
+"""REP015 negative: config accessors and seeded RNG are deterministic."""
+
+import numpy as np
+
+from repro import config
+from repro.store import cached
+
+
+def compute():
+    tag = config.env_str("FIXTURE_TAG")
+    rng = np.random.default_rng(1234)
+    return tag, rng.standard_normal()
+
+
+def build(key):
+    return cached(key, compute, kind="json", stage="fixture")

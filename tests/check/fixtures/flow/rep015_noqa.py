@@ -1,0 +1,13 @@
+"""REP015 noqa: the clock read is acknowledged inline."""
+
+import time
+
+from repro.store import cached
+
+
+def compute():
+    return time.time()  # repro: noqa[REP015]
+
+
+def build(key):
+    return cached(key, compute, kind="json", stage="fixture")

@@ -1,0 +1,16 @@
+"""REP015 positive: clock and env reads inside a cached computation."""
+
+import os
+import time
+
+from repro.store import cached
+
+
+def compute():
+    stamp = time.time()
+    tag = os.environ.get("FIXTURE_TAG", "")
+    return stamp, tag
+
+
+def build(key):
+    return cached(key, compute, kind="json", stage="fixture")

@@ -1,0 +1,14 @@
+"""REP015 positive: unseeded RNG inside a retried worker task."""
+
+import numpy as np
+
+from repro.parallel import parallel_map
+
+
+def task(x):
+    rng = np.random.default_rng()
+    return x + rng.standard_normal()
+
+
+def run(items):
+    return parallel_map(task, items)

@@ -1,0 +1,15 @@
+"""REP016 negative: the resource is opened inside the task."""
+
+import threading
+
+from repro.parallel import parallel_map
+
+
+def task(x):
+    lock = threading.Lock()
+    with lock:
+        return x
+
+
+def run(items):
+    return parallel_map(task, items)

@@ -1,0 +1,16 @@
+"""REP016 noqa: the lock capture is acknowledged inline."""
+
+import threading
+
+from repro.parallel import parallel_map
+
+_lock = threading.Lock()
+
+
+def task(x):
+    with _lock:  # repro: noqa[REP016]
+        return x
+
+
+def run(items):
+    return parallel_map(task, items)

@@ -1,0 +1,16 @@
+"""REP016 positive: module-level lock captured by a worker task."""
+
+import threading
+
+from repro.parallel import parallel_map
+
+_lock = threading.Lock()
+
+
+def task(x):
+    with _lock:
+        return x
+
+
+def run(items):
+    return parallel_map(task, items)

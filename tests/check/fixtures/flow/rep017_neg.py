@@ -1,0 +1,22 @@
+"""REP017 negative: idempotent effects, and SkipStore vetoes the rest."""
+
+import os
+
+from repro.parallel import parallel_map
+from repro.store import SkipStore
+
+
+def task(path):
+    os.replace(path, path + ".done")
+    return path
+
+
+def guarded(path):
+    with open(path, "a") as fh:
+        fh.write("row\n")
+    raise SkipStore("partial result; do not cache or retry-trust")
+
+
+def run(items):
+    parallel_map(guarded, items)
+    return parallel_map(task, items)

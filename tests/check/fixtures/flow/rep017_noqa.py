@@ -1,0 +1,13 @@
+"""REP017 noqa: the append-mode write is acknowledged inline."""
+
+from repro.parallel import parallel_map
+
+
+def task(path):
+    with open(path, "a") as fh:  # repro: noqa[REP017]
+        fh.write("row\n")
+    return path
+
+
+def run(items):
+    return parallel_map(task, items)

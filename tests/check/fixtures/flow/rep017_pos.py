@@ -1,0 +1,13 @@
+"""REP017 positive: append-mode write inside a retried worker task."""
+
+from repro.parallel import parallel_map
+
+
+def task(path):
+    with open(path, "a") as fh:
+        fh.write("row\n")
+    return path
+
+
+def run(items):
+    return parallel_map(task, items)

@@ -1,0 +1,189 @@
+"""Baseline file: schema validation, matching, update, CLI wiring."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.baseline import (
+    BASELINE_NAME,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    discover_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.check.engine import Finding
+from repro.check.__main__ import main as check_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+POS = FIXTURES / "rep013_pos.py"
+
+
+def _finding(rule="REP013", path="src/repro/pvt/tool.py",
+             symbol="repro.pvt.tool.task", line=10):
+    return Finding(rule_id=rule, severity="error", path=path,
+                   line=line, col=0, message="m", fix_hint="h",
+                   symbol=symbol)
+
+
+def _write(tmp_path, entries):
+    path = tmp_path / BASELINE_NAME
+    path.write_text(json.dumps({"version": 1, "entries": entries}))
+    return path
+
+
+class TestLoad:
+    def test_roundtrip(self, tmp_path):
+        path = _write(tmp_path, [{
+            "rule": "REP013", "path": "src/repro/pvt/tool.py",
+            "symbol": "repro.pvt.tool.task", "reason": "legacy memo",
+        }])
+        (entry, ) = load_baseline(path)
+        assert entry.rule == "REP013"
+        assert entry.reason == "legacy memo"
+
+    def test_missing_reason_rejected(self, tmp_path):
+        path = _write(tmp_path, [{
+            "rule": "REP013", "path": "a.py", "reason": "  ",
+        }])
+        with pytest.raises(BaselineError, match="reason"):
+            load_baseline(path)
+
+    def test_missing_rule_rejected(self, tmp_path):
+        path = _write(tmp_path, [{"path": "a.py", "reason": "r"}])
+        with pytest.raises(BaselineError, match="rule"):
+            load_baseline(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / BASELINE_NAME
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(path)
+
+    def test_unparsable_json_rejected(self, tmp_path):
+        path = tmp_path / BASELINE_NAME
+        path.write_text("{nope")
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(path)
+
+
+class TestMatching:
+    def test_path_matches_by_suffix(self):
+        entry = BaselineEntry(rule="REP013", path="repro/pvt/tool.py",
+                              symbol="repro.pvt.tool.task", reason="r")
+        assert entry.matches(_finding())
+        assert entry.matches(_finding(path="/abs/src/repro/pvt/tool.py"))
+
+    def test_line_numbers_are_irrelevant(self):
+        entry = BaselineEntry(rule="REP013", path="tool.py",
+                              symbol="repro.pvt.tool.task", reason="r")
+        assert entry.matches(_finding(path="tool.py", line=1))
+        assert entry.matches(_finding(path="tool.py", line=999))
+
+    def test_rule_and_symbol_must_match(self):
+        entry = BaselineEntry(rule="REP013", path="tool.py",
+                              symbol="repro.pvt.tool.task", reason="r")
+        assert not entry.matches(_finding(rule="REP016",
+                                          path="tool.py"))
+        assert not entry.matches(_finding(path="tool.py",
+                                          symbol="other.qual"))
+
+    def test_partial_path_component_does_not_match(self):
+        entry = BaselineEntry(rule="REP013", path="ool.py",
+                              symbol="repro.pvt.tool.task", reason="r")
+        assert not entry.matches(_finding(path="tool.py"))
+
+
+class TestApply:
+    def test_split_kept_suppressed_stale(self):
+        hit = BaselineEntry(rule="REP013", path="tool.py",
+                            symbol="repro.pvt.tool.task", reason="r")
+        stale = BaselineEntry(rule="REP016", path="gone.py",
+                              symbol="x.y", reason="r")
+        kept_f = _finding(rule="REP014", path="other.py")
+        supp_f = _finding(path="tool.py")
+        kept, suppressed, stale_out = apply_baseline(
+            [kept_f, supp_f], [hit, stale])
+        assert kept == [kept_f]
+        assert suppressed == [supp_f]
+        assert stale_out == [stale]
+
+
+class TestWriteAndDiscover:
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / BASELINE_NAME
+        n = write_baseline(target, [_finding()], reason="why not")
+        assert n == 1
+        (entry, ) = load_baseline(target)
+        assert entry.reason == "why not"
+
+    def test_rewrite_preserves_edited_reasons(self, tmp_path):
+        target = tmp_path / BASELINE_NAME
+        write_baseline(target, [_finding()], reason="hand-edited why")
+        write_baseline(target, [_finding()])
+        (entry, ) = load_baseline(target)
+        assert entry.reason == "hand-edited why"
+
+    def test_discover_walks_upward(self, tmp_path):
+        target = _write(tmp_path, [])
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert discover_baseline(nested) == target
+
+    def test_discover_none_without_file(self, tmp_path):
+        assert discover_baseline(tmp_path) is None
+
+
+class TestCli:
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / BASELINE_NAME
+        rc = check_main(["lint", "--deep", str(POS),
+                         "--baseline", str(baseline),
+                         "--update-baseline"])
+        assert rc == 0
+        assert "wrote 1 entr" in capsys.readouterr().out
+        data = json.loads(baseline.read_text())
+        assert data["entries"][0]["rule"] == "REP013"
+        assert data["entries"][0]["reason"]  # never empty
+
+        rc = check_main(["lint", "--deep", str(POS),
+                         "--baseline", str(baseline)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "suppressed by baseline" in captured.err
+
+    def test_stale_entries_are_reported(self, tmp_path, capsys):
+        baseline = _write(tmp_path, [{
+            "rule": "REP013", "path": "not/linted/here.py",
+            "symbol": "gone.task", "reason": "paid off",
+        }])
+        clean = FIXTURES / "rep013_neg.py"
+        rc = check_main(["lint", "--deep", str(clean),
+                         "--baseline", str(baseline)])
+        assert rc == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_bad_baseline_is_a_clean_error(self, tmp_path, capsys):
+        baseline = _write(tmp_path, [{
+            "rule": "REP013", "path": "a.py", "reason": "",
+        }])
+        rc = check_main(["lint", "--deep", str(POS),
+                         "--baseline", str(baseline)])
+        assert rc == 2
+        assert "reason" in capsys.readouterr().err
+
+    def test_no_baseline_flag_ignores_file(self, tmp_path, capsys):
+        baseline = tmp_path / BASELINE_NAME
+        check_main(["lint", "--deep", str(POS),
+                    "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        rc = check_main(["lint", "--deep", "--no-baseline", str(POS)])
+        assert rc == 1
+        assert "REP013" in capsys.readouterr().out
+
+    def test_repo_baseline_is_valid_and_empty(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        entries = load_baseline(repo_root / BASELINE_NAME)
+        assert entries == []

@@ -1,0 +1,145 @@
+"""Call-graph construction and binding fixpoint on the miniwork package."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.flow import build_program, graph_dot, graph_json
+from repro.check.__main__ import main as check_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+MINIWORK = FIXTURES / "miniwork"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_program([str(MINIWORK)])
+
+
+@pytest.fixture(scope="module")
+def bindings(program):
+    return program.bindings()
+
+
+class TestDiscovery:
+    def test_modules_found_with_dotted_names(self, program):
+        assert set(program.modules) == {
+            "miniwork", "miniwork.engine", "miniwork.extra",
+            "miniwork.pipeline",
+        }
+
+    def test_functions_include_methods_and_lambdas(self, program):
+        quals = set(program.functions)
+        assert "miniwork.pipeline.leaf" in quals
+        assert "miniwork.pipeline.Driver.compute" in quals
+        assert "miniwork.engine.Executor.map" in quals
+        assert any("<lambda:" in q for q in quals)
+
+    def test_module_scopes_are_synthetic(self, program):
+        assert program.functions["miniwork.pipeline.<module>"].is_synthetic
+
+
+class TestBindings:
+    def test_direct_parallel_map_binding(self, bindings):
+        assert "miniwork.pipeline.mid" in \
+            bindings.functions_bound("worker")
+
+    def test_transitive_propagation_records_via(self, program, bindings):
+        origin = bindings.bound["miniwork.pipeline.deep_leaf"]["worker"]
+        assert "miniwork.pipeline.mid" in origin.via
+        assert "via" in origin.describe()
+
+    def test_executor_instance_map_binding(self, bindings):
+        assert "miniwork.pipeline.exec_task" in \
+            bindings.functions_bound("worker")
+
+    def test_executor_inline_submit_binding(self, bindings):
+        assert "miniwork.pipeline.leaf" in \
+            bindings.functions_bound("worker")
+
+    def test_self_method_binding(self, bindings):
+        assert "miniwork.pipeline.Driver.compute" in \
+            bindings.functions_bound("worker")
+
+    def test_lambda_binding(self, bindings):
+        assert any("<lambda:" in q
+                   for q in bindings.functions_bound("worker"))
+
+    def test_partial_unwrapping_binds_wrapped_function(self, bindings):
+        # run_partial ships partial(mid); mid must be worker-bound even
+        # if every other site were removed — the origin entry set proves
+        # the partial site was seen.
+        assert "miniwork.pipeline.mid" in \
+            bindings.functions_bound("worker")
+
+    def test_parameter_forwarding_binds_cache_compute(self, bindings):
+        # forward(build) passes its param to cached(); run_forward's
+        # argument must become cache-bound through the sink param.
+        assert "miniwork.pipeline.table_builder" in \
+            bindings.functions_bound("cache")
+
+    def test_direct_cached_binding(self, bindings):
+        assert "miniwork.pipeline.direct_builder" in \
+            bindings.functions_bound("cache")
+
+    def test_reexport_chased_through_package_init(self, bindings):
+        assert "miniwork.extra.extra_task" in \
+            bindings.functions_bound("worker")
+
+    def test_entry_points_cover_all_kinds(self, bindings):
+        entries = {(e.kind, e.entry.split("(")[0]) for e in
+                   bindings.entries}
+        assert ("worker", "parallel_map") in entries
+        assert ("worker", "Executor.map") in entries
+        assert ("worker", "Executor.submit") in entries
+        assert ("cache", "cached") in entries
+
+    def test_engine_helpers_not_bound(self, bindings):
+        # The executor implementation itself is not a worker task.
+        bound = set(bindings.functions_bound("worker"))
+        assert "miniwork.engine.parallel_map" not in bound
+
+
+class TestRenderers:
+    def test_graph_json_shape(self, program):
+        payload = graph_json(program)
+        assert payload["schema"] == 1
+        assert "miniwork.pipeline" in payload["modules"]
+        quals = {f["qualname"] for f in payload["functions"]}
+        assert "miniwork.pipeline.mid" in quals
+        assert ["miniwork.pipeline.mid", "miniwork.pipeline.leaf"] in \
+            payload["edges"]
+        assert payload["bound"]["worker"]
+        assert payload["bound"]["cache"]
+
+    def test_graph_json_is_serializable(self, program):
+        json.dumps(graph_json(program))
+
+    def test_graph_dot_marks_bound_nodes(self, program):
+        dot = graph_dot(program)
+        assert dot.startswith("digraph")
+        assert '"miniwork.pipeline.mid"' in dot
+        assert "color=red" in dot  # worker-bound outline
+        assert "color=blue" in dot  # cache-bound outline
+        assert "entry:worker" in dot
+
+
+class TestGraphCli:
+    def test_graph_json_on_src_resolves_entry_points(self, capsys):
+        assert check_main(["graph", str(SRC), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        kinds = {(e["kind"], e["entry"].split("(")[0])
+                 for e in payload["entries"]}
+        assert ("worker", "parallel_map") in kinds
+        assert "cache" in {k for k, _ in kinds}
+        assert payload["bound"]["worker"]
+
+    def test_graph_dot_on_miniwork(self, capsys):
+        assert check_main(["graph", str(MINIWORK)]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_graph_missing_path_errors(self, capsys):
+        assert check_main(["graph", "no/such/tree"]) == 2
+        assert "no such file" in capsys.readouterr().err

@@ -1,0 +1,126 @@
+"""Each flow rule fires on its positive fixture and only there."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.flow import deep_lint, flow_rules_by_id
+from repro.check.__main__ import main as check_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+CASES = ["REP013", "REP014", "REP015", "REP016", "REP017"]
+
+
+def _findings(name, select=None):
+    return deep_lint([FIXTURES / name], select=select)
+
+
+@pytest.mark.parametrize("rule_id", CASES)
+class TestPerRuleFixtures:
+    def test_positive_fires(self, rule_id):
+        findings = _findings(f"{rule_id.lower()}_pos.py")
+        assert {f.rule_id for f in findings} == {rule_id}
+        rule = flow_rules_by_id()[rule_id]
+        assert all(f.severity == rule.severity for f in findings)
+
+    def test_negative_is_silent(self, rule_id):
+        assert _findings(f"{rule_id.lower()}_neg.py") == []
+
+    def test_noqa_suppresses(self, rule_id):
+        assert _findings(f"{rule_id.lower()}_noqa.py") == []
+
+    def test_symbol_carries_bound_qualname(self, rule_id):
+        findings = _findings(f"{rule_id.lower()}_pos.py")
+        for f in findings:
+            assert f.symbol, f.format()
+            assert "." in f.symbol
+
+
+class TestMessages:
+    def test_rep013_reports_runtime_mutation(self):
+        (f, ) = _findings("rep013_pos.py")
+        assert "mutable module global" in f.message
+        assert "mutated at runtime" in f.message
+        assert "worker task of parallel_map()" in f.message
+
+    def test_rep014_names_the_lambda(self):
+        (f, ) = _findings("rep014_pos.py")
+        assert "non-picklable module global" in f.message
+        assert "(lambda)" in f.message
+
+    def test_rep015_cache_consequence(self):
+        findings = _findings("rep015_pos.py")
+        details = " | ".join(f.message for f in findings)
+        assert "cache compute of cached()" in details
+        assert "store key or cached result" in details
+        assert "time.time()" in details
+        assert "os.environ.get()" in details
+
+    def test_rep015_worker_retry_consequence(self):
+        (f, ) = _findings("rep015_pos_worker.py")
+        assert "differ across executor retries" in f.message
+        assert "default_rng" in f.message
+
+    def test_rep016_names_the_resource_kind(self):
+        (f, ) = _findings("rep016_pos.py")
+        assert "fork-unsafe resource" in f.message
+        assert "(lock)" in f.message
+
+    def test_rep017_is_a_warning(self):
+        (f, ) = _findings("rep017_pos.py")
+        assert f.severity == "warning"
+        assert "non-idempotent side effect" in f.message
+
+
+class TestRegressionFixtures:
+    """The real src fixes, mirrored: these patterns must stay clean."""
+
+    def test_env_reads_behind_config_are_clean(self):
+        assert _findings("regress_store_env.py") == []
+
+    def test_lru_cache_memo_is_clean(self):
+        assert _findings("regress_lru_memo.py") == []
+
+
+class TestSelectAndCli:
+    def test_select_restricts_to_one_flow_rule(self):
+        both = FIXTURES / "rep013_pos.py", FIXTURES / "rep016_pos.py"
+        findings = deep_lint(both, select=["REP016"])
+        assert {f.rule_id for f in findings} == {"REP016"}
+
+    def test_cli_deep_flag_runs_flow_rules(self, capsys):
+        rc = check_main(["lint", "--deep", "--no-baseline",
+                         str(FIXTURES / "rep013_pos.py")])
+        assert rc == 1
+        assert "REP013" in capsys.readouterr().out
+
+    def test_cli_select_flow_rule_implies_deep(self, capsys):
+        rc = check_main(["lint", "--select", "REP013", "--no-baseline",
+                         str(FIXTURES / "rep013_pos.py")])
+        assert rc == 1
+        assert "REP013" in capsys.readouterr().out
+
+    def test_cli_without_deep_skips_flow_rules(self, capsys):
+        rc = check_main(["lint", str(FIXTURES / "rep016_pos.py")])
+        out = capsys.readouterr().out
+        assert "REP016" not in out
+
+    def test_cli_json_findings_carry_symbol(self, capsys):
+        check_main(["lint", "--deep", "--no-baseline", "--format",
+                    "json", str(FIXTURES / "rep013_pos.py")])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] >= 1
+        assert payload["findings"][0]["symbol"].endswith(".task")
+
+    def test_rules_listing_includes_flow_rules(self, capsys):
+        assert check_main(["rules", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_id = {r["id"]: r for r in payload["rules"]}
+        for rule_id in CASES:
+            assert by_id[rule_id]["deep"] is True
+        assert by_id["REP001"]["deep"] is False
+        severities = [r["severity"] for r in payload["rules"]]
+        assert severities == sorted(severities, key="error warning"
+                                    .split().index)

@@ -2,12 +2,14 @@
 
 A rule change that would flag production code fails here first, with the
 full findings report in the assertion message, so rule tightening and the
-corresponding code fixes always land together.
+corresponding code fixes always land together.  The gate covers both the
+per-file rules and the whole-program ``--deep`` pass — with no baseline,
+so new REP013..REP017 debt cannot land silently.
 """
 
 from pathlib import Path
 
-from repro.check import lint_paths, render_text
+from repro.check import deep_lint, lint_paths, render_text
 from repro.check.__main__ import main as check_main
 
 SRC = Path(__file__).resolve().parents[2] / "src"
@@ -22,6 +24,17 @@ def test_src_tree_is_lint_clean():
     assert findings == [], "\n" + render_text(findings)
 
 
+def test_src_tree_is_deep_clean():
+    findings = deep_lint([SRC])
+    assert findings == [], "\n" + render_text(findings)
+
+
 def test_cli_agrees_src_is_clean(capsys):
     assert check_main(["lint", str(SRC)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_agrees_src_is_deep_clean(capsys):
+    assert check_main(["lint", "--deep", "--no-baseline",
+                       str(SRC)]) == 0
     capsys.readouterr()

@@ -108,6 +108,7 @@ def test_anchor_fragments_resolve(doc):
 def test_docs_are_linked_from_readme():
     readme = (REPO / "README.md").read_text()
     assert "docs/architecture.md" in readme
+    assert "docs/static-analysis.md" in readme
     assert "docs/observability.md" in readme
     assert "docs/caching.md" in readme
     assert "docs/benchmarks.md" in readme
