@@ -16,7 +16,12 @@ Exposes the paper's workflows as commands:
   regression gate (``ls`` / ``show`` / ``compare``,
   see ``docs/benchmarks.md``);
 - ``store``        — inspect or trim the artifact cache (``ls`` /
-  ``info`` / ``gc`` / ``clear``, see ``docs/caching.md``).
+  ``info`` / ``gc`` / ``clear``, see ``docs/caching.md``);
+- ``serve``        — run the verification job daemon
+  (``docs/serving.md``);
+- ``submit``       — send one job to a running daemon and (by default)
+  wait for its result;
+- ``jobs``         — list, inspect, or cancel jobs on a running daemon.
 
 Scale flags (``--ne``, ``--nlev``, ``--members``) mirror the ``REPRO_*``
 environment knobs; ``--store PATH`` activates the artifact cache for one
@@ -98,6 +103,24 @@ def _activate_exec(args) -> None:
                            task_timeout=task_timeout)
 
 
+def _docs(page: str) -> str:
+    """The epilog every subcommand carries: where its docs live."""
+    return f"Full documentation: {page}"
+
+
+def _add_serve_address_flags(parser: argparse.ArgumentParser) -> None:
+    """How to reach (or bind) the daemon; defaults come from the env."""
+    parser.add_argument("--host", default=None,
+                        help="daemon TCP host (default: $REPRO_SERVE_HOST "
+                             "or 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="daemon TCP port (default: $REPRO_SERVE_PORT; "
+                             "0 binds an ephemeral port)")
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="Unix-domain socket path (default: "
+                             "$REPRO_SERVE_SOCKET; overrides host/port)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -108,13 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("characterize",
-                       help="Section 4.1 statistics (Table 2 rows)")
+                       help="Section 4.1 statistics (Table 2 rows)",
+                       epilog=_docs("docs/architecture.md"))
     p.add_argument("variables", nargs="*", default=[],
                    help="variable names (default: the featured four)")
     _add_scale_flags(p)
 
     p = sub.add_parser("verify",
-                       help="run the four acceptance tests for a variant")
+                       help="run the four acceptance tests for a variant",
+                       epilog=_docs("docs/architecture.md"))
     p.add_argument("variant", help="codec label, e.g. fpzip-24 or APAX-4")
     p.add_argument("variables", nargs="*", default=[],
                    help="variable names (default: the featured four)")
@@ -124,7 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(p, workers_default=0)
 
     p = sub.add_parser("hybrid",
-                       help="build a per-variable hybrid plan (Section 5.4)")
+                       help="build a per-variable hybrid plan (Section 5.4)",
+                       epilog=_docs("docs/architecture.md"))
     p.add_argument("family", choices=["GRIB2", "ISABELA", "fpzip", "APAX",
                                       "NetCDF-4"])
     p.add_argument("--extended-apax", action="store_true",
@@ -132,7 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-bias", action="store_true")
     _add_scale_flags(p)
 
-    p = sub.add_parser("table", help="regenerate a paper table")
+    p = sub.add_parser("table", help="regenerate a paper table",
+                       epilog=_docs("docs/architecture.md"))
     p.add_argument("number", type=int, choices=range(1, 9))
     p.add_argument("--no-bias", action="store_true")
     _add_scale_flags(p)
@@ -141,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "summary",
         help="run the trusted ensemble and write its PVT summary file",
+        epilog=_docs("docs/architecture.md"),
     )
     p.add_argument("output", help="output .nch summary path")
     p.add_argument("variables", nargs="*", default=[],
@@ -150,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "check",
         help="verify history files against a stored PVT summary",
+        epilog=_docs("docs/architecture.md"),
     )
     p.add_argument("summary", help="summary file from `repro summary`")
     p.add_argument("history", nargs="+", help="NCH history files to check")
@@ -157,11 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mean-tolerance", type=float, default=1.0,
                    help="stretch factor on the global-mean range")
 
-    sub.add_parser("variants", help="list registered codec variants")
+    sub.add_parser("variants", help="list registered codec variants",
+                   epilog=_docs("docs/architecture.md"))
 
     p = sub.add_parser(
         "lint",
         help="run the repro.check static analyzer (REP001..REP017)",
+        epilog=_docs("docs/static-analysis.md"),
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -183,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="run a small traced PVT workload and print per-stage "
              "timings (see docs/observability.md)",
+        epilog=_docs("docs/observability.md"),
     )
     p.add_argument("variant", nargs="?", default="fpzip-24",
                    help="codec label to verify (default: fpzip-24)")
@@ -209,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="per-run observability report: top stages, counters, "
              "store hit rates, memory peaks (docs/observability.md)",
+        epilog=_docs("docs/observability.md"),
     )
     p.add_argument("variant", nargs="?", default="fpzip-24",
                    help="codec label to verify (default: fpzip-24)")
@@ -234,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="benchmark perf records: list, show, or gate against "
              "baselines (docs/benchmarks.md)",
+        epilog=_docs("docs/benchmarks.md"),
     )
     p.add_argument("action", choices=["ls", "show", "compare"])
     p.add_argument("name", nargs="?", default=None,
@@ -253,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "store",
         help="inspect or trim the artifact cache (docs/caching.md)",
+        epilog=_docs("docs/caching.md"),
     )
     p.add_argument("action", choices=["ls", "info", "gc", "clear"])
     p.add_argument("key", nargs="?", default=None,
@@ -260,6 +295,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-mb", type=float, default=None,
                    help="gc: evict LRU artifacts down to this size")
     _add_store_flag(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the verification job daemon (docs/serving.md)",
+        epilog=_docs("docs/serving.md"),
+    )
+    _add_serve_address_flags(p)
+    p.add_argument("--workers", type=int, default=None,
+                   help="manager worker threads, i.e. jobs in flight "
+                        "(default: $REPRO_SERVE_WORKERS or 2)")
+    p.add_argument("--queue", type=int, default=None, metavar="N",
+                   help="pending-job queue depth before submits are "
+                        "rejected busy (default: $REPRO_SERVE_QUEUE or 64)")
+    p.add_argument("--retry-after", type=float, default=None,
+                   metavar="SECONDS",
+                   help="retry hint sent with busy rejections (default: "
+                        "$REPRO_SERVE_RETRY_AFTER or 1.0)")
+    _add_store_flag(p)
+    _add_exec_flags(p)
+
+    p = sub.add_parser(
+        "submit",
+        help="send one job to a running daemon (docs/serving.md)",
+        epilog=_docs("docs/serving.md"),
+    )
+    p.add_argument("kind",
+                   help="job kind: compress, verify, or hybrid-plan")
+    p.add_argument("params", nargs="*", metavar="key=value",
+                   help="job parameters; values parse as JSON when they "
+                        "can (members=5), else as strings (variant=fpzip-24)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority; smaller runs first (default 0)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and return instead of waiting "
+                        "for the result")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="give up waiting for the result after this long")
+    _add_serve_address_flags(p)
+
+    p = sub.add_parser(
+        "jobs",
+        help="list, inspect, or cancel daemon jobs (docs/serving.md)",
+        epilog=_docs("docs/serving.md"),
+    )
+    p.add_argument("id", nargs="?", default=None,
+                   help="job id: show that job's full snapshot instead "
+                        "of the listing")
+    p.add_argument("--cancel", default=None, metavar="ID",
+                   help="request cancellation of the given job id")
+    _add_serve_address_flags(p)
     return parser
 
 
@@ -326,6 +411,15 @@ def main(argv=None) -> int:
 
     if args.command == "bench":
         return _bench_command(args, render_table)
+
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "submit":
+        return _submit_command(args)
+
+    if args.command == "jobs":
+        return _jobs_command(args, render_table)
 
     if args.command == "check":
         from repro.ncio.format import HistoryFile
@@ -602,6 +696,12 @@ def _bench_command(args, render_table) -> int:
         print()
     for reason in skipped:
         print(f"skipped {reason}", file=sys.stderr)
+        name, _, base_path = reason.partition(": no baseline at ")
+        if base_path:
+            record_path = bench.record_path(name, root)
+            print(f"  hint: to gate {name!r}, commit the current record "
+                  f"as its baseline:\n"
+                  f"  cp {record_path} {base_path}", file=sys.stderr)
     if not deltas_by_name and not skipped:
         print(f"no BENCH_*.json records found in {root}",
               file=sys.stderr)
@@ -611,6 +711,127 @@ def _bench_command(args, render_table) -> int:
               file=sys.stderr)
         return 1
     print(f"no regressions across {len(deltas_by_name)} record(s)")
+    return 0
+
+
+def _serve_command(args) -> int:
+    """The ``repro serve`` daemon loop (SIGTERM/SIGINT drain and exit)."""
+    import signal
+
+    from repro.serve import JobManager, ReproServer, default_address
+
+    env_path, env_host, env_port = default_address()
+    socket_path = args.socket or env_path
+    manager = JobManager(workers=args.workers, queue_size=args.queue,
+                         retry_after=args.retry_after)
+    server = ReproServer(
+        manager,
+        host=args.host or env_host,
+        port=args.port if args.port is not None else env_port,
+        socket_path=socket_path,
+    )
+
+    def _drain(signum, frame) -> None:
+        server.request_shutdown(drain=True)
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    where = (server.address if socket_path
+             else "{}:{}".format(*server.address))
+    print(f"repro serve: listening on {where} ({manager.workers} "
+          f"worker(s), queue depth {manager.queue.maxsize}); "
+          "SIGTERM drains and exits", flush=True)
+    server.serve_forever()
+    print("repro serve: drained and stopped")
+    return 0
+
+
+def _connect_client(args):
+    from repro.serve import ServeClient
+
+    return ServeClient.connect(host=args.host, port=args.port,
+                               socket_path=args.socket)
+
+
+def _parse_job_params(pairs: list[str]) -> dict:
+    """``key=value`` pairs; values parse as JSON when they can."""
+    import json
+
+    params: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"job parameter {pair!r} is not of the form key=value")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _submit_command(args) -> int:
+    """The ``repro submit`` one-shot client."""
+    import json
+
+    from repro.serve import ServeError
+
+    params = _parse_job_params(args.params)
+    try:
+        with _connect_client(args) as client:
+            job = client.submit(args.kind, params,
+                                priority=args.priority)
+            if args.no_wait:
+                print(f"{job['id']} {job['state']}")
+                return 0
+            final = client.result(job["id"], timeout=args.timeout)
+    except ServeError as exc:
+        msg = f"submit refused ({exc.code}): {exc}"
+        if exc.retry_after is not None:
+            msg += f" (retry after {exc.retry_after:g}s)"
+        print(msg, file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach the daemon: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(final, indent=2, sort_keys=True))
+    return 0 if final["state"] == "done" else 1
+
+
+def _jobs_command(args, render_table) -> int:
+    """The ``repro jobs`` listing / inspection / cancellation client."""
+    import json
+
+    from repro.serve import ServeError
+
+    try:
+        with _connect_client(args) as client:
+            if args.cancel:
+                took = client.cancel(args.cancel)
+                print(f"{args.cancel}: "
+                      f"{'cancellation requested' if took else 'already finished'}")
+                return 0
+            if args.id:
+                print(json.dumps(client.status(args.id), indent=2,
+                                 sort_keys=True))
+                return 0
+            jobs = client.jobs()
+    except ServeError as exc:
+        print(f"daemon refused ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach the daemon: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [j["id"], j["kind"], j["priority"], j["state"],
+         j.get("cache_hit", False), round(j.get("wait_s", 0.0), 3),
+         round(j.get("run_s", 0.0), 3)]
+        for j in jobs
+    ]
+    print(render_table(
+        ["job", "kind", "prio", "state", "cached", "wait (s)", "run (s)"],
+        rows, title=f"{len(rows)} job(s) on the daemon",
+    ))
     return 0
 
 

@@ -1,0 +1,76 @@
+"""repro.serve — the compression verification service.
+
+Turns the one-shot pipeline (characterize → error metrics → PVT
+acceptance → hybrid selection) into a long-running daemon: clients
+submit ``compress`` / ``verify`` / ``hybrid-plan`` *jobs* over
+length-prefixed JSON frames (TCP loopback or Unix socket) and poll or
+stream their lifecycle.  The layers, bottom up:
+
+- :mod:`repro.serve.protocol` — the wire format (4-byte length prefix +
+  JSON object) and its size ceiling;
+- :mod:`repro.serve.jobs` — :class:`JobSpec` / :class:`JobHandle`
+  lifecycle state machine and the job-kind registry;
+- :mod:`repro.serve.queue` — bounded priority queue whose full state is
+  the backpressure signal;
+- :mod:`repro.serve.manager` — :class:`JobManager`: admission, store
+  caching, and execution on the :class:`~repro.parallel.executor.Executor`
+  so a crashed worker process never takes the daemon down;
+- :mod:`repro.serve.daemon` — :class:`ReproServer`, the socket front
+  end with graceful SIGTERM draining;
+- :mod:`repro.serve.client` — :class:`ServeClient`, the thin caller the
+  ``repro submit`` / ``repro jobs`` subcommands use.
+
+Sizing and addressing come from ``REPRO_SERVE_*`` environment knobs
+(host/port/socket/workers/queue/retry-after/max-frame).  The protocol,
+state machine, and a worked client example live in ``docs/serving.md``.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ReproServer, default_address
+from repro.serve.jobs import (
+    JobHandle,
+    JobPayload,
+    JobSpec,
+    STATES,
+    TERMINAL_STATES,
+    UnknownJobKind,
+    execute_job,
+    job_kinds,
+    register_job_kind,
+    resolve_job_kind,
+)
+from repro.serve.manager import JobManager, ServerBusy
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME,
+    ProtocolError,
+    max_frame_bytes,
+    recv_frame,
+    send_frame,
+)
+from repro.serve.queue import JobQueue, QueueFull
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "JobHandle",
+    "JobManager",
+    "JobPayload",
+    "JobQueue",
+    "JobSpec",
+    "ProtocolError",
+    "QueueFull",
+    "ReproServer",
+    "STATES",
+    "ServeClient",
+    "ServeError",
+    "ServerBusy",
+    "TERMINAL_STATES",
+    "UnknownJobKind",
+    "default_address",
+    "execute_job",
+    "job_kinds",
+    "max_frame_bytes",
+    "recv_frame",
+    "register_job_kind",
+    "resolve_job_kind",
+    "send_frame",
+]

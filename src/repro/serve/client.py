@@ -1,0 +1,152 @@
+"""Thin synchronous client for the verification daemon.
+
+:class:`ServeClient` wraps one socket connection in typed helpers —
+``submit`` / ``status`` / ``result`` / ``cancel`` / ``jobs`` /
+``watch`` — that send a request frame and interpret the response.  A
+``{"ok": false}`` reply surfaces as :class:`ServeError` carrying the
+server's error code (``busy`` responses also expose ``retry_after``),
+so callers can branch on *why* instead of parsing messages::
+
+    with ServeClient.connect(port=port) as client:
+        job = client.submit("verify", {"variant": "fpzip24"})
+        final = client.result(job["id"])
+        print(final["state"], final["result"]["pass_counts"])
+
+One client = one connection = one outstanding request at a time; for
+concurrency, open more clients (connections are cheap and the daemon
+serves each on its own thread).  See ``docs/serving.md`` for the wire
+format and a full walkthrough.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterator
+
+from repro.serve.daemon import default_address
+from repro.serve.protocol import recv_frame, send_frame
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``ok: false``."""
+
+    def __init__(self, response: dict) -> None:
+        super().__init__(response.get("message")
+                         or response.get("error") or "server error")
+        self.code = response.get("error", "error")
+        self.retry_after = response.get("retry_after")
+        self.response = response
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.daemon.ReproServer`."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+
+    @classmethod
+    def connect(cls, *, host: str | None = None, port: int | None = None,
+                socket_path: str | None = None,
+                timeout: float | None = None) -> "ServeClient":
+        """Dial the daemon; explicit arguments beat ``REPRO_SERVE_*``."""
+        env_path, env_host, env_port = default_address()
+        socket_path = socket_path if socket_path is not None else env_path
+        if socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(socket_path)
+        else:
+            sock = socket.create_connection(
+                (host or env_host, port if port is not None else env_port),
+                timeout=timeout)
+        return cls(sock)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def call(self, op: str, **fields: object) -> dict:
+        """Send one ``op`` frame, return the (ok) response frame."""
+        send_frame(self._sock, {"op": op, **fields})
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        if not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    # -- operations -----------------------------------------------------------
+
+    def ping(self) -> list[str]:
+        """Liveness probe; returns the registered job kinds."""
+        return list(self.call("ping")["kinds"])
+
+    def kinds(self) -> list[str]:
+        """The job kinds the daemon accepts."""
+        return list(self.call("kinds")["kinds"])
+
+    def submit(self, kind: str, params: dict | None = None, *,
+               priority: int = 0) -> dict:
+        """Submit a job; returns its snapshot (``id``, ``state``, ...)."""
+        return self.call("submit", kind=kind, params=params or {},
+                         priority=priority)["job"]
+
+    def status(self, job_id: str) -> dict:
+        """One snapshot of ``job_id``."""
+        return self.call("status", id=job_id)["job"]
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        """Block until ``job_id`` is terminal; returns the snapshot.
+
+        The server bounds each wait (~30 s); this method re-issues the
+        request until the job finishes or ``timeout`` elapses, so a
+        long-running job does not require client-side configuration.
+        """
+        waited = 0.0
+        while True:
+            step = 5.0 if timeout is None else max(timeout - waited, 0.0)
+            response = self.call("result", id=job_id, timeout=step)
+            if response["done"] or (timeout is not None
+                                    and waited >= timeout):
+                return response["job"]
+            waited += step
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True when the job had not yet finished."""
+        return bool(self.call("cancel", id=job_id)["cancelled"])
+
+    def jobs(self) -> list[dict]:
+        """Snapshots of every job the daemon knows about."""
+        return list(self.call("jobs")["jobs"])
+
+    def watch(self, job_id: str,
+              timeout: float | None = None) -> Iterator[dict]:
+        """Yield lifecycle events for ``job_id`` until it is terminal.
+
+        The last yielded frame has ``final: true`` and carries the full
+        job snapshot under ``job``.
+        """
+        send_frame(self._sock, {"op": "watch", "id": job_id,
+                                "timeout": timeout or 30.0})
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise ConnectionError("server closed the connection")
+            if not frame.get("ok"):
+                raise ServeError(frame)
+            yield frame
+            if frame.get("final"):
+                return
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Ask the daemon to shut down (draining by default)."""
+        self.call("shutdown", drain=drain)

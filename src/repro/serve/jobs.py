@@ -1,0 +1,373 @@
+"""Job specifications, lifecycle handles, and the job-kind registry.
+
+A *job* is one unit of pipeline work a client asks the daemon to run: a
+:class:`JobSpec` names the kind (``compress`` / ``verify`` /
+``hybrid-plan`` built in, tests register their own), carries
+JSON-serializable parameters, and a scheduling priority.  The daemon
+answers with a :class:`JobHandle` — the server-side state machine the
+status/result/cancel/watch operations read.
+
+Lifecycle::
+
+    pending --> running --> done
+       |           |    \\-> failed
+       |           \\------> cancelled   (result discarded post hoc)
+       \\------------------> cancelled   (dequeued before starting)
+
+``done`` / ``failed`` / ``cancelled`` are terminal; every transition is
+appended to :attr:`JobHandle.events` (state + monotonic timestamp) and
+wakes :meth:`JobHandle.wait` and the daemon's ``watch`` streams.
+
+Job functions take one ``params`` dict and return a JSON-serializable
+result dict.  They execute inside :func:`execute_job` on an executor
+worker — possibly a separate process — so the callable is shipped in the
+:class:`JobPayload` itself (picklable by construction: built-in kinds
+are module-level functions) rather than looked up in a registry the
+worker may not share.  The registry exists only server-side, to resolve
+a kind *name* to its callable at submit time.
+
+The built-in kinds are thin wrappers over the paper pipeline: they build
+(or reuse) the :class:`~repro.harness.experiments.ExperimentContext`
+for the requested scale, so repeated jobs at one scale amortize the
+ensemble build, and the artifact store (when active, its root travels in
+the payload) caches the dycore run across worker processes too.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.parallel.clock import SYSTEM_CLOCK
+from repro.store import artifact_key
+
+__all__ = [
+    "JobHandle",
+    "JobPayload",
+    "JobSpec",
+    "STATES",
+    "TERMINAL_STATES",
+    "UnknownJobKind",
+    "execute_job",
+    "job_kinds",
+    "register_job_kind",
+    "resolve_job_kind",
+]
+
+#: Every state a job can report, in lifecycle order.
+STATES = ("pending", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class UnknownJobKind(ValueError):
+    """A submit named a kind no one registered."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a client asked for: kind, parameters, and priority.
+
+    ``priority`` orders the queue (smaller runs first, FIFO within a
+    priority); ``params`` must be a JSON round-trippable dict — it is
+    hashed into the cache key and travels over the wire verbatim.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    priority: int = 0
+
+    def key(self) -> str:
+        """Cache key: identical (kind, params) requests share results."""
+        return artifact_key("serve.job", kind=self.kind,
+                            params=self.params)
+
+
+@dataclass(frozen=True)
+class JobPayload:
+    """Everything :func:`execute_job` needs inside a worker.
+
+    Carrying the callable (not the kind name) keeps workers independent
+    of the registry; carrying the store root lets a forked *or* spawned
+    worker attach to the same artifact cache as the daemon.
+    """
+
+    fn: Callable[[dict], dict]
+    params: dict
+    store_root: str | None = None
+
+
+def execute_job(payload: JobPayload) -> dict:
+    """Run one job payload; the executor map's task function.
+
+    Module-level (picklable) and total: any exception propagates to the
+    executor, which charges the attempt and retries or degrades it to a
+    :class:`~repro.parallel.failures.TaskFailure` per policy.
+    """
+    from repro import store
+
+    store.adopt_root(payload.store_root)
+    return payload.fn(payload.params)
+
+
+# -- lifecycle handles --------------------------------------------------------
+
+
+class JobHandle:
+    """Server-side state of one submitted job.
+
+    Thread-safe: transitions happen under one condition variable that
+    also wakes :meth:`wait` and the daemon's watch streams.  Clients
+    never see this object — they see :meth:`snapshot` dicts.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec,
+                 cache_hit: bool = False) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.state = "pending"
+        self.result: dict | None = None
+        self.error: dict | None = None
+        self.cache_hit = cache_hit
+        self.cancel_requested = False
+        #: Filled by the manager for queued jobs; ``None`` for
+        #: cache-served ones that never reach a worker.
+        self.payload: JobPayload | None = None
+        #: ``(state, monotonic timestamp)`` per transition, starting
+        #: with the initial ``pending``.
+        self.events: list[tuple[str, float]] = [
+            ("pending", SYSTEM_CLOCK.now())
+        ]
+        self._cond = threading.Condition()
+
+    # -- transitions (called by the manager) --------------------------------
+
+    def transition(self, state: str, *, result: dict | None = None,
+                   error: dict | None = None) -> None:
+        """Move to ``state``, record the event, wake every waiter."""
+        if state not in STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._cond:
+            if self.state in TERMINAL_STATES:
+                return  # terminal states are final; late writers lose
+            self.state = state
+            if result is not None:
+                self.result = result
+            if error is not None:
+                self.error = error
+            self.events.append((state, SYSTEM_CLOCK.now()))
+            self._cond.notify_all()
+
+    def request_cancel(self) -> None:
+        """Flag the job for cancellation (the manager acts on it)."""
+        with self._cond:
+            self.cancel_requested = True
+            self._cond.notify_all()
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached ``done``/``failed``/``cancelled``."""
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal (or ``timeout``); True when terminal."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self.terminal,
+                                       timeout=timeout)
+
+    def wait_events(self, seen: int,
+                    timeout: float | None = None) -> list[dict]:
+        """Events after index ``seen`` (blocking until one exists).
+
+        The daemon's ``watch`` op calls this in a loop; an empty list
+        means the timeout elapsed with no new transition.
+        """
+        with self._cond:
+            self._cond.wait_for(lambda: len(self.events) > seen,
+                                timeout=timeout)
+            return [{"state": state, "t": t}
+                    for state, t in self.events[seen:]]
+
+    def timings(self) -> dict[str, float]:
+        """Wait/run durations derived from the recorded transitions."""
+        stamps = dict((state, t) for state, t in self.events)
+        out: dict[str, float] = {}
+        submitted = stamps.get("pending")
+        started = stamps.get("running")
+        ended = next((t for state, t in reversed(self.events)
+                      if state in TERMINAL_STATES), None)
+        if submitted is not None and started is not None:
+            out["wait_s"] = started - submitted
+        if started is not None and ended is not None:
+            out["run_s"] = ended - started
+        elif submitted is not None and ended is not None:
+            out["wait_s"] = out.get("wait_s", ended - submitted)
+        return out
+
+    def snapshot(self) -> dict:
+        """The JSON view of this job the protocol ships to clients."""
+        with self._cond:
+            snap: dict[str, Any] = {
+                "id": self.id,
+                "kind": self.spec.kind,
+                "priority": self.spec.priority,
+                "state": self.state,
+                "cache_hit": self.cache_hit,
+                "events": [{"state": state, "t": t}
+                           for state, t in self.events],
+            }
+            snap.update(self.timings())
+            if self.result is not None:
+                snap["result"] = self.result
+            if self.error is not None:
+                snap["error"] = self.error
+            return snap
+
+
+# -- the kind registry --------------------------------------------------------
+
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_job_kind(name: str, fn: Callable[[dict], dict],
+                      replace: bool = False) -> None:
+    """Register ``fn`` as the handler for job kind ``name``.
+
+    Built-in kinds cannot be silently shadowed; pass ``replace=True``
+    to override (tests swapping in fault-wrapped handlers).
+    """
+    with _REGISTRY_LOCK:
+        if name in _KINDS and not replace:
+            raise ValueError(f"job kind {name!r} is already registered")
+        _KINDS[name] = fn
+
+
+def resolve_job_kind(name: str) -> Callable[[dict], dict]:
+    """The handler for ``name``; :class:`UnknownJobKind` if absent."""
+    with _REGISTRY_LOCK:
+        fn = _KINDS.get(name)
+    if fn is None:
+        raise UnknownJobKind(
+            f"unknown job kind {name!r}; registered kinds: "
+            f"{', '.join(job_kinds())}")
+    return fn
+
+
+def job_kinds() -> list[str]:
+    """Registered kind names, sorted."""
+    with _REGISTRY_LOCK:
+        return sorted(_KINDS)
+
+
+# -- built-in kinds -----------------------------------------------------------
+
+
+def _scale_config(params: dict):
+    """The ReproConfig a job's scale parameters select (bench default)."""
+    from repro.config import bench_scale
+
+    return bench_scale().with_scale(
+        ne=params.get("ne"), nlev=params.get("nlev"),
+        n_members=params.get("members"),
+    )
+
+
+def _context(params: dict):
+    from repro.harness.experiments import ExperimentContext
+
+    return ExperimentContext.create(_scale_config(params))
+
+
+def run_compress(params: dict) -> dict:
+    """``compress``: round-trip one variable through one codec variant.
+
+    Params: ``variant`` (required), ``variable`` (default ``"U"``), and
+    the scale knobs ``ne``/``nlev``/``members``.
+    """
+    from repro.compressors import get_variant
+
+    codec = get_variant(params["variant"])
+    ctx = _context(params)
+    variable = params.get("variable", "U")
+    outcome = codec.roundtrip(ctx.member_field(variable))
+    max_err = float(abs(outcome.reconstructed
+                        - ctx.member_field(variable)).max())
+    return {
+        "variant": params["variant"],
+        "variable": variable,
+        "cr": float(outcome.cr),
+        "bytes_in": int(outcome.original_nbytes),
+        "bytes_out": int(outcome.compressed_nbytes),
+        "max_abs_err": max_err,
+    }
+
+
+def run_verify(params: dict) -> dict:
+    """``verify``: the four acceptance tests for one codec variant.
+
+    Params: ``variant`` (required), ``variables`` (default: the
+    featured four), ``bias`` (default False — the whole-ensemble bias
+    test is the slow one), and the scale knobs.
+    """
+    from repro.compressors import get_variant
+
+    ctx = _context(params)
+    variables = params.get("variables") or list(ctx.featured)
+    report = ctx.pvt.evaluate_codec(
+        get_variant(params["variant"]), variables=variables,
+        run_bias=bool(params.get("bias", False)),
+    )
+    verdicts = {
+        name: {
+            "rho": bool(v.rho.passed),
+            "rmsz": bool(v.rmsz.passed),
+            "enmax": bool(v.enmax.passed),
+            "bias": None if v.bias is None else bool(v.bias.passed),
+            "all": bool(v.all_passed),
+            "cr": float(v.mean_cr),
+        }
+        for name, v in report.verdicts.items()
+    }
+    return {
+        "variant": params["variant"],
+        "verdicts": verdicts,
+        "pass_counts": report.pass_counts(),
+        "failures": {name: str(f)
+                     for name, f in report.failures.items()},
+    }
+
+
+def run_hybrid_plan(params: dict) -> dict:
+    """``hybrid-plan``: per-variable variant selection for one family.
+
+    Params: ``family`` (required, e.g. ``"fpzip"``), ``bias``
+    (default False), ``extended_apax`` (default False), scale knobs.
+    """
+    from repro.hybrid.selector import build_hybrid
+
+    ctx = _context(params)
+    result = build_hybrid(
+        ctx.ensemble, params["family"],
+        run_bias=bool(params.get("bias", False)),
+        extended_apax=bool(params.get("extended_apax", False)),
+    )
+    summary = {k: float(v) for k, v in result.summary().items()}
+    return {
+        "family": params["family"],
+        "choices": {c.variable: c.variant
+                    for c in result.choices.values()},
+        "summary": summary,
+    }
+
+
+#: kind name -> handler.  Seeded with the built-ins; tests extend it via
+#: :func:`register_job_kind`.  Server-side only — never read by workers.
+_KINDS: dict[str, Callable[[dict], dict]] = {
+    "compress": run_compress,
+    "verify": run_verify,
+    "hybrid-plan": run_hybrid_plan,
+}

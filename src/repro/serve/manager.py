@@ -1,0 +1,279 @@
+"""The job manager: queue, worker pool, cache, and lifecycle owner.
+
+:class:`JobManager` is the daemon's engine and is equally usable without
+any socket in front of it (the integration tests drive it directly).
+Responsibilities:
+
+- **Admission** — :meth:`submit` resolves the job kind, consults the
+  artifact store for a warm result (identical ``(kind, params)`` pairs
+  share a cache key), and either answers instantly from cache or
+  enqueues; a full queue surfaces as :class:`ServerBusy` carrying the
+  ``retry_after`` hint the protocol forwards to clients.
+- **Execution** — a small pool of manager threads pulls jobs off the
+  priority queue and runs each one as a single-item
+  :meth:`Executor.map <repro.parallel.executor.Executor.map>` with
+  ``isolate=True``, so the actual work happens in a disposable
+  executor worker (a separate process under the default policy).  A
+  job that segfaults or hangs costs its own attempts; the manager
+  thread, and therefore the daemon, survives and moves on.
+- **Caching** — successful results are ``put`` into the active
+  :mod:`repro.store` (when one is configured) under the spec's key;
+  the store root travels inside the :class:`~repro.serve.jobs.JobPayload`
+  so workers populate the same cache.
+- **Shutdown** — :meth:`shutdown` closes the queue (draining accepted
+  jobs by default, cancelling them on a fast stop) and joins the
+  worker threads; SIGTERM handling in the CLI maps straight onto it.
+
+Sizing knobs (constructor arguments override the environment):
+``REPRO_SERVE_WORKERS`` (default 2 manager threads),
+``REPRO_SERVE_QUEUE`` (default 64 pending jobs), and
+``REPRO_SERVE_RETRY_AFTER`` (default 1.0 s busy hint).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro import config, obs, store
+from repro.parallel.executor import Executor
+from repro.parallel.failures import TaskFailure
+from repro.serve.jobs import (
+    JobHandle,
+    JobPayload,
+    JobSpec,
+    execute_job,
+    resolve_job_kind,
+)
+from repro.serve.queue import JobQueue, QueueFull
+
+__all__ = ["JobManager", "ServerBusy"]
+
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE = 64
+DEFAULT_RETRY_AFTER = 1.0
+
+_JOBS = obs.counter("serve.jobs")
+_DONE = obs.counter("serve.done")
+_FAILED = obs.counter("serve.failed")
+_CANCELLED = obs.counter("serve.cancelled")
+_REJECTED = obs.counter("serve.rejected")
+_CACHE_HITS = obs.counter("serve.cache_hits")
+_CACHE_MISSES = obs.counter("serve.cache_misses")
+_WAIT = obs.gauge("serve.wait_s")
+
+
+class ServerBusy(Exception):
+    """The queue is full; the client should retry after a delay."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"server busy; retry in {retry_after:g}s")
+        self.retry_after = retry_after
+
+
+def _env_workers() -> int:
+    value = config.env_int_opt("REPRO_SERVE_WORKERS")
+    return value if value and value > 0 else DEFAULT_WORKERS
+
+
+def _env_queue() -> int:
+    value = config.env_int_opt("REPRO_SERVE_QUEUE")
+    return value if value and value > 0 else DEFAULT_QUEUE
+
+
+def _env_retry_after() -> float:
+    value = config.env_float_opt("REPRO_SERVE_RETRY_AFTER")
+    return value if value and value > 0 else DEFAULT_RETRY_AFTER
+
+
+class JobManager:
+    """Admits, schedules, executes, and caches verification jobs."""
+
+    def __init__(self, *, workers: int | None = None,
+                 queue_size: int | None = None,
+                 retry_after: float | None = None,
+                 executor: Executor | None = None) -> None:
+        self.workers = workers if workers is not None else _env_workers()
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be positive, got {self.workers}")
+        queue_size = (queue_size if queue_size is not None
+                      else _env_queue())
+        retry_after = (retry_after if retry_after is not None
+                       else _env_retry_after())
+        self.queue = JobQueue(queue_size, retry_after)
+        #: Executor running the actual job bodies.  The default policy's
+        #: process backend gives crash isolation; tests pass a
+        #: thread/serial executor where isolation is irrelevant.
+        self.executor = executor if executor is not None else Executor()
+        self._jobs: dict[str, JobHandle] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for i in range(self.workers):
+                t = threading.Thread(target=self._worker_loop,
+                                     name=f"serve-worker-{i}",
+                                     daemon=True)
+                t.start()
+                self._threads.append(t)
+
+    def shutdown(self, drain: bool = True,
+                 timeout: float | None = None) -> None:
+        """Stop accepting work and wind the pool down.
+
+        ``drain=True`` (the SIGTERM path) lets every accepted job finish
+        first; ``drain=False`` cancels whatever is still queued.  Jobs
+        already *running* always complete — the executor owns them.
+        """
+        self._stopping.set()
+        leftovers = self.queue.close(drain=drain)
+        for handle in leftovers:
+            handle.transition("cancelled")
+            _CANCELLED.add()
+        for t in self._threads:
+            t.join(timeout=timeout)
+
+    # -- admission ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Admit ``spec``: cache-answer, enqueue, or refuse.
+
+        Raises :class:`~repro.serve.jobs.UnknownJobKind` for a kind no
+        one registered, :class:`ServerBusy` on a full queue, and
+        ``RuntimeError`` once shutdown began.
+        """
+        with obs.span("serve.submit", kind=spec.kind) as sp:
+            fn = resolve_job_kind(spec.kind)
+            job_id = f"job-{next(self._seq):06d}"
+            _JOBS.add(kind=spec.kind)
+            cached = self._cache_get(spec)
+            if cached is not None:
+                _CACHE_HITS.add(kind=spec.kind)
+                sp.note(cache="hit")
+                handle = JobHandle(job_id, spec, cache_hit=True)
+                handle.transition("done", result=cached)
+                _DONE.add(kind=spec.kind)
+                with self._lock:
+                    self._jobs[job_id] = handle
+                return handle
+            _CACHE_MISSES.add(kind=spec.kind)
+            sp.note(cache="miss")
+            handle = JobHandle(job_id, spec)
+            handle.payload = JobPayload(
+                fn=fn, params=spec.params, store_root=store.current_root())
+            with self._lock:
+                self._jobs[job_id] = handle
+            try:
+                self.queue.put(handle)
+            except QueueFull as exc:
+                _REJECTED.add(kind=spec.kind)
+                with self._lock:
+                    del self._jobs[job_id]
+                raise ServerBusy(exc.retry_after) from exc
+            except RuntimeError:
+                with self._lock:
+                    del self._jobs[job_id]
+                raise
+            return handle
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel ``job_id`` if it has not finished; True when it took.
+
+        A queued job is removed and moved to ``cancelled`` immediately;
+        a running job is flagged and its result is discarded when the
+        worker comes back (the underlying computation is not preempted).
+        """
+        handle = self.get(job_id)
+        if handle is None or handle.terminal:
+            return False
+        handle.request_cancel()
+        if self.queue.discard(job_id):
+            handle.transition("cancelled")
+            _CANCELLED.add(kind=handle.spec.kind)
+        return True
+
+    # -- observation ----------------------------------------------------------
+
+    def get(self, job_id: str) -> JobHandle | None:
+        """The handle for ``job_id``, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[JobHandle]:
+        """Every known handle, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    # -- the worker loop ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            handle = self.queue.get(timeout=0.1)
+            if handle is None:
+                if self._stopping.is_set():
+                    return
+                continue
+            self._run_one(handle)
+
+    def _run_one(self, handle: JobHandle) -> None:
+        spec = handle.spec
+        if handle.cancel_requested:
+            handle.transition("cancelled")
+            _CANCELLED.add(kind=spec.kind)
+            return
+        handle.transition("running")
+        wait_s = handle.timings().get("wait_s", 0.0)
+        _WAIT.set(wait_s, kind=spec.kind)
+        with obs.span("serve.job", kind=spec.kind, job=handle.id,
+                      wait_s=round(wait_s, 6)) as sp:
+            payload = handle.payload
+            outcome = self.executor.map(
+                execute_job, [payload],
+                on_failure="collect", isolate=True)
+            slot = outcome.results[0] if outcome.results else None
+            if handle.cancel_requested:
+                handle.transition("cancelled")
+                _CANCELLED.add(kind=spec.kind)
+                sp.note(outcome="cancelled")
+            elif isinstance(slot, TaskFailure):
+                handle.transition("failed", error={
+                    "type": slot.error_type,
+                    "message": slot.message,
+                    "kind": slot.kind,
+                    "attempts": slot.attempts,
+                })
+                _FAILED.add(kind=spec.kind)
+                sp.note(outcome="failed", error=slot.error_type)
+            else:
+                # Cache before the terminal transition: anyone woken by
+                # ``done`` must already find the warm result.
+                self._cache_put(spec, slot)
+                handle.transition("done", result=slot)
+                _DONE.add(kind=spec.kind)
+                sp.note(outcome="done")
+
+    # -- result cache ---------------------------------------------------------
+
+    def _cache_get(self, spec: JobSpec) -> dict | None:
+        st = store.get_store()
+        if st is None:
+            return None
+        return st.get(spec.key())
+
+    def _cache_put(self, spec: JobSpec, result: dict) -> None:
+        st = store.get_store()
+        if st is None:
+            return
+        st.put(spec.key(), result, kind="json")

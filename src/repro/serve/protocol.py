@@ -1,0 +1,122 @@
+"""Length-prefixed JSON framing for the verification service.
+
+One frame = a 4-byte big-endian unsigned payload length followed by that
+many bytes of UTF-8 JSON encoding a single object.  The format is
+deliberately dumb: any language with sockets and a JSON parser can drive
+the daemon, frames are self-delimiting (no sentinel bytes to escape),
+and a partial read is detectable as truncation instead of silently
+parsing half a message.
+
+Both sides speak the same frames; the *meaning* of a frame is carried by
+its ``op`` (request) / ``ok`` (response) keys, documented with the job
+lifecycle in ``docs/serving.md``.  :func:`recv_frame` returns ``None``
+on a clean EOF (peer closed between frames) and raises
+:class:`ProtocolError` on anything malformed — oversized lengths,
+mid-frame disconnects, bytes that do not decode to a JSON object.
+
+The payload-size ceiling (:func:`max_frame_bytes`, knob
+``REPRO_SERVE_MAX_FRAME``) bounds what one frame may ask the daemon to
+buffer, so a corrupt or hostile length prefix cannot trigger a
+multi-gigabyte allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro import config
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "ProtocolError",
+    "max_frame_bytes",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Default per-frame payload ceiling (bytes); ``REPRO_SERVE_MAX_FRAME``
+#: overrides.  Job params and results are small JSON documents — 8 MiB
+#: is far above any legitimate frame while still refusing absurd
+#: allocations from a corrupted length prefix.
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ConnectionError):
+    """A malformed, truncated, or oversized frame on the wire."""
+
+
+def max_frame_bytes() -> int:
+    """The active frame-size ceiling (``REPRO_SERVE_MAX_FRAME`` or default)."""
+    value = config.env_int_opt("REPRO_SERVE_MAX_FRAME")
+    if value is None or value <= 0:
+        return DEFAULT_MAX_FRAME
+    return value
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Serialize ``obj`` and write one frame to ``sock``.
+
+    Raises :class:`ProtocolError` if the encoded payload exceeds the
+    frame ceiling (the sender's bug — refuse it before the peer must).
+    """
+    payload = json.dumps(obj, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    limit = max_frame_bytes()
+    if len(payload) > limit:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{limit}-byte ceiling (REPRO_SERVE_MAX_FRAME)")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF at a frame boundary.
+
+    EOF *inside* a frame (some bytes read, then the peer vanished) is a
+    :class:`ProtocolError` — the stream is unrecoverable at that point.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame from ``sock``; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` on truncation, an oversized length
+    prefix, invalid JSON, or a payload that is not a JSON object.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    limit = max_frame_bytes()
+    if length > limit:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {limit}-byte ceiling "
+            "(REPRO_SERVE_MAX_FRAME)")
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(obj).__name__}")
+    return obj

@@ -1,0 +1,159 @@
+"""Bounded priority queue feeding the daemon's worker pool.
+
+Jobs are ordered by ``(priority, submission sequence)`` — smaller
+priority first, FIFO within a priority — under one condition variable.
+The queue is *bounded*: when ``depth()`` reaches ``maxsize``,
+:meth:`JobQueue.put` raises :class:`QueueFull` instead of blocking, and
+the daemon converts that into a ``busy`` rejection carrying a
+``retry_after`` hint.  Rejecting at the door (instead of buffering
+without limit) is the backpressure contract: a client that outruns the
+workers learns immediately and retries later, and daemon memory stays
+bounded no matter how fast jobs arrive.
+
+Shutdown has two shapes, matching the daemon's SIGTERM semantics:
+
+- ``close(drain=True)`` — no new puts; getters keep draining until the
+  queue is empty, then receive ``None``; every accepted job still runs.
+- ``close(drain=False)`` — no new puts *and* remaining entries are
+  returned to the caller (the manager cancels them); getters receive
+  ``None`` immediately.
+
+Cancellation of a queued job is lazy: :meth:`discard` marks the id and
+:meth:`get` skips marked entries on the way out, so cancel never has to
+re-heapify.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from repro import obs
+from repro.serve.jobs import JobHandle
+
+__all__ = ["JobQueue", "QueueFull"]
+
+_DEPTH = obs.gauge("serve.queue_depth")
+
+
+class QueueFull(Exception):
+    """The queue is at capacity; retry after the advertised delay."""
+
+    def __init__(self, maxsize: int, retry_after: float) -> None:
+        super().__init__(
+            f"job queue is full ({maxsize} pending); "
+            f"retry in {retry_after:g}s")
+        self.maxsize = maxsize
+        self.retry_after = retry_after
+
+
+class JobQueue:
+    """A thread-safe bounded priority queue of :class:`JobHandle`\\ s."""
+
+    def __init__(self, maxsize: int, retry_after: float = 1.0) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.retry_after = retry_after
+        self._heap: list[tuple[int, int, JobHandle]] = []
+        self._discarded: set[str] = set()
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._draining = False
+
+    # -- producers ------------------------------------------------------------
+
+    def put(self, handle: JobHandle) -> None:
+        """Enqueue ``handle`` or raise :class:`QueueFull` / RuntimeError.
+
+        ``RuntimeError`` signals a closed queue (daemon shutting down) —
+        a different refusal than backpressure, so clients can tell
+        "retry soon" from "stop submitting".
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("job queue is closed")
+            if self._live_depth() >= self.maxsize:
+                raise QueueFull(self.maxsize, self.retry_after)
+            heapq.heappush(
+                self._heap,
+                (handle.spec.priority, next(self._seq), handle))
+            _DEPTH.set(self._live_depth())
+            self._cond.notify()
+
+    # -- consumers ------------------------------------------------------------
+
+    def get(self, timeout: float | None = None) -> JobHandle | None:
+        """Next job by priority; ``None`` on timeout or after close.
+
+        During a draining close, remaining jobs are still served;
+        ``None`` only appears once the queue is empty (or immediately
+        after a non-draining close).
+        """
+        with self._cond:
+            while True:
+                handle = self._pop_live()
+                if handle is not None:
+                    _DEPTH.set(self._live_depth())
+                    return handle
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    # -- cancellation and shutdown --------------------------------------------
+
+    def discard(self, job_id: str) -> bool:
+        """Mark a queued job so :meth:`get` never returns it.
+
+        True when the id was actually waiting in the queue.
+        """
+        with self._cond:
+            waiting = any(h.id == job_id for _, _, h in self._heap
+                          if h.id not in self._discarded)
+            if waiting:
+                self._discarded.add(job_id)
+                _DEPTH.set(self._live_depth())
+            return waiting
+
+    def close(self, drain: bool = True) -> list[JobHandle]:
+        """Refuse new puts; return the jobs that will never run.
+
+        With ``drain=True`` the returned list is empty and getters
+        finish the backlog.  Without it, the backlog is handed back for
+        the manager to cancel.
+        """
+        with self._cond:
+            self._closed = True
+            self._draining = drain
+            leftovers: list[JobHandle] = []
+            if not drain:
+                leftovers = [h for _, _, h in self._heap
+                             if h.id not in self._discarded]
+                self._heap.clear()
+                self._discarded.clear()
+                _DEPTH.set(0)
+            self._cond.notify_all()
+            return leftovers
+
+    def depth(self) -> int:
+        """Jobs currently waiting (discarded entries excluded)."""
+        with self._cond:
+            return self._live_depth()
+
+    # -- internals (call with the lock held) ----------------------------------
+
+    def _live_depth(self) -> int:
+        return sum(1 for _, _, h in self._heap
+                   if h.id not in self._discarded)
+
+    def _pop_live(self) -> JobHandle | None:
+        while self._heap:
+            _, _, handle = heapq.heappop(self._heap)
+            if handle.id in self._discarded:
+                self._discarded.discard(handle.id)
+                continue
+            return handle
+        return None

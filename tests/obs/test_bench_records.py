@@ -173,6 +173,42 @@ def test_cli_compare_threshold_flag_tightens_gate(tmp_path):
                  "--threshold", "5"]) == 1
 
 
+def test_cli_compare_missing_baseline_prints_commit_hint(tmp_path, capsys):
+    # A record with no committed baseline must not vanish into a silent
+    # skip: the gate names the exact cp command that would baseline it.
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baselines"
+    current_dir.mkdir()
+    baseline_dir.mkdir()
+    make_record(name="orphan", wall_s=(0.5, "lower", None)).write(current_dir)
+    rc = main(["bench", "compare", "--dir", str(current_dir),
+               "--baseline", str(baseline_dir)])
+    assert rc == 0  # a skip is not a regression
+    err = capsys.readouterr().err
+    assert "skipped orphan: no baseline" in err
+    assert "hint" in err
+    assert f"cp {current_dir / 'BENCH_orphan.json'} " \
+           f"{baseline_dir / 'BENCH_orphan.json'}" in err
+
+
+def test_cli_compare_fingerprint_skip_gets_no_copy_hint(tmp_path, capsys):
+    # An incomparable-scale skip is not fixable by committing the
+    # current record, so it must not get the cp hint.
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baselines"
+    current_dir.mkdir()
+    baseline_dir.mkdir()
+    make_record(name="rescaled", fingerprint="fp-new",
+                wall_s=(0.5, "lower", None)).write(current_dir)
+    make_record(name="rescaled", fingerprint="fp-old",
+                wall_s=(0.5, "lower", None)).write(baseline_dir)
+    main(["bench", "compare", "--dir", str(current_dir),
+          "--baseline", str(baseline_dir)])
+    err = capsys.readouterr().err
+    assert "skipped rescaled" in err
+    assert "hint" not in err
+
+
 def test_cli_ls_and_show(tmp_path, capsys):
     make_record(wall_s=(0.5, "lower", 50.0)).write(tmp_path)
     assert main(["bench", "ls", "--dir", str(tmp_path)]) == 0

@@ -1,0 +1,109 @@
+"""The acceptance scenario from the service's design brief.
+
+Start the daemon in-process with a real process-backed executor, drive
+it from several concurrent client connections, and inject a fault that
+kills one executor worker (``os._exit``) mid-run.  The contract under
+test: every submitted job reaches a terminal state, none are lost, the
+daemon keeps serving after the crash, and an identical resubmit is
+served warm from the artifact store (cache-hit counter asserted).
+"""
+
+import threading
+
+from repro import obs, store
+from repro.parallel.executor import Executor
+from repro.serve import (
+    JobManager,
+    ReproServer,
+    ServeClient,
+    register_job_kind,
+)
+from repro.testing import FaultPlan
+
+
+def _chaos_task(item):
+    """Module-level fault-plan task: the process backend pickles it."""
+    index, value = item
+    return {"index": index, "tripled": value * 3}
+
+
+class _ChaosKind:
+    """Adapter from job params to the ``(index, value)`` fault-plan item."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, params):
+        return self.fn((params["index"], params["value"]))
+
+
+def test_concurrent_clients_survive_a_worker_crash(tmp_path):
+    # One scheduled crash: job index 2 os._exits its worker process on
+    # the first attempt; with one retry the rebuilt pool completes it.
+    faults_dir = tmp_path / "faults"
+    faults_dir.mkdir()
+    plan = FaultPlan(faults_dir).crash(2, times=1)
+    register_job_kind("chaos", _ChaosKind(plan.wrap(_chaos_task)),
+                      replace=True)
+
+    n_jobs = 9
+    n_clients = 3
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), store.storing(tmp_path / "cache"):
+        manager = JobManager(workers=2, queue_size=32,
+                             executor=Executor("process", retries=1))
+        server = ReproServer(manager)
+        server.serve_in_thread()
+        host, port = server.address
+        try:
+            submitted: dict[int, str] = {}
+            submit_lock = threading.Lock()
+            errors: list[BaseException] = []
+
+            def client_worker(client_index: int) -> None:
+                try:
+                    with ServeClient.connect(host=host, port=port) as c:
+                        for i in range(client_index, n_jobs, n_clients):
+                            job = c.submit(
+                                "chaos", {"index": i, "value": i})
+                            with submit_lock:
+                                submitted[i] = job["id"]
+                        # Each connection waits on its own jobs too.
+                        for i in range(client_index, n_jobs, n_clients):
+                            c.result(submitted[i], timeout=120)
+                except BaseException as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client_worker, args=(k,))
+                       for k in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180)
+            assert not errors, f"client thread failed: {errors[0]!r}"
+            assert len(submitted) == n_jobs  # every submit was accepted
+
+            # No job lost, every one terminal — and all successful: the
+            # crashed worker's job recovered on the rebuilt pool.
+            with ServeClient.connect(host=host, port=port) as c:
+                snapshots = {j["id"]: j for j in c.jobs()}
+                assert set(submitted.values()) <= set(snapshots)
+                states = {i: snapshots[job_id]["state"]
+                          for i, job_id in submitted.items()}
+                assert states == {i: "done" for i in range(n_jobs)}
+                crashed = snapshots[submitted[2]]
+                assert crashed["result"] == {"index": 2, "tripled": 6}
+                assert plan.attempts(2) == 2  # crash, then the retry
+
+                # Identical resubmit: served warm from the store.
+                warm = c.submit("chaos", {"index": 4, "value": 4})
+                final = c.result(warm["id"], timeout=30)
+                assert final["state"] == "done"
+                assert final["cache_hit"] is True
+                assert final["result"] == {"index": 4, "tripled": 12}
+        finally:
+            server.close(drain=False)
+
+    assert agg.counters["serve.cache_hits[kind=chaos]"] == 1.0
+    assert agg.counters["serve.jobs[kind=chaos]"] == n_jobs + 1
+    assert agg.counters["serve.done[kind=chaos]"] == n_jobs + 1

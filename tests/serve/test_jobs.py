@@ -1,0 +1,139 @@
+"""Job lifecycle state machine, cache keys, and the kind registry."""
+
+import pickle
+
+import pytest
+
+from repro.serve.jobs import (
+    JobHandle,
+    JobPayload,
+    JobSpec,
+    STATES,
+    TERMINAL_STATES,
+    UnknownJobKind,
+    execute_job,
+    job_kinds,
+    register_job_kind,
+    resolve_job_kind,
+)
+
+
+def spec(**kwargs) -> JobSpec:
+    kwargs.setdefault("kind", "compress")
+    return JobSpec(**kwargs)
+
+
+# -- specs and cache keys -----------------------------------------------------
+
+def test_identical_specs_share_a_cache_key():
+    a = spec(params={"variant": "fpzip-24", "ne": 4})
+    b = spec(params={"ne": 4, "variant": "fpzip-24"})  # key order irrelevant
+    assert a.key() == b.key()
+
+
+def test_different_params_or_kind_change_the_key():
+    base = spec(params={"variant": "fpzip-24"})
+    assert base.key() != spec(params={"variant": "fpzip-16"}).key()
+    assert base.key() != JobSpec("verify", {"variant": "fpzip-24"}).key()
+
+
+def test_priority_is_not_part_of_the_key():
+    assert spec(priority=0).key() == spec(priority=9).key()
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+def test_normal_lifecycle_records_events():
+    h = JobHandle("job-1", spec())
+    assert h.state == "pending" and not h.terminal
+    h.transition("running")
+    h.transition("done", result={"cr": 2.0})
+    assert h.terminal
+    assert [state for state, _ in h.events] == ["pending", "running", "done"]
+    assert h.result == {"cr": 2.0}
+    timings = h.timings()
+    assert timings["wait_s"] >= 0 and timings["run_s"] >= 0
+
+
+def test_terminal_states_are_final():
+    h = JobHandle("job-1", spec())
+    h.transition("cancelled")
+    h.transition("done", result={"x": 1})  # late writer loses
+    assert h.state == "cancelled"
+    assert h.result is None
+    assert [state for state, _ in h.events] == ["pending", "cancelled"]
+
+
+def test_unknown_state_is_rejected():
+    with pytest.raises(ValueError, match="unknown job state"):
+        JobHandle("job-1", spec()).transition("paused")
+
+
+def test_wait_returns_immediately_once_terminal():
+    h = JobHandle("job-1", spec())
+    assert h.wait(timeout=0.01) is False
+    h.transition("failed", error={"type": "ValueError", "message": "x"})
+    assert h.wait(timeout=0.01) is True
+
+
+def test_wait_events_pages_through_transitions():
+    h = JobHandle("job-1", spec())
+    first = h.wait_events(0, timeout=0.01)
+    assert [e["state"] for e in first] == ["pending"]
+    h.transition("running")
+    h.transition("done")
+    rest = h.wait_events(len(first), timeout=0.01)
+    assert [e["state"] for e in rest] == ["running", "done"]
+
+
+def test_snapshot_is_json_shaped():
+    h = JobHandle("job-7", spec(priority=3), cache_hit=True)
+    h.transition("done", result={"cr": 1.5})
+    snap = h.snapshot()
+    assert snap["id"] == "job-7"
+    assert snap["kind"] == "compress"
+    assert snap["priority"] == 3
+    assert snap["state"] == "done"
+    assert snap["cache_hit"] is True
+    assert snap["result"] == {"cr": 1.5}
+    assert all(set(e) == {"state", "t"} for e in snap["events"])
+
+
+def test_states_tuples_agree():
+    assert set(TERMINAL_STATES) < set(STATES)
+
+
+# -- registry and payload -----------------------------------------------------
+
+def test_builtin_kinds_are_registered():
+    assert {"compress", "verify", "hybrid-plan"} <= set(job_kinds())
+
+
+def test_resolve_unknown_kind_names_the_alternatives():
+    with pytest.raises(UnknownJobKind, match="compress"):
+        resolve_job_kind("no-such-kind")
+
+
+def test_register_refuses_silent_shadowing():
+    def custom(params):
+        return {"ok": True}
+
+    register_job_kind("test-jobs-custom", custom, replace=True)
+    with pytest.raises(ValueError, match="already registered"):
+        register_job_kind("test-jobs-custom", custom)
+    assert resolve_job_kind("test-jobs-custom") is custom
+
+
+def _double(params):
+    return {"doubled": params["x"] * 2}
+
+
+def test_execute_job_runs_the_payload_fn():
+    payload = JobPayload(fn=_double, params={"x": 4}, store_root=None)
+    assert execute_job(payload) == {"doubled": 8}
+
+
+def test_payload_with_module_level_fn_is_picklable():
+    payload = JobPayload(fn=_double, params={"x": 1}, store_root=None)
+    clone = pickle.loads(pickle.dumps(payload))
+    assert execute_job(clone) == {"doubled": 2}

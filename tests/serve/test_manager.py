@@ -1,0 +1,207 @@
+"""JobManager contract: admission, execution, caching, cancellation,
+backpressure, and drain — driven without any socket in front."""
+
+import threading
+
+import pytest
+
+from repro import obs, store
+from repro.parallel.executor import Executor
+from repro.serve.jobs import JobSpec, UnknownJobKind, register_job_kind
+from repro.serve.manager import JobManager, ServerBusy
+from repro.testing import FaultPlan
+
+
+def _triple(params):
+    return {"tripled": params["x"] * 3}
+
+
+def _boom(params):
+    raise ValueError(f"injected: {params.get('why', 'no reason')}")
+
+
+_GATES: dict[str, threading.Event] = {}
+
+
+def _gated(params):
+    """Blocks until the named gate opens — lets tests hold a worker busy."""
+    _GATES[params["gate"]].wait(timeout=30.0)
+    return {"gate": params["gate"]}
+
+
+register_job_kind("mgr-triple", _triple, replace=True)
+register_job_kind("mgr-boom", _boom, replace=True)
+register_job_kind("mgr-gated", _gated, replace=True)
+
+
+@pytest.fixture()
+def manager():
+    mgr = JobManager(workers=2, queue_size=4,
+                     executor=Executor("thread", retries=0))
+    mgr.start()
+    yield mgr
+    mgr.shutdown(drain=False, timeout=5.0)
+
+
+def gate(name: str) -> threading.Event:
+    event = _GATES[name] = threading.Event()
+    return event
+
+
+def test_submit_runs_and_completes(manager):
+    handle = manager.submit(JobSpec("mgr-triple", {"x": 7}))
+    assert handle.wait(timeout=10)
+    assert handle.state == "done"
+    assert handle.result == {"tripled": 21}
+    assert manager.get(handle.id) is handle
+    assert handle in manager.jobs()
+
+
+def test_job_exception_becomes_failed_not_lost(manager):
+    handle = manager.submit(JobSpec("mgr-boom", {"why": "testing"}))
+    assert handle.wait(timeout=10)
+    assert handle.state == "failed"
+    assert handle.error["type"] == "ValueError"
+    assert "testing" in handle.error["message"]
+
+
+def test_unknown_kind_is_rejected_at_the_door(manager):
+    with pytest.raises(UnknownJobKind):
+        manager.submit(JobSpec("mgr-no-such"))
+    assert manager.jobs() == []
+
+
+def test_full_queue_raises_server_busy():
+    mgr = JobManager(workers=1, queue_size=1, retry_after=0.25,
+                     executor=Executor("thread", retries=0))
+    mgr.start()
+    open_gate = gate("busy")
+    try:
+        running = mgr.submit(JobSpec("mgr-gated", {"gate": "busy"}))
+        # Wait for the worker to pick it up so the queue slot frees.
+        assert running.wait_events(1, timeout=5.0)
+        queued = mgr.submit(JobSpec("mgr-triple", {"x": 1}))
+        with pytest.raises(ServerBusy) as exc_info:
+            mgr.submit(JobSpec("mgr-triple", {"x": 2}))
+        assert exc_info.value.retry_after == 0.25
+        # The rejected job leaves no trace; the accepted ones live on.
+        assert {h.id for h in mgr.jobs()} == {running.id, queued.id}
+    finally:
+        open_gate.set()
+        mgr.shutdown(drain=True, timeout=10.0)
+    assert queued.state == "done"
+
+
+def test_cancel_queued_job_never_runs():
+    mgr = JobManager(workers=1, queue_size=4,
+                     executor=Executor("thread", retries=0))
+    mgr.start()
+    open_gate = gate("cancel-queued")
+    try:
+        running = mgr.submit(JobSpec("mgr-gated", {"gate": "cancel-queued"}))
+        assert running.wait_events(1, timeout=5.0)
+        queued = mgr.submit(JobSpec("mgr-triple", {"x": 5}))
+        assert mgr.cancel(queued.id) is True
+        assert queued.wait(timeout=5.0)
+        assert queued.state == "cancelled"
+        assert queued.result is None
+    finally:
+        open_gate.set()
+        mgr.shutdown(drain=True, timeout=10.0)
+
+
+def test_cancel_running_job_discards_its_result(manager):
+    open_gate = gate("cancel-running")
+    handle = manager.submit(JobSpec("mgr-gated", {"gate": "cancel-running"}))
+    assert handle.wait_events(1, timeout=5.0)  # running now
+    assert manager.cancel(handle.id) is True
+    open_gate.set()
+    assert handle.wait(timeout=10)
+    assert handle.state == "cancelled"
+    assert handle.result is None
+
+
+def test_cancel_finished_or_unknown_job_is_false(manager):
+    handle = manager.submit(JobSpec("mgr-triple", {"x": 1}))
+    assert handle.wait(timeout=10)
+    assert manager.cancel(handle.id) is False
+    assert manager.cancel("job-999999") is False
+
+
+def test_identical_resubmit_is_served_from_the_store(tmp_path):
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]), store.storing(tmp_path / "cache"):
+        mgr = JobManager(workers=1, queue_size=4,
+                         executor=Executor("thread", retries=0))
+        mgr.start()
+        try:
+            first = mgr.submit(JobSpec("mgr-triple", {"x": 11}))
+            assert first.wait(timeout=10) and first.state == "done"
+            again = mgr.submit(JobSpec("mgr-triple", {"x": 11}))
+            other = mgr.submit(JobSpec("mgr-triple", {"x": 12}))
+            assert again.wait(timeout=10) and other.wait(timeout=10)
+        finally:
+            mgr.shutdown(drain=True, timeout=10.0)
+    assert again.cache_hit is True
+    assert again.state == "done"
+    assert again.result == {"tripled": 33}
+    assert other.cache_hit is False  # different params, different key
+    assert agg.counters["serve.cache_hits[kind=mgr-triple]"] == 1.0
+    assert agg.counters["serve.cache_misses[kind=mgr-triple]"] == 2.0
+
+
+def test_worker_crash_fails_the_job_but_not_the_manager(tmp_path):
+    # A real os._exit in the executor's worker process: the pool breaks
+    # and is rebuilt; the job books as failed; the manager keeps serving.
+    plan = FaultPlan(tmp_path).crash(0, times=10)
+    register_job_kind("mgr-crash", _CrashKind(plan.wrap(_crash_task)),
+                      replace=True)
+    mgr = JobManager(workers=1, queue_size=4,
+                     executor=Executor("process", retries=0))
+    mgr.start()
+    try:
+        doomed = mgr.submit(JobSpec("mgr-crash", {"index": 0}))
+        assert doomed.wait(timeout=60)
+        assert doomed.state == "failed"
+        assert doomed.error["kind"] == "crash"
+        healthy = mgr.submit(JobSpec("mgr-triple", {"x": 2}))
+        assert healthy.wait(timeout=60)
+        assert healthy.state == "done"
+    finally:
+        mgr.shutdown(drain=False, timeout=10.0)
+
+
+def _crash_task(item):
+    return {"index": int(item)}
+
+
+class _CrashKind:
+    """Adapter: job params -> fault-plan item (the task index)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, params):
+        return self.fn(params["index"])
+
+
+def test_shutdown_without_drain_cancels_the_backlog():
+    mgr = JobManager(workers=1, queue_size=8,
+                     executor=Executor("thread", retries=0))
+    mgr.start()
+    open_gate = gate("drainless")
+    running = mgr.submit(JobSpec("mgr-gated", {"gate": "drainless"}))
+    assert running.wait_events(1, timeout=5.0)
+    backlog = [mgr.submit(JobSpec("mgr-triple", {"x": i}))
+               for i in range(3)]
+    open_gate.set()
+    mgr.shutdown(drain=False, timeout=10.0)
+    assert running.terminal  # the in-flight job still completed
+    for handle in backlog:
+        assert handle.state == "cancelled"
+
+
+def test_submit_after_shutdown_is_refused(manager):
+    manager.shutdown(drain=True, timeout=5.0)
+    with pytest.raises(RuntimeError, match="closed"):
+        manager.submit(JobSpec("mgr-triple", {"x": 1}))

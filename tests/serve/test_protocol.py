@@ -1,0 +1,100 @@
+"""Wire-format contract: length-prefixed JSON frames over a socketpair."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME,
+    ProtocolError,
+    max_frame_bytes,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_roundtrip_preserves_object(pair):
+    a, b = pair
+    obj = {"op": "submit", "params": {"x": [1, 2.5, None, True], "s": "é"}}
+    send_frame(a, obj)
+    assert recv_frame(b) == obj
+
+
+def test_frames_are_self_delimiting(pair):
+    a, b = pair
+    send_frame(a, {"n": 1})
+    send_frame(a, {"n": 2})
+    assert recv_frame(b) == {"n": 1}
+    assert recv_frame(b) == {"n": 2}
+
+
+def test_clean_eof_returns_none(pair):
+    a, b = pair
+    a.close()
+    assert recv_frame(b) is None
+
+
+def test_eof_mid_frame_raises(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", 100) + b'{"partial": tru')
+    a.close()
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        recv_frame(b)
+
+
+def test_oversized_length_prefix_is_refused_without_allocating(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", DEFAULT_MAX_FRAME + 1))
+    with pytest.raises(ProtocolError, match="ceiling"):
+        recv_frame(b)
+
+
+def test_oversized_send_is_refused_locally(pair, monkeypatch):
+    a, _ = pair
+    monkeypatch.setenv("REPRO_SERVE_MAX_FRAME", "16")
+    with pytest.raises(ProtocolError, match="ceiling"):
+        send_frame(a, {"blob": "x" * 64})
+
+
+def test_invalid_json_payload_raises(pair):
+    a, b = pair
+    payload = b"not json at all"
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="undecodable"):
+        recv_frame(b)
+
+
+def test_non_object_payload_raises(pair):
+    a, b = pair
+    payload = b"[1, 2, 3]"
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="JSON object"):
+        recv_frame(b)
+
+
+def test_max_frame_env_knob(monkeypatch):
+    assert max_frame_bytes() == DEFAULT_MAX_FRAME
+    monkeypatch.setenv("REPRO_SERVE_MAX_FRAME", "1024")
+    assert max_frame_bytes() == 1024
+    monkeypatch.setenv("REPRO_SERVE_MAX_FRAME", "0")
+    assert max_frame_bytes() == DEFAULT_MAX_FRAME
+
+
+def test_large_frame_crosses_recv_chunks(pair):
+    # A frame bigger than one recv() call still arrives whole.
+    a, b = pair
+    obj = {"blob": "x" * 300_000}
+    t = threading.Thread(target=send_frame, args=(a, obj))
+    t.start()
+    assert recv_frame(b) == obj
+    t.join()

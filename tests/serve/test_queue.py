@@ -1,0 +1,83 @@
+"""JobQueue contract: priority order, backpressure, cancellation, close."""
+
+import pytest
+
+from repro.serve.jobs import JobHandle, JobSpec
+from repro.serve.queue import JobQueue, QueueFull
+
+
+def handle(job_id: str, priority: int = 0) -> JobHandle:
+    return JobHandle(job_id, JobSpec("compress", priority=priority))
+
+
+def test_fifo_within_a_priority():
+    q = JobQueue(maxsize=4)
+    for name in ("a", "b", "c"):
+        q.put(handle(name))
+    assert [q.get().id for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_smaller_priority_runs_first():
+    q = JobQueue(maxsize=4)
+    q.put(handle("late", priority=5))
+    q.put(handle("soon", priority=-1))
+    q.put(handle("mid", priority=0))
+    assert [q.get().id for _ in range(3)] == ["soon", "mid", "late"]
+
+
+def test_put_at_capacity_raises_queue_full_with_retry_hint():
+    q = JobQueue(maxsize=2, retry_after=2.5)
+    q.put(handle("a"))
+    q.put(handle("b"))
+    with pytest.raises(QueueFull) as exc_info:
+        q.put(handle("c"))
+    assert exc_info.value.retry_after == 2.5
+    assert exc_info.value.maxsize == 2
+    # Draining one slot reopens the door.
+    assert q.get().id == "a"
+    q.put(handle("c"))
+    assert q.depth() == 2
+
+
+def test_get_timeout_returns_none():
+    q = JobQueue(maxsize=2)
+    assert q.get(timeout=0.01) is None
+
+
+def test_discard_skips_a_queued_job():
+    q = JobQueue(maxsize=4)
+    q.put(handle("keep"))
+    q.put(handle("drop"))
+    assert q.discard("drop") is True
+    assert q.discard("drop") is False  # already marked
+    assert q.discard("never-queued") is False
+    assert q.depth() == 1
+    assert q.get().id == "keep"
+    assert q.get(timeout=0.01) is None
+
+
+def test_close_draining_serves_the_backlog_then_none():
+    q = JobQueue(maxsize=4)
+    q.put(handle("a"))
+    q.put(handle("b"))
+    assert q.close(drain=True) == []
+    with pytest.raises(RuntimeError, match="closed"):
+        q.put(handle("c"))
+    assert q.get().id == "a"
+    assert q.get().id == "b"
+    assert q.get() is None  # immediate, no timeout needed
+
+
+def test_close_without_drain_hands_back_the_backlog():
+    q = JobQueue(maxsize=4)
+    q.put(handle("a"))
+    q.put(handle("b"))
+    leftovers = q.close(drain=False)
+    assert [h.id for h in leftovers] == ["a", "b"]
+    assert q.get() is None
+    assert q.depth() == 0
+
+
+def test_rejects_nonpositive_maxsize():
+    with pytest.raises(ValueError, match="maxsize"):
+        JobQueue(maxsize=0)

@@ -107,8 +107,94 @@ def test_anchor_fragments_resolve(doc):
 
 def test_docs_are_linked_from_readme():
     readme = (REPO / "README.md").read_text()
+    assert "docs/README.md" in readme
     assert "docs/architecture.md" in readme
+    assert "docs/parallel.md" in readme
+    assert "docs/serving.md" in readme
     assert "docs/static-analysis.md" in readme
     assert "docs/observability.md" in readme
     assert "docs/caching.md" in readme
     assert "docs/benchmarks.md" in readme
+
+
+def test_docs_index_covers_every_page():
+    index = (REPO / "docs" / "README.md").read_text()
+    pages = sorted(p.name for p in (REPO / "docs").glob("*.md")
+                   if p.name != "README.md")
+    missing = [page for page in pages if f"({page})" not in index]
+    assert not missing, f"docs/README.md does not link: {missing}"
+
+
+# -- fenced bash blocks: commands and env vars must be real ------------------
+#
+# Docs rot fastest inside copy-pasteable examples: a renamed subcommand
+# or env knob in a ```bash block silently strands readers.  Validate
+# every `repro <sub>` invocation against the live argparse registry and
+# every REPRO_* token against what the code actually reads.
+
+_BASH_BLOCK = re.compile(r"```bash\s*\n(.*?)```", re.DOTALL)
+#: `repro <sub>` where `repro` is a shell word (not part of a path,
+#: module, or package name like src/repro or repro.cli).
+_SUBCOMMAND = re.compile(r"(?<![\w/.\-])repro\s+([a-z][a-z0-9-]*)")
+_CLI_MODULE = re.compile(r"python\s+-m\s+repro\.cli\s+([a-z][a-z0-9-]*)")
+_ENV_TOKEN = re.compile(r"REPRO_[A-Z0-9_]+")
+#: A source line that reads the environment: a repro.config accessor
+#: (env_str / env_flag / env_int[_opt] / env_float_opt, public or
+#: module-private) or a raw os.environ access.
+_ENV_READ_LINE = re.compile(
+    r"(?:_?env_(?:str|flag|int|int_opt|float_opt)\s*\(|os\.environ)")
+
+
+def _known_subcommands() -> set[str]:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    action = next(a for a in parser._actions
+                  if getattr(a, "choices", None))
+    return set(action.choices)
+
+
+def _known_env_vars() -> set[str]:
+    known: set[str] = set()
+    for base in (REPO / "src", REPO / "benchmarks"):
+        for py in base.rglob("*.py"):
+            for line in py.read_text().splitlines():
+                if _ENV_READ_LINE.search(line):
+                    known.update(_ENV_TOKEN.findall(line))
+    return known
+
+
+def _bash_lines(doc: Path):
+    for block in _BASH_BLOCK.findall(doc.read_text()):
+        for line in block.splitlines():
+            yield line.split("#", 1)[0]  # commands only, not comments
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_bash_blocks_invoke_real_subcommands(doc):
+    known = _known_subcommands()
+    bogus = []
+    for line in _bash_lines(doc):
+        for sub in (*_SUBCOMMAND.findall(line), *_CLI_MODULE.findall(line)):
+            if sub not in known:
+                bogus.append(f"repro {sub}")
+    assert not bogus, (
+        f"{doc.name} bash examples use unknown subcommands: {sorted(set(bogus))}; "
+        f"known: {sorted(known)}"
+    )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_bash_blocks_reference_real_env_vars(doc):
+    known = _known_env_vars()
+    assert known, "env-var scan found nothing; the scan regex is broken"
+    bogus = sorted({
+        token
+        for line in _bash_lines(doc)
+        for token in _ENV_TOKEN.findall(line)
+        if token not in known
+    })
+    assert not bogus, (
+        f"{doc.name} bash examples reference env vars the code never "
+        f"reads: {bogus}"
+    )
