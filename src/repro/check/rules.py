@@ -547,6 +547,32 @@ def _check_rep012(tree: ast.AST, lines: Sequence[str],
     return found
 
 
+# -- REP018 ------------------------------------------------------------------
+
+def _check_rep018(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+
+    def visit(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if depth <= 1 and not child.name.startswith("_") \
+                        and not ast.get_docstring(child):
+                    found.append((
+                        child.lineno, child.col_offset,
+                        f"public function {child.name!r} has no "
+                        "docstring",
+                    ))
+                visit(child, depth + 2)  # nested defs are private
+            elif isinstance(child, ast.ClassDef):
+                visit(child, depth + 1)  # methods of top-level classes
+            else:
+                visit(child, depth)
+
+    visit(tree, 0)
+    return found
+
+
 # -- registry ----------------------------------------------------------------
 
 RULES: tuple[Rule, ...] = (
@@ -712,6 +738,22 @@ RULES: tuple[Rule, ...] = (
                  "cleanup, end the handler with a bare `raise`",
         applies=_in("parallel", "testing"),
         check=_check_rep012,
+    ),
+    Rule(
+        id="REP018",
+        title="undocumented public streaming/serving API",
+        severity="warning",
+        rationale="The stream and serve packages are the repo's two "
+                  "service surfaces — what external callers (the CLI, "
+                  "the daemon protocol, other sessions' scripts) program "
+                  "against.  An undocumented public function there is an "
+                  "API whose chunk ordering, blocking behavior, or "
+                  "cleanup obligations exist only in the implementation.",
+        fix_hint="add a docstring stating what the function does and any "
+                 "ordering/lifecycle obligations (docs/streaming.md, "
+                 "docs/serving.md hold the package-level contracts)",
+        applies=_in("stream", "serve"),
+        check=_check_rep018,
     ),
 )
 

@@ -17,6 +17,8 @@ Exposes the paper's workflows as commands:
   see ``docs/benchmarks.md``);
 - ``store``        — inspect or trim the artifact cache (``ls`` /
   ``info`` / ``gc`` / ``clear``, see ``docs/caching.md``);
+- ``stream``       — run the chunked out-of-core compression pipeline
+  over synthetic, ensemble, or NCH-file data (``docs/streaming.md``);
 - ``serve``        — run the verification job daemon
   (``docs/serving.md``);
 - ``submit``       — send one job to a running daemon and (by default)
@@ -191,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the repro.check static analyzer (REP001..REP017)",
+        help="run the repro.check static analyzer (REP001..REP018)",
         epilog=_docs("docs/static-analysis.md"),
     )
     p.add_argument("paths", nargs="*", default=["src"],
@@ -295,6 +297,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-mb", type=float, default=None,
                    help="gc: evict LRU artifacts down to this size")
     _add_store_flag(p)
+
+    p = sub.add_parser(
+        "stream",
+        help="run the chunked out-of-core compression pipeline "
+             "(docs/streaming.md)",
+        epilog=_docs("docs/streaming.md"),
+    )
+    p.add_argument("variants", nargs="*", default=[],
+                   help="codec variants to round-trip "
+                        "(default: fpzip-24)")
+    p.add_argument("--mb", type=float, default=64.0,
+                   help="synthetic stream size in MiB (default: 64; "
+                        "the stream is generated chunk by chunk, so any "
+                        "size fits in memory)")
+    p.add_argument("--chunk-mb", type=float, default=None,
+                   help="block size in MiB (default: "
+                        "$REPRO_STREAM_CHUNK_MB or 8)")
+    p.add_argument("--fill-fraction", type=float, default=0.0,
+                   help="fraction of synthetic points set to the CESM "
+                        "fill value (default: 0)")
+    p.add_argument("--file", default=None, metavar="NCH",
+                   help="stream a variable from an NCH file instead of "
+                        "synthetic data (needs --variable)")
+    p.add_argument("--variable", default=None, metavar="NAME",
+                   help="with --file: the variable to stream; alone: "
+                        "stream this variable's field from the "
+                        "bench-scale ensemble")
+    p.add_argument("--workers", type=int, default=0,
+                   help="round-trip chunks in worker processes over the "
+                        "shared-memory transport (<=1: serial, strictly "
+                        "bounded RSS)")
+    _add_scale_flags(p)
 
     p = sub.add_parser(
         "serve",
@@ -412,6 +446,9 @@ def main(argv=None) -> int:
     if args.command == "bench":
         return _bench_command(args, render_table)
 
+    if args.command == "stream":
+        return _stream_command(args, render_table)
+
     if args.command == "serve":
         return _serve_command(args)
 
@@ -432,8 +469,10 @@ def main(argv=None) -> int:
         for hist_path in args.history:
             with HistoryFile(hist_path) as fh:
                 for name in names:
-                    verdict = summary.variables[name].verify(
-                        fh.get(name),
+                    # Streamed chunk by chunk: a history file bigger
+                    # than RAM verifies in block-sized memory.
+                    verdict = summary.variables[name].verify_stream(
+                        fh.iter_chunks(name),
                         mean_tolerance_factor=args.mean_tolerance,
                     )
                     all_ok &= verdict["passed"]
@@ -665,8 +704,7 @@ def _bench_command(args, render_table) -> int:
         current = bench.load_record(current_path)
         baseline = bench.load_record(base_path)
         if baseline.fingerprint != current.fingerprint:
-            print(f"{current.name}: config fingerprint differs from "
-                  "the baseline (different scale); not comparable",
+            print(bench.fingerprint_skip_reason(current, baseline),
                   file=sys.stderr)
             return 2
         deltas_by_name = {current.name: bench.compare_records(
@@ -711,6 +749,62 @@ def _bench_command(args, render_table) -> int:
               file=sys.stderr)
         return 1
     print(f"no regressions across {len(deltas_by_name)} record(s)")
+    return 0
+
+
+def _stream_command(args, render_table) -> int:
+    """The ``repro stream`` chunked-pipeline front end."""
+    from repro.compressors import get_variant
+    from repro.stream import (
+        iter_file_chunks,
+        stream_roundtrip,
+        synthetic_chunks,
+    )
+
+    if args.file and not args.variable:
+        print("repro stream --file needs --variable NAME",
+              file=sys.stderr)
+        return 2
+
+    def source():
+        if args.file:
+            return iter_file_chunks(args.file, args.variable,
+                                    chunk_mb=args.chunk_mb)
+        if args.variable:
+            from repro.harness.experiments import ExperimentContext
+
+            ctx = ExperimentContext.create(_config_from_args(args))
+            return ctx.member_chunks(args.variable,
+                                     chunk_mb=args.chunk_mb)
+        return synthetic_chunks(args.mb, chunk_mb=args.chunk_mb,
+                                fill_fraction=args.fill_fraction)
+
+    variants = args.variants or ["fpzip-24"]
+    rows = []
+    for name in variants:
+        try:
+            codec = get_variant(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        out = stream_roundtrip(codec, source(), workers=args.workers)
+        rows.append([
+            out.variant, out.n_chunks, out.bytes_in / 2**20, out.cr,
+            out.errors.rmse, out.errors.e_max, out.errors.pearson,
+        ])
+    if args.file:
+        origin = f"{args.file}:{args.variable}"
+    elif args.variable:
+        origin = f"ensemble member field {args.variable}"
+    else:
+        origin = f"synthetic {args.mb:g} MiB"
+    mode = ("serial" if args.workers <= 1
+            else f"{args.workers} workers, shm transport")
+    print(render_table(
+        ["variant", "chunks", "MiB", "CR", "rmse", "e_max", "pearson"],
+        rows, title=f"Streaming round trip: {origin} ({mode})",
+        precision=4,
+    ))
     return 0
 
 

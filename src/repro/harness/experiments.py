@@ -84,6 +84,20 @@ class ExperimentContext:
             variable, int(self.test_members[which])
         )
 
+    def member_chunks(self, variable: str, which: int = 0,
+                      chunk_mb: float | None = None):
+        """A test member's field as a chunk stream.
+
+        The streaming front ends (``repro stream --variable``, the
+        throughput benchmark) use this to run the chunked pipeline over
+        real ensemble fields at the context's scale instead of purely
+        synthetic data.
+        """
+        from repro.stream.chunks import iter_array_chunks
+
+        return iter_array_chunks(self.member_field(variable, which),
+                                 chunk_mb=chunk_mb)
+
 
 # Re-export for callers that want spec details of the featured variables.
 FEATURED_SPECS = FEATURED

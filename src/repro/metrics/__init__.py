@@ -7,6 +7,8 @@
   signal-to-residual ratio;
 - :mod:`correlation` — Pearson correlation coefficient (eq. 5) with the
   0.99999 acceptance threshold;
+- :mod:`streaming` — mergeable running moments (Chan-merge folds) that
+  let :mod:`repro.stream` compute the metrics above chunk by chunk;
 - :mod:`ssim` — structural similarity on lat/lon projections (the paper's
   Section 6 future-work metric);
 - :mod:`gradient` — impact of compression on field gradients (also
@@ -27,9 +29,12 @@ from repro.metrics.average import rmse, nrmse, psnr, signal_to_residual_ratio
 from repro.metrics.correlation import pearson
 from repro.metrics.ssim import ssim
 from repro.metrics.gradient import gradient_rmse, gradient_impact
+from repro.metrics.streaming import PairedMoments, RunningMoments
 
 __all__ = [
     "DataCharacteristics",
+    "PairedMoments",
+    "RunningMoments",
     "characterize",
     "valid_mask",
     "max_pointwise_error",

@@ -1,0 +1,153 @@
+"""Mergeable running moments — the numeric core of streaming metrics.
+
+The batch metrics in this package reduce whole arrays in one pass; the
+streaming pipeline (:mod:`repro.stream`) sees the same data as a
+sequence of chunks and needs the reductions as *folds*: per-chunk
+partial statistics combined with the parallel-merge update of Chan,
+Golub & LeVeque, which is algebraically exact and avoids the
+catastrophic cancellation of naive sum-of-squares accumulation.  Each
+class supports both in-order ``update`` and out-of-order ``merge`` (for
+partials computed by worker processes), so a fold over N chunks gives
+the same answer — up to float rounding — as the batch metric over the
+concatenated data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RunningMoments", "PairedMoments"]
+
+
+class RunningMoments:
+    """Count, mean, variance, min, and max of a growing sample.
+
+    ``update`` folds in a chunk of values (already filtered to valid
+    points); ``merge`` folds in another accumulator.  ``std``/``var``
+    are population statistics (``ddof=0``), matching
+    :func:`repro.metrics.characterize.characterize`.
+    """
+
+    __slots__ = ("n", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one chunk of values into the running statistics."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return
+        mean_b = float(values.mean())
+        self._combine(
+            values.size, mean_b, float(((values - mean_b) ** 2).sum()),
+            float(values.min()), float(values.max()),
+        )
+
+    def merge(self, other: "RunningMoments") -> None:
+        """Fold another accumulator's statistics into this one."""
+        if other.n:
+            self._combine(other.n, other.mean, other.m2,
+                          other.minimum, other.maximum)
+
+    def _combine(self, n_b: int, mean_b: float, m2_b: float,
+                 min_b: float, max_b: float) -> None:
+        n = self.n + n_b
+        delta = mean_b - self.mean
+        self.m2 += m2_b + delta * delta * self.n * n_b / n
+        self.mean += delta * n_b / n
+        self.n = n
+        self.minimum = min(self.minimum, min_b)
+        self.maximum = max(self.maximum, max_b)
+
+    @property
+    def var(self) -> float:
+        """Population variance (``ddof=0``); 0.0 before any data."""
+        return self.m2 / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return float(np.sqrt(self.var))
+
+    @property
+    def total(self) -> float:
+        """Sum of all folded values (``n * mean``)."""
+        return self.n * self.mean
+
+
+class PairedMoments:
+    """Joint moments of paired samples ``(x, y)`` — covariance included.
+
+    Everything :func:`repro.metrics.correlation.pearson` needs, as a
+    fold: per-side means and second moments plus the co-moment
+    ``sum((x - mean_x) * (y - mean_y))``, merged exactly across chunks.
+    """
+
+    __slots__ = ("x", "y", "cxy")
+
+    def __init__(self) -> None:
+        self.x = RunningMoments()
+        self.y = RunningMoments()
+        self.cxy = 0.0
+
+    def update(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Fold one chunk of paired values."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.shape != y.shape:
+            raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+        if x.size == 0:
+            return
+        mean_xb = float(x.mean())
+        mean_yb = float(y.mean())
+        c_b = float(((x - mean_xb) * (y - mean_yb)).sum())
+        self._combine_cov(x.size, mean_xb, mean_yb, c_b)
+        self.x.update(x)
+        self.y.update(y)
+
+    def merge(self, other: "PairedMoments") -> None:
+        """Fold another accumulator's paired statistics into this one."""
+        if other.n == 0:
+            return
+        self._combine_cov(other.n, other.x.mean, other.y.mean, other.cxy)
+        self.x.merge(other.x)
+        self.y.merge(other.y)
+
+    def _combine_cov(self, n_b: int, mean_xb: float, mean_yb: float,
+                     c_b: float) -> None:
+        n_a = self.n
+        if n_a:
+            dx = mean_xb - self.x.mean
+            dy = mean_yb - self.y.mean
+            self.cxy += c_b + dx * dy * n_a * n_b / (n_a + n_b)
+        else:
+            self.cxy = c_b
+
+    @property
+    def n(self) -> int:
+        """Number of folded pairs."""
+        return self.x.n
+
+    @property
+    def cov(self) -> float:
+        """Population covariance of the folded pairs."""
+        return self.cxy / self.n if self.n else 0.0
+
+    @property
+    def pearson(self) -> float:
+        """Correlation coefficient; 0.0 when either side is constant.
+
+        The exact-reconstruction special case (batch ``pearson`` returns
+        1.0 for identical constant fields) is the *caller's* to detect —
+        a fold cannot distinguish it from a zero-variance pair.
+        """
+        sx = self.x.std
+        sy = self.y.std
+        if sx == 0.0 or sy == 0.0:
+            return 0.0
+        return float(np.clip(self.cov / (sx * sy), -1.0, 1.0))

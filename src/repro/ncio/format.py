@@ -165,6 +165,111 @@ class HistoryFileWriter:
             "chunks": chunks,
         }
 
+    def put_var_stream(
+        self,
+        name: str,
+        chunks,
+        dims: tuple[str, ...],
+        attrs: dict | None = None,
+        compression: str | Compressor | None = "default",
+    ) -> None:
+        """Write one variable from an iterator of first-axis blocks.
+
+        ``chunks`` yields arrays of shape ``(k, *rest)`` — consecutive
+        runs of first-axis slices — which are encoded and appended as
+        they arrive, so the whole variable never has to exist in memory
+        at once.  The stored layout is identical to :meth:`put_var` of
+        the concatenated data (one chunk per first-axis index); the
+        first dimension's size is whatever the stream produced.  Only
+        multi-dimensional variables stream (``len(dims) >= 2``): 1-D
+        variables are stored as a single chunk, so streaming them would
+        change the on-disk layout.
+        """
+        if self._closed:
+            raise ValueError("writer is closed")
+        if name in self._variables:
+            raise ValueError(f"variable {name!r} already written")
+        if len(dims) < 2:
+            raise ValueError(
+                f"{name}: put_var_stream needs >= 2 dims "
+                "(1-D variables are a single chunk; use put_var)"
+            )
+        codec = self.compression if compression == "default" else compression
+        chunk_table: list[tuple[int, int]] = []
+        tail_shape: tuple[int, ...] | None = None
+        dtype: np.dtype | None = None
+        dtype_code = ""
+        n_rows = 0
+        placeholder = False
+        try:
+            for block in chunks:
+                block = np.asarray(block)
+                if block.ndim != len(dims):
+                    raise ValueError(
+                        f"{name}: {block.ndim}-D block with "
+                        f"{len(dims)} dim names"
+                    )
+                if tail_shape is None:
+                    # Reserve the first dimension's slot now (sized at
+                    # stream end) so the footer's dim order matches a
+                    # put_var of the same variable exactly.
+                    if dims[0] not in self._dims:
+                        self._dims[dims[0]] = -1
+                        placeholder = True
+                    tail_shape = block.shape[1:]
+                    dtype = block.dtype
+                    dtype_code = dtype.str.lstrip("<>|=")
+                    if dtype_code not in _DTYPES:
+                        raise TypeError(
+                            f"unsupported dtype {block.dtype}")
+                    for dim_name, size in zip(dims[1:], tail_shape):
+                        if dim_name not in self._dims:
+                            self.define_dim(dim_name, size)
+                        elif self._dims[dim_name] != size:
+                            raise ValueError(
+                                f"{name}: axis {dim_name!r} has size "
+                                f"{size}, dimension is "
+                                f"{self._dims[dim_name]}"
+                            )
+                elif block.shape[1:] != tail_shape:
+                    raise ValueError(
+                        f"{name}: block shape {block.shape[1:]} != "
+                        f"{tail_shape}"
+                    )
+                elif block.dtype != dtype:
+                    raise TypeError(
+                        f"{name}: block dtype {block.dtype} != {dtype}"
+                    )
+                for i in range(block.shape[0]):
+                    payload = self._encode_chunk(
+                        np.ascontiguousarray(block[i]), codec, dtype
+                    )
+                    offset = self._fh.tell()
+                    self._fh.write(payload)
+                    chunk_table.append((offset, len(payload)))
+                n_rows += block.shape[0]
+            if tail_shape is None or n_rows == 0:
+                raise ValueError(f"{name}: stream produced no data")
+            if placeholder:
+                self._dims[dims[0]] = n_rows
+            elif self._dims[dims[0]] != n_rows:
+                raise ValueError(
+                    f"{name}: stream produced {n_rows} slices, dimension "
+                    f"{dims[0]!r} is {self._dims[dims[0]]}"
+                )
+        except BaseException:
+            if placeholder:
+                del self._dims[dims[0]]
+            raise
+        self._variables[name] = {
+            "dims": list(dims),
+            "shape": [n_rows, *tail_shape],
+            "dtype": dtype_code,
+            "codec": self._codec_name(codec),
+            "attrs": attrs or {},
+            "chunks": chunk_table,
+        }
+
     def _encode_chunk(self, chunk: np.ndarray, codec, dtype) -> bytes:
         if codec is None:
             return chunk.tobytes()
@@ -289,6 +394,35 @@ class HistoryFile:
         if isinstance(first_axis, int):
             return out[0]
         return out
+
+    def iter_chunks(self, name: str, rows: int = 1,
+                    codec: Compressor | None = None):
+        """Yield a variable as consecutive first-axis blocks.
+
+        Each yielded array holds up to ``rows`` first-axis slices
+        (``(k, *rest)``); only one block is in memory at a time, so a
+        streaming consumer's peak RSS is bounded by the block size, not
+        the variable size.  A 1-D variable is a single stored chunk and
+        arrives as one block.
+        """
+        if rows < 1:
+            raise ValueError(f"rows must be positive, got {rows}")
+        rec = self._lookup(name)
+        shape = tuple(rec["shape"])
+        dtype = np.dtype(_DTYPES[rec["dtype"]])
+        if len(rec["chunks"]) == 1:
+            yield self.get(name, codec=codec)
+            return
+        chunk_shape = shape[1:]
+        for start in range(0, shape[0], rows):
+            stop = min(start + rows, shape[0])
+            out = np.empty((stop - start,) + chunk_shape, dtype=dtype)
+            for k, i in enumerate(range(start, stop)):
+                offset, nbytes = rec["chunks"][i]
+                self._fh.seek(offset)
+                out[k] = self._decode_chunk(self._fh.read(nbytes), rec,
+                                            chunk_shape, dtype, codec)
+            yield out
 
     def _decode_chunk(self, payload: bytes, rec: dict, chunk_shape, dtype,
                       codec: Compressor | None) -> np.ndarray:

@@ -122,10 +122,12 @@ def _convert_one(history_paths, out_dir, name: str, codec) -> Path:
         with HistoryFileWriter(out_path, compression=codec) as writer:
             writer.set_attr("source_variable", name)
             writer.set_attr("n_steps", len(handles))
-            steps = np.stack([h.get(name) for h in handles])
-            writer.put_var(
+            # Stream one step at a time: peak memory is a single time
+            # slice, not the whole (n_steps, ...) stack, and the on-disk
+            # layout (one chunk per step) is unchanged.
+            writer.put_var_stream(
                 name,
-                steps,
+                (h.get(name)[None] for h in handles),
                 dims=("time",) + info.dims,
                 attrs=dict(info.attrs),
             )

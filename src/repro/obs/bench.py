@@ -51,6 +51,7 @@ __all__ = [
     "Metric",
     "bench_dir",
     "compare_records",
+    "config_divergence",
     "history_dir",
     "iter_records",
     "load_record",
@@ -355,6 +356,39 @@ def compare_records(current: BenchRecord, baseline: BenchRecord,
     return deltas
 
 
+def config_divergence(current: BenchRecord,
+                      baseline: BenchRecord) -> list[str]:
+    """Name every config key whose value differs between two records.
+
+    Used when fingerprints disagree: instead of a bare refusal the gate
+    can say *which* scale knobs moved (``ne: baseline=4 current=8``).
+    Keys present on only one side report the other as ``absent``.  An
+    empty list with differing fingerprints means the configs agree and
+    the divergence is in the benchmark identity itself (renamed
+    benchmark, changed key-derivation) rather than the scale.
+    """
+    lines: list[str] = []
+    for key in sorted(set(current.config) | set(baseline.config)):
+        base = baseline.config.get(key, "absent")
+        cur = current.config.get(key, "absent")
+        if base != cur:
+            lines.append(f"{key}: baseline={base} current={cur}")
+    return lines
+
+
+def fingerprint_skip_reason(current: BenchRecord,
+                             baseline: BenchRecord) -> str:
+    diverged = config_divergence(current, baseline)
+    detail = (
+        "; ".join(diverged) if diverged
+        else "no config keys differ — the benchmark identity changed"
+    )
+    return (
+        f"{current.name}: config fingerprint differs from the "
+        f"baseline; not comparable ({detail})"
+    )
+
+
 def compare_dirs(current_dir: str | Path | None,
                  baseline_dir: str | Path,
                  default_threshold_pct: float = 20.0,
@@ -364,7 +398,9 @@ def compare_dirs(current_dir: str | Path | None,
     Returns ``(deltas_by_name, skipped)``: records with no baseline
     file, or whose config fingerprint differs from the baseline's
     (different scale — incomparable), are listed in ``skipped`` with a
-    reason instead of being force-compared.
+    reason instead of being force-compared.  Fingerprint skips name the
+    diverging config keys (see :func:`config_divergence`) so the fix —
+    rerun at the baseline's scale, or rebaseline — is obvious.
     """
     baseline_dir = Path(baseline_dir)
     deltas_by_name: dict[str, list[Delta]] = {}
@@ -376,10 +412,7 @@ def compare_dirs(current_dir: str | Path | None,
             continue
         baseline = load_record(base_path)
         if baseline.fingerprint != record.fingerprint:
-            skipped.append(
-                f"{record.name}: config fingerprint differs from the "
-                "baseline (different scale); not comparable"
-            )
+            skipped.append(fingerprint_skip_reason(record, baseline))
             continue
         deltas_by_name[record.name] = compare_records(
             record, baseline, default_threshold_pct

@@ -15,6 +15,14 @@ process-wide :func:`configure` override (the CLI's
 ``--backend/--retries/--task-timeout`` flags), or the ``REPRO_BACKEND``
 / ``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` / ``REPRO_WORKERS``
 environment knobs, in that order.  See ``docs/parallel.md``.
+
+On the process backend, array payloads can travel through POSIX shared
+memory instead of the pool's pickle pipes: ``Executor(shm=True)`` (or
+``REPRO_SHM=1``) replaces each large array with a pickled
+:class:`ArrayRef` descriptor while the bytes cross zero-copy via
+:mod:`multiprocessing.shared_memory`; segment lifecycle is tied to the
+executor's failure paths and orphans from killed parents are reclaimed
+by :func:`reclaim_orphans`.  See ``docs/streaming.md``.
 """
 
 from repro.parallel.clock import SYSTEM_CLOCK, Clock, SystemClock
@@ -26,6 +34,12 @@ from repro.parallel.failures import (
     WorkerCrashError,
 )
 from repro.parallel.partition import chunk_indices, partition_work
+from repro.parallel.shm import (
+    ArrayRef,
+    ShmTransport,
+    reclaim_orphans,
+    shm_enabled,
+)
 from repro.parallel.policy import (
     BACKENDS,
     ExecutionPolicy,
@@ -36,12 +50,14 @@ from repro.parallel.policy import (
 )
 
 __all__ = [
+    "ArrayRef",
     "BACKENDS",
     "Clock",
     "ExecutionPolicy",
     "Executor",
     "MapResult",
     "SYSTEM_CLOCK",
+    "ShmTransport",
     "SystemClock",
     "TaskError",
     "TaskFailure",
@@ -53,5 +69,7 @@ __all__ = [
     "executing",
     "parallel_map",
     "partition_work",
+    "reclaim_orphans",
     "reset_policy",
+    "shm_enabled",
 ]

@@ -56,6 +56,7 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 from repro import config, obs
 from repro.check import hooks
 from repro.obs import core as _obs_core
+from repro.parallel import shm as _shm
 from repro.parallel.backends import Backend, make_backend
 from repro.parallel.clock import SYSTEM_CLOCK, Clock
 from repro.parallel.failures import (
@@ -162,12 +163,14 @@ class _ChunkRunner:
     def __init__(self, fn: Callable, clock: Clock,
                  task: "obs.WorkerTask | None" = None,
                  seed: tuple[str | None, int] | None = None,
-                 pickle_errors: bool = False) -> None:
+                 pickle_errors: bool = False,
+                 shm: bool = False) -> None:
         self.fn = fn
         self.clock = clock
         self.task = task                    #: buffered tracing (process)
         self.seed = seed                    #: parent/depth seeds (thread)
         self.pickle_errors = pickle_errors  #: drop unpicklable exc objects
+        self.shm = shm                      #: payload carries ArrayRefs
 
     def _run_one(self, item: Any) -> tuple[Any, list | None]:
         if self.task is not None:
@@ -175,9 +178,28 @@ class _ChunkRunner:
         return self.fn(item), None
 
     def __call__(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
+        if self.shm:
+            return self._run_attached(payload)
+        return self._dispatch(payload)
+
+    def _dispatch(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
         if self.seed is not None:
             return self._seeded(payload)
         return self._run(payload)
+
+    def _run_attached(
+            self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
+        # Resolve ArrayRef descriptors to live shared-memory views, run
+        # the chunk, then copy out any result still aliasing a segment:
+        # the mappings close here, before the results pickle back.
+        payload, atts = _shm.open_payload(payload)
+        try:
+            out = self._dispatch(payload)
+            for attempt in out:
+                attempt.value = atts.detach(attempt.value)
+            return out
+        finally:
+            atts.close()
 
     def _seeded(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
         # Thread workers start with an empty span stack; seed the
@@ -242,12 +264,17 @@ class Executor:
                  retries: int | None = None,
                  task_timeout: float | None = None,
                  policy: ExecutionPolicy | None = None,
-                 clock: Clock | None = None) -> None:
+                 clock: Clock | None = None,
+                 shm: bool | None = None) -> None:
         base = policy if policy is not None else default_policy()
         self.policy = base.merged(backend=backend, retries=retries,
                                   task_timeout=task_timeout)
         self.workers = workers
         self.clock = clock if clock is not None else SYSTEM_CLOCK
+        #: Tri-state descriptor-transport switch: True/False force it,
+        #: None defers to ``REPRO_SHM``.  Only the process backend can
+        #: honour it — threads already share memory.
+        self.shm = shm
 
     def map(self, fn: Callable[[T], R], args: Iterable[T], *,
             workers: int | None = None, chunksize: int = 1,
@@ -281,8 +308,12 @@ class Executor:
             backend_name = "serial"
         if backend_name == "process":
             _require_picklable_callable(fn)
+        use_shm = (backend_name == "process"
+                   and (_shm.shm_enabled() if self.shm is None
+                        else self.shm))
         _TASKS.add(len(items))
-        run = _MapRun(self, fn, items, n, chunksize, backend_name, on_failure)
+        run = _MapRun(self, fn, items, n, chunksize, backend_name,
+                      on_failure, use_shm=use_shm)
         result = run.execute()
         if backend_name == "serial" and items and hooks.active():
             first = result[0] if len(result) else None
@@ -299,7 +330,7 @@ class _MapRun:
 
     def __init__(self, executor: Executor, fn: Callable, items: list,
                  n_workers: int, chunksize: int, backend_name: str,
-                 on_failure: str) -> None:
+                 on_failure: str, use_shm: bool = False) -> None:
         self.policy = executor.policy
         self.clock = executor.clock
         self.fn = fn
@@ -308,6 +339,8 @@ class _MapRun:
         self.chunksize = chunksize
         self.backend_name = backend_name
         self.on_failure = on_failure
+        #: Parent-owned shared-memory ledger; None on the pickle path.
+        self.transport = _shm.ShmTransport() if use_shm else None
         self.results: list = [None] * len(items)
         self.attempts = [0] * len(items)
         self.failures: dict[int, TaskFailure] = {}
@@ -333,6 +366,11 @@ class _MapRun:
                     self._run_round(backend, runner)
             finally:
                 backend.close(kill=self.dirty)
+                if self.transport is not None:
+                    # Backstop: every settle path releases its own
+                    # chunk, but an on_failure="raise" abort unwinds
+                    # through here with segments still registered.
+                    self.transport.release_all()
             if self.failures:
                 sp.note(failures=len(self.failures))
         if self.on_failure == "collect":
@@ -355,7 +393,8 @@ class _MapRun:
             # parent-side, where it drives backoff.  Virtual-clock
             # timeouts are therefore a serial-backend-only feature.
             return _ChunkRunner(self.fn, SYSTEM_CLOCK, task=task,
-                                pickle_errors=True)
+                                pickle_errors=True,
+                                shm=self.transport is not None)
         seed = None
         if self.backend_name == "thread" and obs.active():
             seed = (sp.name, obs.current_depth())
@@ -381,9 +420,12 @@ class _MapRun:
             while queue and not aborted and len(inflight) < self.n_workers:
                 chunk = queue.pop()
                 payload = [(i, self.items[i]) for i in chunk]
+                if self.transport is not None:
+                    payload = self.transport.encode(tuple(chunk), payload)
                 try:
                     fut = backend.submit(runner, payload)
                 except BrokenExecutor as exc:
+                    self._release_segments(chunk)
                     self._charge_chunk(chunk, "crash", exc)
                     self._recover_crash(backend, inflight)
                     aborted = True
@@ -412,10 +454,17 @@ class _MapRun:
             # chunk that already finished must not be among the victims.
             for fut in sorted(done, key=lambda f: f.exception() is not None):
                 chunk, _ = inflight.pop(fut)
+                # The worker detached its results before returning, so
+                # the chunk's segments die with its future — win or lose.
+                self._release_segments(chunk)
                 if not self._fold_future(fut, chunk, backend, inflight):
                     return False
             return True
         return self._expire(backend, inflight)
+
+    def _release_segments(self, chunk: list[int]) -> None:
+        if self.transport is not None:
+            self.transport.release(tuple(chunk))
 
     def _fold_future(self, fut, chunk: list[int], backend: Backend,
                      inflight: dict) -> bool:
@@ -450,11 +499,15 @@ class _MapRun:
         for fut in expired:
             chunk, _ = inflight.pop(fut)
             fut.cancel()
+            self._release_segments(chunk)
             self._charge_chunk(chunk, "timeout", None)
         self.dirty = True
         if backend.kills_on_timeout:
             # Kill and rebuild the pool; other in-flight chunks are
-            # victims — uncharged, still pending, re-run next round.
+            # victims — uncharged, still pending, re-run next round
+            # (with freshly encoded segments, hence the release here).
+            for chunk, _ in inflight.values():
+                self._release_segments(chunk)
             inflight.clear()
             backend.recycle(kill=True)
             return False
@@ -462,6 +515,7 @@ class _MapRun:
 
     def _recover_crash(self, backend: Backend, inflight: dict) -> None:
         for chunk, _ in inflight.values():
+            self._release_segments(chunk)
             self._charge_chunk(chunk, "crash", None)
         inflight.clear()
         self.dirty = True

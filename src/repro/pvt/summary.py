@@ -66,12 +66,15 @@ class VariableSummary:
                mean_tolerance_factor: float = 1.0) -> dict:
         """Check one new run: RMSZ within distribution + mean-range test."""
         score = self.rmsz_of(field)
+        flat = np.asarray(field, dtype=np.float64).reshape(-1)
+        new_mean = float(flat[self.valid].mean())
+        return self._verdict(score, new_mean, mean_tolerance_factor)
+
+    def _verdict(self, score: float, new_mean: float,
+                 mean_tolerance_factor: float) -> dict:
         lo, hi = float(self.rmsz_dist.min()), float(self.rmsz_dist.max())
         tol = 1e-9 * (1.0 + abs(hi))
         rmsz_ok = lo - tol <= score <= hi + tol
-
-        flat = np.asarray(field, dtype=np.float64).reshape(-1)
-        new_mean = float(flat[self.valid].mean())
         g_lo, g_hi = self.gmean_range
         center = (g_lo + g_hi) / 2.0
         half = (g_hi - g_lo) / 2.0 * mean_tolerance_factor
@@ -83,6 +86,34 @@ class VariableSummary:
             "mean_ok": bool(mean_ok),
             "passed": bool(rmsz_ok and mean_ok),
         }
+
+    def rmsz_stream(self):
+        """A positional eq. (7) fold over this summary's statistics.
+
+        Feed it the new run's field chunk by chunk (in order); its
+        ``finalize()`` equals :meth:`rmsz_of` of the whole field without
+        the field ever being in memory at once.
+        """
+        from repro.stream.folds import StreamingRMSZ
+
+        return StreamingRMSZ(self.mean, self.std, self.valid)
+
+    def verify_stream(self, chunks,
+                      mean_tolerance_factor: float = 1.0) -> dict:
+        """Chunked :meth:`verify`: same verdict dict, streamed field.
+
+        ``chunks`` must be consecutive in-order pieces of the flattened
+        field (any chunk sizes); see :mod:`repro.stream.chunks`.
+        """
+        fold = self.rmsz_stream()
+        for chunk in chunks:
+            fold.update(chunk)
+        try:
+            score = fold.finalize()
+        except ValueError as exc:
+            raise ValueError(f"{self.name}: {exc}") from None
+        return self._verdict(score, fold.mean_valid,
+                             mean_tolerance_factor)
 
 
 class EnsembleSummary:

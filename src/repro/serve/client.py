@@ -64,6 +64,7 @@ class ServeClient:
         return cls(sock)
 
     def close(self) -> None:
+        """Close the connection; the client is unusable afterwards."""
         self._sock.close()
 
     def __enter__(self) -> "ServeClient":

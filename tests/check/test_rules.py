@@ -30,6 +30,7 @@ CASES = [
     ("REP010", "repro/rep010_bad.py", 1),
     ("REP011", "benchmarks/bench_rep011_bad.py", 3),
     ("REP012", "parallel/rep012_bad.py", 2),
+    ("REP018", "stream/rep018_bad.py", 2),
 ]
 
 

@@ -1,0 +1,119 @@
+"""Streaming NCH I/O: put_var_stream and iter_chunks.
+
+The contract under test: a variable written from a block stream is
+byte-identical in layout to one written whole with ``put_var`` (one
+stored chunk per first-axis index), and ``iter_chunks`` reads any
+variable back as blocks that concatenate to ``get``'s answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compressors import Fpzip
+from repro.ncio.format import HistoryFile, HistoryFileWriter
+
+
+def blocks_of(data, k):
+    for start in range(0, data.shape[0], k):
+        yield data[start:start + k]
+
+
+class TestPutVarStream:
+    def test_layout_identical_to_put_var(self, tmp_path, rng):
+        data = rng.normal(size=(10, 6, 4)).astype(np.float32)
+        whole, streamed = tmp_path / "whole.nch", tmp_path / "stream.nch"
+        with HistoryFileWriter(whole, compression="zlib") as w:
+            w.put_var("T", data, dims=("time", "lev", "ncol"))
+        with HistoryFileWriter(streamed, compression="zlib") as w:
+            w.put_var_stream("T", blocks_of(data, 3),
+                             dims=("time", "lev", "ncol"))
+        assert whole.read_bytes() == streamed.read_bytes()
+
+    def test_roundtrips_with_attrs_and_lossy_codec(self, tmp_path, rng):
+        data = (260 + rng.normal(size=(6, 64))).astype(np.float32)
+        path = tmp_path / "x.nch"
+        codec = Fpzip(precision=24)
+        with HistoryFileWriter(path, compression=codec) as w:
+            w.put_var_stream("U", blocks_of(data, 2), dims=("lev", "ncol"),
+                             attrs={"units": "m/s"})
+        with HistoryFile(path) as fh:
+            info = fh.info("U")
+            assert info.shape == (6, 64)
+            assert info.codec == "lossy:fpzip-24"
+            assert info.attrs == {"units": "m/s"}
+            assert np.abs(fh.get("U") - data).max() < 0.05
+
+    def test_first_dim_size_comes_from_the_stream(self, tmp_path, rng):
+        data = rng.normal(size=(7, 5)).astype(np.float64)
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression=None) as w:
+            w.put_var_stream("X", blocks_of(data, 4), dims=("time", "n"))
+        with HistoryFile(path) as fh:
+            assert fh.dims["time"] == 7
+
+    def test_conflicting_first_dim_rejected(self, tmp_path, rng):
+        data = rng.normal(size=(3, 5)).astype(np.float64)
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression=None) as w:
+            w.define_dim("time", 9)
+            with pytest.raises(ValueError, match="3 slices"):
+                w.put_var_stream("X", blocks_of(data, 2),
+                                 dims=("time", "n"))
+
+    def test_inconsistent_blocks_rejected(self, tmp_path):
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression=None) as w:
+            with pytest.raises(ValueError, match="block shape"):
+                w.put_var_stream(
+                    "X", iter([np.zeros((2, 4)), np.zeros((2, 5))]),
+                    dims=("time", "n"))
+        path2 = tmp_path / "y.nch"
+        with HistoryFileWriter(path2, compression=None) as w:
+            with pytest.raises(TypeError, match="block dtype"):
+                w.put_var_stream(
+                    "X", iter([np.zeros((2, 4), np.float32),
+                               np.zeros((2, 4), np.float64)]),
+                    dims=("time", "n"))
+
+    def test_empty_stream_rejected(self, tmp_path):
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression=None) as w:
+            with pytest.raises(ValueError, match="no data"):
+                w.put_var_stream("X", iter([]), dims=("time", "n"))
+
+    def test_one_dimensional_stream_rejected(self, tmp_path):
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression=None) as w:
+            with pytest.raises(ValueError, match=">= 2 dims"):
+                w.put_var_stream("X", iter([np.zeros(4)]), dims=("n",))
+
+
+class TestIterChunks:
+    def test_blocks_concatenate_to_get(self, tmp_path, rng):
+        data = rng.normal(size=(9, 4, 3)).astype(np.float32)
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression="zlib") as w:
+            w.put_var("T", data, dims=("time", "lev", "ncol"))
+        with HistoryFile(path) as fh:
+            blocks = list(fh.iter_chunks("T", rows=4))
+            assert [b.shape[0] for b in blocks] == [4, 4, 1]
+            np.testing.assert_array_equal(np.concatenate(blocks),
+                                          fh.get("T"))
+
+    def test_single_chunk_variable_yields_once(self, tmp_path):
+        data = np.arange(8.0)
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression=None) as w:
+            w.put_var("lat", data, dims=("ncol",))
+        with HistoryFile(path) as fh:
+            blocks = list(fh.iter_chunks("lat", rows=2))
+            assert len(blocks) == 1
+            np.testing.assert_array_equal(blocks[0], data)
+
+    def test_rejects_nonpositive_rows(self, tmp_path):
+        path = tmp_path / "x.nch"
+        with HistoryFileWriter(path, compression=None) as w:
+            w.put_var("X", np.zeros((2, 2)), dims=("a", "b"))
+        with HistoryFile(path) as fh:
+            with pytest.raises(ValueError, match="positive"):
+                list(fh.iter_chunks("X", rows=0))

@@ -135,6 +135,49 @@ def test_compare_dirs_skips_incomparable(tmp_path):
     assert any("fingerprint" in s for s in skipped)
 
 
+def test_config_divergence_names_differing_keys():
+    current = make_record(fingerprint="fp-new")
+    baseline = make_record(fingerprint="fp-old")
+    current.config = {"ne": 8, "nlev": 30, "workers": 4}
+    baseline.config = {"ne": 4, "nlev": 30, "members": 101}
+    assert bench.config_divergence(current, baseline) == [
+        "members: baseline=101 current=absent",
+        "ne: baseline=4 current=8",
+        "workers: baseline=absent current=4",
+    ]
+    baseline.config = dict(current.config)
+    assert bench.config_divergence(current, baseline) == []
+
+
+def test_fingerprint_skip_reason_lists_divergence(tmp_path):
+    current_dir = tmp_path / "cur"
+    baseline_dir = tmp_path / "base"
+    cur = make_record(name="rescaled", fingerprint="fp-new")
+    cur.config = {"ne": 8}
+    cur.write(current_dir)
+    base = make_record(name="rescaled", fingerprint="fp-old")
+    base.config = {"ne": 4}
+    base.write(baseline_dir)
+    _, skipped = bench.compare_dirs(current_dir, baseline_dir)
+    assert skipped == [
+        "rescaled: config fingerprint differs from the baseline; "
+        "not comparable (ne: baseline=4 current=8)"
+    ]
+
+
+def test_fingerprint_skip_reason_without_config_divergence(tmp_path):
+    # Same config but different fingerprints: the benchmark identity
+    # (name, key derivation) changed, and the reason must say so rather
+    # than print an empty key list.
+    current_dir = tmp_path / "cur"
+    baseline_dir = tmp_path / "base"
+    make_record(name="renamed", fingerprint="fp-new").write(current_dir)
+    make_record(name="renamed", fingerprint="fp-old").write(baseline_dir)
+    _, skipped = bench.compare_dirs(current_dir, baseline_dir)
+    assert len(skipped) == 1
+    assert "no config keys differ" in skipped[0]
+
+
 # -- the CLI gate ------------------------------------------------------------
 
 def _write_pair(tmp_path, base_value, cur_value):

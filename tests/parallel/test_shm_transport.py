@@ -1,0 +1,186 @@
+"""Shared-memory descriptor transport: correctness and segment hygiene.
+
+The transport's contract is that the parent owns every segment it
+creates and destroys it when the carrying chunk settles — on success,
+failure, timeout, worker crash, and abandoned rounds alike.  These tests
+drive real process pools through injected faults and assert the strictest
+observable form of that contract: ``/dev/shm`` holds no ``repro-shm-*``
+segment owned by this process once the map returns.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import ArrayRef, Executor, ShmTransport, TaskError
+from repro.parallel.shm import (
+    DEFAULT_MIN_BYTES,
+    open_payload,
+    reclaim_orphans,
+)
+from repro.testing import FakeClock, FaultPlan
+
+#: One array comfortably over the pickle/descriptor threshold.
+BIG_SHAPE = (64, DEFAULT_MIN_BYTES // (64 * 8) + 8)
+
+
+def our_segments(shm_dir="/dev/shm"):
+    """``repro-shm`` segments owned by this test process."""
+    prefix = f"repro-shm-{os.getpid()}-"
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:  # pragma: no cover - non-Linux fallback
+        return []
+    return sorted(n for n in names if n.startswith(prefix))
+
+
+def big_arrays(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=BIG_SHAPE) for _ in range(n)]
+
+
+def total(item):
+    """Module-level task: sum the array in an ``(index, array)`` item."""
+    _, arr = item
+    return float(np.asarray(arr).sum())
+
+
+def identity_array(item):
+    """Return the payload array itself — a view into the segment."""
+    return item[1]
+
+
+# -- transport unit behaviour ------------------------------------------------
+
+class TestShmTransport:
+    def test_encode_substitutes_refs_and_decode_roundtrips(self):
+        transport = ShmTransport(min_bytes=0)
+        data = np.arange(12.0).reshape(3, 4)
+        try:
+            encoded = transport.encode("k", {"x": data, "tag": "t"})
+            assert isinstance(encoded["x"], ArrayRef)
+            assert encoded["tag"] == "t"
+            decoded, atts = open_payload(encoded)
+            np.testing.assert_array_equal(decoded["x"], data)
+            atts.close()
+        finally:
+            transport.release_all()
+        assert our_segments() == []
+
+    def test_small_arrays_stay_pickled(self):
+        transport = ShmTransport(min_bytes=DEFAULT_MIN_BYTES)
+        small = np.ones(4)
+        encoded = transport.encode("k", [small])
+        assert encoded[0] is small
+        assert transport.live_segments() == 0
+
+    def test_release_is_idempotent_and_keyed(self):
+        transport = ShmTransport(min_bytes=0)
+        transport.encode("a", np.ones(8))
+        transport.encode("b", np.ones(8))
+        assert transport.live_segments() == 2
+        transport.release("a")
+        transport.release("a")
+        assert transport.live_segments() == 1
+        transport.release_all()
+        assert transport.live_segments() == 0
+        assert our_segments() == []
+
+    def test_detach_copies_aliased_results(self):
+        transport = ShmTransport(min_bytes=0)
+        data = np.arange(6.0)
+        try:
+            decoded, atts = open_payload(transport.encode("k", data))
+            result = atts.detach({"echo": decoded, "n": 6})
+            atts.close()
+        finally:
+            transport.release_all()
+        # The copy must survive the segment's destruction.
+        np.testing.assert_array_equal(result["echo"], np.arange(6.0))
+        assert result["n"] == 6
+
+
+def test_reclaim_orphans_sweeps_only_dead_owners(tmp_path):
+    shm_dir = tmp_path / "shm"
+    shm_dir.mkdir()
+    # A pid from a long-dead process: pid 1 is alive, 2**22 + 1 is
+    # beyond the default pid_max.
+    (shm_dir / "repro-shm-4194305-1").write_bytes(b"x")
+    (shm_dir / "repro-shm-1-1").write_bytes(b"x")
+    (shm_dir / f"repro-shm-{os.getpid()}-9").write_bytes(b"x")
+    (shm_dir / "unrelated-file").write_bytes(b"x")
+    assert reclaim_orphans(str(shm_dir)) == 1
+    assert sorted(p.name for p in shm_dir.iterdir()) == [
+        "repro-shm-1-1",
+        f"repro-shm-{os.getpid()}-9",
+        "unrelated-file",
+    ]
+    # Idempotent: a second sweep finds nothing.
+    assert reclaim_orphans(str(shm_dir)) == 0
+
+
+# -- through the executor ----------------------------------------------------
+
+def shm_map(fn, items, **kwargs):
+    on_failure = kwargs.pop("on_failure", "raise")
+    ex = Executor("process", workers=2, shm=True,
+                  retries=kwargs.pop("retries", 0), **kwargs)
+    return ex.map(fn, items, workers=2, on_failure=on_failure)
+
+
+def test_process_map_matches_serial_and_leaks_nothing():
+    arrays = big_arrays(6)
+    items = list(enumerate(arrays))
+    out = shm_map(total, items)
+    assert out == [float(a.sum()) for a in arrays]
+    assert our_segments() == []
+
+
+def test_result_aliasing_segment_view_survives_release():
+    arrays = big_arrays(3, seed=1)
+    items = list(enumerate(arrays))
+    out = shm_map(identity_array, items)
+    for got, sent in zip(out, arrays):
+        np.testing.assert_array_equal(got, sent)
+    assert our_segments() == []
+
+
+def test_worker_crash_releases_segments(tmp_path):
+    plan = FaultPlan(tmp_path).crash(1, times=1)
+    items = list(enumerate(big_arrays(4, seed=2)))
+    out = shm_map(plan.wrap(total), items, retries=1)
+    assert out == [total(item) for item in items]
+    assert plan.attempts(1) == 2
+    assert our_segments() == []
+
+
+def test_exhausted_crash_failure_releases_segments(tmp_path):
+    plan = FaultPlan(tmp_path).crash(0, times=10)
+    items = list(enumerate(big_arrays(3, seed=3)))
+    # retries=1 gives collateral victims of the broken pool (tasks that
+    # were merely in flight beside the crasher) a round to recover.
+    result = shm_map(plan.wrap(total), items, retries=1,
+                     on_failure="collect", clock=FakeClock())
+    assert result.failed_indices() == [0]
+    assert [result[1], result[2]] == [total(items[1]), total(items[2])]
+    assert our_segments() == []
+
+
+def test_task_timeout_releases_segments(tmp_path):
+    plan = FaultPlan(tmp_path).hang(0, duration=30.0, times=10)
+    items = list(enumerate(big_arrays(3, seed=4)))
+    with pytest.raises(TaskError) as excinfo:
+        shm_map(plan.wrap(total), items, task_timeout=0.3)
+    assert excinfo.value.failure.kind == "timeout"
+    assert our_segments() == []
+
+
+def test_env_flag_enables_transport_by_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM", "1")
+    arrays = big_arrays(4, seed=5)
+    items = list(enumerate(arrays))
+    ex = Executor("process", workers=2)  # shm=None defers to the env
+    out = ex.map(total, items, workers=2)
+    assert out == [float(a.sum()) for a in arrays]
+    assert our_segments() == []

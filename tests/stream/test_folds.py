@@ -1,0 +1,192 @@
+"""Streaming folds match their batch metric counterparts exactly.
+
+Every fold here is checked against the batch implementation it shadows
+(`characterize`, `rmse`/`nrmse`, `max_pointwise_error`, `pearson`,
+`VariableSummary.rmsz_of`) on the same data, including the special-value
+masking and the degenerate constant-field semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import FILL_VALUE
+from repro.metrics.average import nrmse, rmse
+from repro.metrics.characterize import characterize
+from repro.metrics.correlation import pearson
+from repro.metrics.pointwise import (
+    max_pointwise_error,
+    normalized_max_error,
+)
+from repro.pvt.summary import VariableSummary
+from repro.stream import (
+    StreamingError,
+    StreamingMoments,
+    StreamingRMSZ,
+    iter_array_chunks,
+)
+
+RTOL = 1e-9
+
+
+@pytest.fixture()
+def field(rng):
+    data = 260.0 + 30.0 * rng.normal(size=(40, 256))
+    data[rng.random(data.shape) < 0.02] = FILL_VALUE
+    return data
+
+
+@pytest.fixture()
+def recon(field, rng):
+    out = field + 0.01 * rng.normal(size=field.shape)
+    out[field == FILL_VALUE] = FILL_VALUE
+    return out
+
+
+def folded(fold_cls, *arrays, chunk_mb=0.02):
+    fold = fold_cls()
+    streams = [iter_array_chunks(a, chunk_mb=chunk_mb) for a in arrays]
+    for chunks in zip(*streams):
+        fold.update(*chunks)
+    return fold
+
+
+class TestStreamingMoments:
+    def test_matches_batch_characterize(self, field):
+        got = folded(StreamingMoments, field).finalize()
+        want = characterize(field)
+        assert got.n_valid == want.n_valid
+        assert got.n_special == want.n_special
+        assert got.x_min == want.x_min
+        assert got.x_max == want.x_max
+        assert got.mean == pytest.approx(want.mean, rel=RTOL)
+        assert got.std == pytest.approx(want.std, rel=RTOL)
+        assert got.lossless_cr is None
+
+    def test_merge_matches_single_fold(self, field):
+        whole = folded(StreamingMoments, field)
+        left = folded(StreamingMoments, field[:13])
+        right = folded(StreamingMoments, field[13:])
+        left.merge(right)
+        assert left.finalize().mean == \
+            pytest.approx(whole.finalize().mean, rel=RTOL)
+        assert left.finalize().std == \
+            pytest.approx(whole.finalize().std, rel=RTOL)
+
+    def test_all_special_raises_only_at_finalize(self):
+        fold = StreamingMoments()
+        fold.update(np.full((4, 4), FILL_VALUE))
+        with pytest.raises(ValueError, match="no valid"):
+            fold.finalize()
+
+
+class TestStreamingError:
+    def test_matches_batch_error_metrics(self, field, recon):
+        out = folded(StreamingError, field, recon).finalize()
+        assert out.rmse == pytest.approx(rmse(field, recon), rel=RTOL)
+        assert out.nrmse == pytest.approx(nrmse(field, recon), rel=RTOL)
+        assert out.e_max == pytest.approx(
+            max_pointwise_error(field, recon), rel=RTOL)
+        assert out.e_nmax == pytest.approx(
+            normalized_max_error(field, recon), rel=RTOL)
+        assert out.pearson == pytest.approx(
+            pearson(field, recon), rel=RTOL)
+
+    def test_merge_matches_single_fold(self, field, recon):
+        whole = folded(StreamingError, field, recon).finalize()
+        left = folded(StreamingError, field[:17], recon[:17])
+        right = folded(StreamingError, field[17:], recon[17:])
+        left.merge(right)
+        merged = left.finalize()
+        assert merged.rmse == pytest.approx(whole.rmse, rel=RTOL)
+        assert merged.pearson == pytest.approx(whole.pearson, rel=RTOL)
+        assert merged.e_max == whole.e_max
+
+    def test_exact_reconstruction_of_constant_field(self):
+        const = np.full((6, 8), 5.0)
+        out = folded(StreamingError, const, const.copy()).finalize()
+        assert out.pearson == 1.0 == pearson(const, const.copy())
+        assert out.nrmse == 0.0
+        assert out.e_nmax == 0.0
+
+    def test_inexact_constant_field_raises_like_batch(self):
+        const = np.full((6, 8), 5.0)
+        off = const + 0.25
+        out = folded(StreamingError, const, off).finalize()
+        with pytest.raises(ZeroDivisionError, match="R_X is zero"):
+            out.nrmse
+        with pytest.raises(ZeroDivisionError):
+            nrmse(const, off)
+
+    def test_one_sided_constant_pearson_is_zero(self, rng):
+        const = np.full((6, 8), 5.0)
+        noisy = const + rng.normal(size=const.shape)
+        out = folded(StreamingError, const, noisy).finalize()
+        assert out.pearson == 0.0 == pearson(const, noisy)
+
+    def test_shape_mismatch_rejected(self):
+        fold = StreamingError()
+        with pytest.raises(ValueError, match="shape mismatch"):
+            fold.update(np.ones(4), np.ones(5))
+
+    def test_no_valid_data_raises(self):
+        fold = StreamingError()
+        fold.update(np.full(8, FILL_VALUE), np.full(8, FILL_VALUE))
+        with pytest.raises(ValueError, match="no valid"):
+            fold.finalize()
+
+
+def make_summary(rng, npoints=512, members=7):
+    fields = 100.0 + rng.normal(size=(members, npoints))
+    fields[:, rng.random(npoints) < 0.05] = FILL_VALUE
+    valid = np.all(np.abs(fields) < 1e34, axis=0)
+    flat = fields[:, valid]
+    return VariableSummary(
+        name="X",
+        shape=(npoints,),
+        mean=flat.mean(axis=0),
+        std=flat.std(axis=0, ddof=1),
+        valid=valid,
+        rmsz_dist=np.array([0.5, 1.5]),
+        enmax_dist=np.array([0.0]),
+        gmean_range=(float(flat.mean()) - 1.0, float(flat.mean()) + 1.0),
+    )
+
+
+class TestStreamingRMSZ:
+    def test_matches_rmsz_of(self, rng):
+        summary = make_summary(rng)
+        new = 100.0 + rng.normal(size=summary.shape)
+        fold = summary.rmsz_stream()
+        for chunk in iter_array_chunks(new, chunk_mb=0.001):
+            fold.update(chunk)
+        assert fold.finalize() == \
+            pytest.approx(summary.rmsz_of(new), rel=RTOL)
+
+    def test_verify_stream_matches_verify(self, rng):
+        summary = make_summary(rng)
+        new = 100.0 + rng.normal(size=summary.shape)
+        batch = summary.verify(new)
+        streamed = summary.verify_stream(
+            iter_array_chunks(new, chunk_mb=0.001))
+        assert streamed["rmsz"] == pytest.approx(batch["rmsz"], rel=RTOL)
+        assert streamed["mean"] == pytest.approx(batch["mean"], rel=RTOL)
+        assert streamed["passed"] == batch["passed"]
+        assert streamed["rmsz_ok"] == batch["rmsz_ok"]
+        assert streamed["mean_ok"] == batch["mean_ok"]
+
+    def test_incomplete_stream_fails_finalize(self, rng):
+        summary = make_summary(rng)
+        fold = summary.rmsz_stream()
+        fold.update(np.zeros(10))
+        with pytest.raises(ValueError, match="covered 10 of"):
+            fold.finalize()
+
+    def test_overlong_stream_rejected(self, rng):
+        summary = make_summary(rng)
+        fold = summary.rmsz_stream()
+        with pytest.raises(ValueError, match="longer than the field"):
+            fold.update(np.zeros(summary.valid.size + 1))
+
+    def test_mismatched_statistics_rejected(self):
+        with pytest.raises(ValueError, match="valid mask selects"):
+            StreamingRMSZ(np.zeros(4), np.ones(4), np.ones(8, dtype=bool))

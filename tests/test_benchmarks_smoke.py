@@ -1,0 +1,42 @@
+"""The streaming throughput benchmark runs end-to-end at tiny scale.
+
+``benchmarks/bench_stream_throughput.py`` sizes its synthetic stream
+from :func:`repro.config.example_scale`, so the same ``REPRO_*`` knobs
+that shrink the examples shrink the benchmark from ~1 GiB to well under
+a megabyte — small enough to smoke-test the whole gate (throughput,
+RSS bound, shm-vs-pickle transfer) inside tier-1.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+TINY = {
+    "REPRO_NE": "3",
+    "REPRO_NLEV": "4",
+    "REPRO_MEMBERS": "21",
+    "REPRO_WORKERS": "2",
+}
+
+
+def test_stream_throughput_bench_smokes(tmp_path):
+    env = dict(os.environ, **TINY)
+    env["PYTHONPATH"] = str(REPO / "src")
+    # Keep the tiny run's record and history out of the real gate data.
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_BENCH_HISTORY"] = str(tmp_path / "history")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         str(REPO / "benchmarks" / "bench_stream_throughput.py")],
+        cwd=REPO / "benchmarks", env=env,
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"benchmark smoke failed\n--- stdout ---\n{proc.stdout}"
+        f"\n--- stderr ---\n{proc.stderr}"
+    )
+    record = tmp_path / "BENCH_stream_throughput.json"
+    assert record.exists(), "tiny run wrote no bench record"

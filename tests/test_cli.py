@@ -50,3 +50,39 @@ class TestCommands:
         assert main(["hybrid", "fpzip", "--no-bias", *SCALE]) == 0
         out = capsys.readouterr().out
         assert "avg CR" in out and "fpzip-" in out
+
+
+class TestStreamCommand:
+    def test_synthetic_serial(self, capsys):
+        code = main(["stream", "LZMA", "--mb", "0.5",
+                     "--chunk-mb", "0.125"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Streaming round trip" in out and "serial" in out
+        assert "LZMA" in out and "synthetic 0.5 MiB" in out
+
+    def test_unknown_variant_exits_2(self, capsys):
+        code = main(["stream", "no-such-codec", "--mb", "0.25"])
+        assert code == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+    def test_file_requires_variable(self, capsys, tmp_path):
+        code = main(["stream", "--file", str(tmp_path / "x.nch")])
+        assert code == 2
+        assert "--variable" in capsys.readouterr().err
+
+    def test_streams_a_file_variable(self, capsys, tmp_path, rng):
+        import numpy as np
+
+        from repro.ncio.format import HistoryFileWriter
+
+        path = tmp_path / "member.nch"
+        data = (250 + rng.normal(size=(8, 512))).astype(np.float32)
+        with HistoryFileWriter(path, compression="zlib") as w:
+            w.put_var("T", data, dims=("lev", "ncol"))
+        code = main(["stream", "LZMA", "--file", str(path),
+                     "--variable", "T", "--chunk-mb", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"{path}:T" in out
+        assert "LZMA" in out

@@ -29,6 +29,7 @@ EXPECTED_PAGES = {
     "report": "docs/observability.md",
     "bench": "docs/benchmarks.md",
     "store": "docs/caching.md",
+    "stream": "docs/streaming.md",
     "serve": "docs/serving.md",
     "submit": "docs/serving.md",
     "jobs": "docs/serving.md",
