@@ -573,6 +573,50 @@ def _check_rep018(tree: ast.AST, lines: Sequence[str],
     return found
 
 
+# -- REP019 ------------------------------------------------------------------
+
+#: The repro.obs entry points whose first argument names a span/metric.
+_OBS_NAME_FNS = {"span", "counter", "gauge", "histogram", "traced"}
+#: Static span/metric names: lowercase dot-namespaced ``subsystem.stage``.
+_OBS_NAME_RE = re.compile(r"[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+")
+
+
+def _check_rep019(tree: ast.AST, lines: Sequence[str],
+                  path: str) -> list[RawFinding]:
+    found: list[RawFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        parts = _attr_chain(node.func).split(".")
+        if parts[-1] not in _OBS_NAME_FNS:
+            continue
+        if len(parts) > 1 and parts[-2] != "obs":
+            continue
+        arg = node.args[0]
+        dynamic = (
+            (isinstance(arg, ast.JoinedStr)
+             and any(isinstance(v, ast.FormattedValue)
+                     for v in arg.values))
+            or isinstance(arg, ast.BinOp)
+            or (isinstance(arg, ast.Call)
+                and _attr_chain(arg.func).split(".")[-1] == "format")
+        )
+        if dynamic:
+            found.append((
+                arg.lineno, arg.col_offset,
+                f"{parts[-1]}() name is built dynamically; put variable "
+                "parts in labels/meta, not the name",
+            ))
+        elif isinstance(arg, ast.Constant) and isinstance(arg.value, str) \
+                and not _OBS_NAME_RE.fullmatch(arg.value):
+            found.append((
+                arg.lineno, arg.col_offset,
+                f"{parts[-1]}() name {arg.value!r} is not a lowercase "
+                "dot-namespaced literal (subsystem.stage)",
+            ))
+    return found
+
+
 # -- registry ----------------------------------------------------------------
 
 RULES: tuple[Rule, ...] = (
@@ -754,6 +798,23 @@ RULES: tuple[Rule, ...] = (
                  "docs/serving.md hold the package-level contracts)",
         applies=_in("stream", "serve"),
         check=_check_rep018,
+    ),
+    Rule(
+        id="REP019",
+        title="dynamic or non-namespaced span/metric name",
+        severity="error",
+        rationale="Span and metric names are aggregation keys: the stats "
+                  "table, the Prometheus exposition, and the bench-record "
+                  "span aggregates all group by them.  An f-string name "
+                  "(`f\"job.{kind}\"`) explodes the key space per value "
+                  "and splinters every quantile; a flat name loses the "
+                  "subsystem prefix the docs and dashboards filter on.",
+        fix_hint="use a static lowercase subsystem.stage literal and put "
+                 "variable parts in labels (counter(...).add(kind=...)) "
+                 "or span metadata",
+        applies=lambda parts: _not_tests(parts) and "obs" not in parts
+        and "benchmarks" not in parts,
+        check=_check_rep019,
     ),
 )
 

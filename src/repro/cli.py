@@ -23,7 +23,10 @@ Exposes the paper's workflows as commands:
   (``docs/serving.md``);
 - ``submit``       — send one job to a running daemon and (by default)
   wait for its result;
-- ``jobs``         — list, inspect, or cancel jobs on a running daemon.
+- ``jobs``         — list, inspect, or cancel jobs on a running daemon;
+- ``top``          — poll a daemon's ``metrics`` op and render a live
+  telemetry dashboard (jobs/s, p95 wait, cache hit rate), with
+  optional ``--slo`` gating for scripts and CI.
 
 Scale flags (``--ne``, ``--nlev``, ``--members``) mirror the ``REPRO_*``
 environment knobs; ``--store PATH`` activates the artifact cache for one
@@ -193,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the repro.check static analyzer (REP001..REP018)",
+        help="run the repro.check static analyzer (REP001..REP019)",
         epilog=_docs("docs/static-analysis.md"),
     )
     p.add_argument("paths", nargs="*", default=["src"],
@@ -236,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "time/count/bytes")
     p.add_argument("--top", type=int, default=None, metavar="N",
                    help="keep only the first N rows after sorting")
+    p.add_argument("--filter", default=None, metavar="GLOB",
+                   help="keep only span stages whose name matches the "
+                        "glob (e.g. 'serve.*' or '*compress*')")
+    p.add_argument("--trace", default=None, metavar="ID",
+                   help="with --from-jsonl: render one trace's span "
+                        "tree (a unique trace-id prefix is enough; "
+                        "'ls' lists the traces in the file)")
     _add_scale_flags(p)
     _add_exec_flags(p)
 
@@ -379,6 +389,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cancel", default=None, metavar="ID",
                    help="request cancellation of the given job id")
     _add_serve_address_flags(p)
+
+    p = sub.add_parser(
+        "top",
+        help="live telemetry dashboard for a running daemon "
+             "(docs/serving.md)",
+        epilog=_docs("docs/serving.md"),
+    )
+    _add_serve_address_flags(p)
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds between polls (default: 2)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N polls (default: run until "
+                        "interrupted)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no screen "
+                        "refresh; scripting-friendly)")
+    p.add_argument("--raw", action="store_true",
+                   help="print the raw Prometheus exposition text "
+                        "once and exit")
+    p.add_argument("--slo", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="exit 1 when the final snapshot breaches an "
+                        "objective; NAME is one of p50_wait_ms, "
+                        "p95_wait_ms, p99_wait_ms, p95_run_ms, "
+                        "queue_depth (repeatable)")
     return parser
 
 
@@ -422,8 +458,11 @@ def main(argv=None) -> int:
         return _store_command(args, render_table)
 
     if args.command == "stats":
+        if args.trace is not None:
+            return _trace_command(args)
         agg, title = _traced_aggregator(args)
-        headers, rows = agg.table(sort=args.sort, top=args.top)
+        headers, rows = agg.table(sort=args.sort, top=args.top,
+                                  name_filter=args.filter)
         print(render_table(headers, rows, title=title, precision=4))
         m_headers, m_rows = agg.metrics_table()
         if m_rows:
@@ -457,6 +496,9 @@ def main(argv=None) -> int:
 
     if args.command == "jobs":
         return _jobs_command(args, render_table)
+
+    if args.command == "top":
+        return _top_command(args, render_table)
 
     if args.command == "check":
         from repro.ncio.format import HistoryFile
@@ -621,6 +663,34 @@ def _traced_aggregator(args, mem: bool = False):
     title = (f"Per-stage stats: {args.variant}, "
              f"{config.n_members} members, ne={config.ne}")
     return obs.aggregator(), title
+
+
+def _trace_command(args) -> int:
+    """The ``repro stats --trace`` tree renderer (``--trace ls`` lists)."""
+    from repro import obs
+
+    if not args.from_jsonl:
+        print("repro stats --trace needs --from-jsonl TRACE: a trace "
+              "spans processes, so only a JSONL sink sees all of it",
+              file=sys.stderr)
+        return 2
+    events = obs.load_jsonl(args.from_jsonl)
+    if args.trace == "ls":
+        traces = obs.list_traces(events)
+        if not traces:
+            print(f"no trace ids in {args.from_jsonl} (written with "
+                  "tracing off, or propagation disabled?)",
+                  file=sys.stderr)
+            return 1
+        for trace_id, n_spans, total_s in traces:
+            print(f"{trace_id}  {n_spans:4d} span(s)  {total_s:10.6f} s")
+        return 0
+    try:
+        print(obs.render_trace_tree(events, args.trace))
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
 
 
 def _bench_command(args, render_table) -> int:
@@ -926,6 +996,150 @@ def _jobs_command(args, render_table) -> int:
         ["job", "kind", "prio", "state", "cached", "wait (s)", "run (s)"],
         rows, title=f"{len(rows)} job(s) on the daemon",
     ))
+    return 0
+
+
+#: Objectives ``repro top --slo`` understands, and how to compute them
+#: from a parsed exposition snapshot (quantiles in milliseconds).
+_SLO_NAMES = ("p50_wait_ms", "p95_wait_ms", "p99_wait_ms", "p95_run_ms",
+              "queue_depth")
+
+
+def _parse_slos(pairs: list[str]) -> dict[str, float]:
+    slos: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        ok = sep and name in _SLO_NAMES
+        if ok:
+            try:
+                slos[name] = float(raw)
+            except ValueError:
+                ok = False
+        if not ok:
+            raise SystemExit(
+                f"--slo {pair!r} is not NAME=VALUE with NAME one of: "
+                + ", ".join(_SLO_NAMES))
+    return slos
+
+
+def _top_frame(samples: dict, prev_done: float | None, interval: float,
+               slos: dict[str, float], poll: int,
+               render_table) -> tuple[str, list[str]]:
+    """One rendered dashboard frame plus any SLO breach descriptions."""
+    from repro.obs import telemetry
+
+    def val(name: str) -> float:
+        return samples.get(name, 0.0)
+
+    def quant_ms(family: str, q: float) -> float | None:
+        v = telemetry.quantile_from_buckets(samples, family, q)
+        return None if v is None else v * 1e3
+
+    done = val("repro_serve_done_total")
+    hits = val("repro_serve_cache_hits_total")
+    lookups = hits + val("repro_serve_cache_misses_total")
+    rate = (None if prev_done is None
+            else max(done - prev_done, 0.0) / interval)
+    current: dict[str, float | None] = {
+        "p50_wait_ms": quant_ms("repro_serve_job_wait_s", 0.50),
+        "p95_wait_ms": quant_ms("repro_serve_job_wait_s", 0.95),
+        "p99_wait_ms": quant_ms("repro_serve_job_wait_s", 0.99),
+        "p95_run_ms": quant_ms("repro_serve_job_run_s", 0.95),
+        "queue_depth": val("repro_serve_queue_depth"),
+    }
+
+    def fmt(v: float | None, unit: str = "") -> str:
+        return "-" if v is None else f"{v:.1f}{unit}"
+
+    lines = [
+        f"repro top — poll {poll} (every {interval:g}s)",
+        f"jobs/s {fmt(rate)}   "
+        f"p50 wait {fmt(current['p50_wait_ms'], ' ms')}   "
+        f"p95 wait {fmt(current['p95_wait_ms'], ' ms')}   "
+        f"p95 run {fmt(current['p95_run_ms'], ' ms')}   "
+        f"cache hit {fmt(100.0 * hits / lookups if lookups else None, '%')}",
+        f"queue {val('repro_serve_queue_depth'):g}   "
+        f"workers {val('repro_serve_workers_alive'):g}   "
+        f"jobs {val('repro_serve_jobs_total'):g}   done {done:g}   "
+        f"failed {val('repro_serve_failed_total'):g}   "
+        f"rejected {val('repro_serve_rejected_total'):g}   "
+        f"cancelled {val('repro_serve_cancelled_total'):g}",
+    ]
+    prefix = 'repro_serve_jobs_total{kind="'
+    kinds = sorted(n[len(prefix):-2] for n in samples
+                   if n.startswith(prefix) and n.endswith('"}'))
+    if kinds:
+        rows = []
+        for kind in kinds:
+            def k(fam: str) -> float:
+                return samples.get(f'{fam}{{kind="{kind}"}}', 0.0)
+
+            rows.append([kind, k("repro_serve_jobs_total"),
+                         k("repro_serve_done_total"),
+                         k("repro_serve_failed_total"),
+                         k("repro_serve_cache_hits_total")])
+        lines.append("")
+        lines.append(render_table(
+            ["kind", "jobs", "done", "failed", "cached"], rows,
+            title="Per-kind jobs"))
+    breaches = [
+        f"{name} {current[name]:.1f} > {limit:g}"
+        for name, limit in sorted(slos.items())
+        if current.get(name) is not None and current[name] > limit
+    ]
+    lines.extend(f"SLO BREACH: {b}" for b in breaches)
+    return "\n".join(lines), breaches
+
+
+def _top_command(args, render_table) -> int:
+    """The ``repro top`` live dashboard: poll ``metrics``, render, gate.
+
+    The refresh clears the screen only on a TTY; piped output gets one
+    frame per poll.  Exit code 1 when the *final* frame breaches any
+    ``--slo`` objective, so scripts can poll-and-gate in one call.
+    """
+    import time
+
+    from repro.serve import ServeError
+
+    from repro.obs import telemetry
+
+    slos = _parse_slos(args.slo)
+    limit = 1 if (args.once or args.raw) else args.iterations
+    prev_done: float | None = None
+    breaches: list[str] = []
+    poll = 0
+    try:
+        with _connect_client(args) as client:
+            while True:
+                text = client.metrics()
+                poll += 1
+                if args.raw:
+                    sys.stdout.write(text)
+                    break
+                samples = telemetry.parse_exposition(text)
+                frame, breaches = _top_frame(
+                    samples, prev_done, args.interval, slos, poll,
+                    render_table)
+                if poll > 1 and sys.stdout.isatty():
+                    sys.stdout.write("\x1b[H\x1b[2J")
+                print(frame, flush=True)
+                prev_done = samples.get("repro_serve_done_total", 0.0)
+                if limit is not None and poll >= limit:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    except ServeError as exc:
+        print(f"daemon refused ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach the daemon: {exc}", file=sys.stderr)
+        return 2
+    if breaches:
+        for breach in breaches:
+            print(f"slo: {breach}", file=sys.stderr)
+        return 1
     return 0
 
 

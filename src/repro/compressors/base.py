@@ -41,6 +41,8 @@ _BYTES_IN = obs.counter("compressors.bytes_in")
 _BYTES_OUT = obs.counter("compressors.bytes_out")
 _ROUNDTRIPS = obs.counter("compressors.roundtrips")
 _LAST_CR = obs.gauge("compressors.cr")
+_COMPRESS_H = obs.histogram("compressors.compress_s")
+_DECOMPRESS_H = obs.histogram("compressors.decompress_s")
 
 
 @dataclass(frozen=True)
@@ -177,7 +179,8 @@ class Compressor(abc.ABC):
             sp.note(bytes=data.nbytes, bytes_out=len(blob))
             _BYTES_IN.add(data.nbytes)
             _BYTES_OUT.add(len(blob))
-            return blob
+        _COMPRESS_H.observe(sp.duration, codec=self.variant)
+        return blob
 
     @boundary("decompress")
     def decompress(self, blob: bytes) -> np.ndarray:
@@ -206,7 +209,8 @@ class Compressor(abc.ABC):
             values = self._decode_values(reader.get("data"), count, dtype)
             out = values.astype(dtype, copy=False).reshape(shape)
             sp.note(bytes=out.nbytes)
-            return out
+        _DECOMPRESS_H.observe(sp.duration, codec=self.variant)
+        return out
 
     def roundtrip(self, data: np.ndarray) -> CompressionOutcome:
         """Compress and reconstruct, returning sizes alongside the result.

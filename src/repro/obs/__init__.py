@@ -8,9 +8,15 @@ package provides:
 - hierarchical wall-clock **spans** — ``with span("pvt.zscore"): ...`` or
   ``@traced("subsystem.stage")`` — recording duration, metadata, and
   parent/child nesting, including across ``parallel_map`` workers;
-- typed **counters and gauges** for the domain's hot numbers (bytes
-  in/out, compression ratio, codec MB/s, ensemble members built, PVT
-  pass/fail tallies);
+- typed **counters, gauges, and histograms** for the domain's hot
+  numbers (bytes in/out, compression ratio, codec MB/s, ensemble
+  members built, PVT pass/fail tallies, latency distributions with
+  p50/p95/p99);
+- **trace-context propagation**: every span carries a
+  ``trace_id``/``span_id``/``parent_id``; :class:`TraceContext` crosses
+  process and socket boundaries (``WorkerTask``, the serve protocol) so
+  one request's spans reassemble into a tree via
+  ``repro stats --trace <id>``;
 - pluggable **sinks**: the in-process :class:`~repro.obs.sinks.Aggregator`
   behind ``repro stats``, a JSON-lines trace writer, and a Chrome-trace
   (``chrome://tracing`` / Perfetto) exporter.
@@ -42,18 +48,25 @@ from __future__ import annotations
 from repro.obs.core import (
     Counter,
     Gauge,
+    Histogram,
     MetricEvent,
     SpanRecord,
+    TraceContext,
     WorkerTask,
     active,
     aggregator,
+    attach_context,
+    bucket_bounds,
     counter,
+    current_context,
     current_depth,
     current_span_name,
     flush_sinks,
     gauge,
     get_override,
+    histogram,
     merge_events,
+    propagate_active,
     reset,
     set_override,
     span,
@@ -72,10 +85,13 @@ from repro.obs.sinks import (
     Aggregator,
     BufferSink,
     ChromeTraceSink,
+    HistogramStats,
     JsonlSink,
     Sink,
     SpanStats,
+    list_traces,
     load_jsonl,
+    render_trace_tree,
 )
 
 __all__ = [
@@ -84,26 +100,36 @@ __all__ = [
     "ChromeTraceSink",
     "Counter",
     "Gauge",
+    "Histogram",
+    "HistogramStats",
     "JsonlSink",
     "MetricEvent",
     "Sink",
     "SpanRecord",
     "SpanStats",
+    "TraceContext",
     "WorkerTask",
     "active",
     "aggregator",
+    "attach_context",
+    "bucket_bounds",
     "counter",
+    "current_context",
     "current_depth",
     "current_span_name",
     "flush_sinks",
     "gauge",
     "get_mem_override",
     "get_override",
+    "histogram",
+    "list_traces",
     "load_jsonl",
     "mem_active",
     "merge_events",
     "peak_rss_bytes",
     "profiling_memory",
+    "propagate_active",
+    "render_trace_tree",
     "reset",
     "rss_bytes",
     "set_mem_override",

@@ -187,6 +187,11 @@ class BenchRecord:
                 entry["cr"] = stats.cr
             if stats.mem_peak:
                 entry["mem_peak_mb"] = stats.mem_peak / 1e6
+            hist = agg.span_hists.get(span_name)
+            if hist is not None and hist.count:
+                entry["p50_s"] = hist.quantile(0.50)
+                entry["p95_s"] = hist.quantile(0.95)
+                entry["p99_s"] = hist.quantile(0.99)
             self.spans[span_name] = entry
 
     def finalize_mem(self) -> None:

@@ -19,6 +19,17 @@ Span context crosses process boundaries: :class:`WorkerTask` wraps a
 parent merges them on return (:func:`merge_events`), preserving the
 worker's pid/tid so a Chrome trace shows one lane per process.
 
+Every span additionally carries a :class:`TraceContext` — a
+``trace_id`` shared by every span in one request plus a unique
+``span_id``/``parent_id`` pair — so a request that crosses the serve
+daemon and its executor workers reconstructs as one tree
+(``repro stats --trace <id>``).  Remote context adoption goes through
+:func:`attach_context`; client->daemon frame propagation is gated by
+``REPRO_TRACE_PROPAGATE`` (on by default whenever tracing is on).
+:class:`Histogram` completes the metric family: fixed log-bucket
+latency distributions (``REPRO_METRICS_BUCKETS`` buckets per decade)
+that merge across workers exactly like counters.
+
 This module imports nothing from :mod:`repro` beyond the stdlib-only
 :mod:`repro.config` (the environment-knob seam), so every layer —
 including :mod:`repro.compressors.base` — can hook into it without
@@ -41,24 +52,69 @@ from repro.obs import memory as _memory
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricEvent",
     "SpanRecord",
+    "TraceContext",
     "WorkerTask",
     "active",
     "aggregator",
+    "attach_context",
+    "bucket_bounds",
     "counter",
+    "current_context",
     "current_depth",
     "current_span_name",
     "flush_sinks",
     "gauge",
     "get_override",
+    "histogram",
     "merge_events",
+    "propagate_active",
     "reset",
     "set_override",
     "span",
     "traced",
     "tracing",
 ]
+
+
+# -- trace identity ----------------------------------------------------------
+
+def _new_id() -> str:
+    """A fresh 64-bit hex id (only generated while tracing is on)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity one span carries: which request, which parent.
+
+    ``trace_id`` is shared by every span of one logical request — across
+    threads, worker processes, and the client/daemon boundary;
+    ``span_id`` is unique to one span; ``parent_id`` points at the
+    enclosing span (``None`` for a trace root).  Frozen and picklable,
+    so it rides :class:`WorkerTask` and serve frames unchanged.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def to_wire(self) -> dict:
+        """The JSON shape carried in a serve ``submit`` frame."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, obj: Any) -> "TraceContext | None":
+        """Parse a frame field back (``None`` on anything malformed)."""
+        if not isinstance(obj, dict):
+            return None
+        trace_id = obj.get("trace_id")
+        span_id = obj.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
 
 
 # -- event records -----------------------------------------------------------
@@ -75,13 +131,16 @@ class SpanRecord:
     pid: int
     tid: int
     meta: dict = field(default_factory=dict, compare=False)
+    trace_id: str = ""          #: request identity (empty pre-v2 traces)
+    span_id: str = ""           #: this span's unique id
+    parent_id: str | None = None  #: enclosing span's id, if any
 
 
 @dataclass(frozen=True)
 class MetricEvent:
-    """One counter increment or gauge observation."""
+    """One counter increment, gauge observation, or histogram sample."""
 
-    kind: str          #: ``"counter"`` or ``"gauge"``
+    kind: str          #: ``"counter"``, ``"gauge"``, or ``"hist"``
     name: str
     value: float
     ts: float
@@ -112,6 +171,45 @@ def active() -> bool:
     if _override is not None:
         return _override
     return _config.env_flag("REPRO_TRACE")
+
+
+def propagate_active() -> bool:
+    """Whether trace context should cross client->daemon frames.
+
+    Follows :func:`active` — tracing off means nothing propagates — and
+    defaults to *on* when tracing is on; set ``REPRO_TRACE_PROPAGATE=0``
+    to trace locally without tagging outbound requests.
+    """
+    if not active():
+        return False
+    return _config.env_str("REPRO_TRACE_PROPAGATE", "1") not in ("", "0")
+
+
+#: Histogram bucket layout: log-spaced upper bounds spanning 1 µs to
+#: ~17 min (10^-6 .. 10^3 s), fixed for the process so every worker's
+#: buckets line up and merge bucket-by-bucket like counters.
+_BUCKET_DECADES = (-6, 3)
+_DEFAULT_BUCKETS_PER_DECADE = 4
+_bucket_cache: dict[int, tuple[float, ...]] = {}
+
+
+def bucket_bounds() -> tuple[float, ...]:
+    """The histogram bucket upper bounds (``REPRO_METRICS_BUCKETS``/decade).
+
+    An implicit overflow bucket follows the last bound.  The layout is
+    cached per resolution, so all histograms in one process share one
+    tuple.
+    """
+    per_decade = _config.env_int_opt("REPRO_METRICS_BUCKETS")
+    if per_decade is None or per_decade < 1:
+        per_decade = _DEFAULT_BUCKETS_PER_DECADE
+    bounds = _bucket_cache.get(per_decade)
+    if bounds is None:
+        lo, hi = _BUCKET_DECADES
+        n = (hi - lo) * per_decade + 1
+        bounds = tuple(10.0 ** (lo + i / per_decade) for i in range(n))
+        _bucket_cache[per_decade] = bounds
+    return bounds
 
 
 # -- sink routing ------------------------------------------------------------
@@ -174,6 +272,7 @@ def reset() -> None:
     _tls.stack = []
     _tls.base_parent = None
     _tls.base_depth = 0
+    _tls.base_ctx = None
     _memory.reset()
 
 
@@ -196,6 +295,9 @@ class _TlsState(threading.local):
         #: set inside workers so their spans nest under the submitting span.
         self.base_parent: str | None = None
         self.base_depth: int = 0
+        #: TraceContext seed: the remote/submitting span a root span
+        #: opened on this thread should hang under.
+        self.base_ctx: TraceContext | None = None
 
 
 _tls = _TlsState()
@@ -213,6 +315,33 @@ def current_depth() -> int:
     return len(_tls.stack) + _tls.base_depth
 
 
+def current_context() -> TraceContext | None:
+    """The innermost open span's trace context (or this thread's seed)."""
+    if _tls.stack:
+        return _tls.stack[-1].context
+    return _tls.base_ctx
+
+
+@contextmanager
+def attach_context(ctx: TraceContext | None) -> Iterator[None]:
+    """Adopt a remote :class:`TraceContext` as this thread's trace root.
+
+    Spans opened in the block join ``ctx``'s trace (its ``span_id``
+    becomes their ``parent_id``), which is how the serve daemon hangs a
+    job's spans under the submitting client's request.  ``None`` is a
+    no-op, so call sites never need their own gating.
+    """
+    if ctx is None:
+        yield
+        return
+    prev = _tls.base_ctx
+    _tls.base_ctx = ctx
+    try:
+        yield
+    finally:
+        _tls.base_ctx = prev
+
+
 class span:
     """Context manager timing one ``subsystem.stage`` region.
 
@@ -228,15 +357,35 @@ class span:
     so a failing codec cannot corrupt nesting for its siblings.
     """
 
-    __slots__ = ("name", "meta", "_on", "_mem", "_ts", "_t0")
+    __slots__ = ("name", "meta", "_on", "_mem", "_ts", "_t0", "_ctx",
+                 "_dur")
 
     def __init__(self, name: str, **meta: Any) -> None:
         self._on = active()
         self.name = name
         self.meta = meta
 
+    @property
+    def context(self) -> TraceContext | None:
+        """This span's trace identity (``None`` while tracing is off)."""
+        return getattr(self, "_ctx", None)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration in seconds (0.0 until the span closes)."""
+        return getattr(self, "_dur", 0.0)
+
     def __enter__(self) -> "span":
         if self._on:
+            parent_ctx = (_tls.stack[-1].context if _tls.stack
+                          else _tls.base_ctx)
+            self._ctx = TraceContext(
+                trace_id=(parent_ctx.trace_id if parent_ctx is not None
+                          else _new_id()),
+                span_id=_new_id(),
+                parent_id=(parent_ctx.span_id if parent_ctx is not None
+                           else None),
+            )
             _tls.stack.append(self)
             self._mem = _memory.mem_active()
             if self._mem:
@@ -253,7 +402,7 @@ class span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if not self._on:
             return False
-        duration = time.perf_counter() - self._t0
+        duration = self._dur = time.perf_counter() - self._t0
         if self._mem:
             self.meta.update(_memory.on_span_exit())
         stack = _tls.stack
@@ -267,10 +416,13 @@ class span:
         depth = len(stack) + _tls.base_depth
         if exc_type is not None:
             self.meta.setdefault("error", exc_type.__name__)
+        ctx = self._ctx
         _emit_span_record(SpanRecord(
             name=self.name, ts=self._ts, duration=duration,
             parent=parent, depth=depth, pid=os.getpid(),
             tid=threading.get_ident(), meta=dict(self.meta),
+            trace_id=ctx.trace_id, span_id=ctx.span_id,
+            parent_id=ctx.parent_id,
         ))
         if self._mem and not stack:
             # Root spans (this thread's outermost, including a worker
@@ -355,6 +507,32 @@ class Gauge:
         ))
 
 
+class Histogram:
+    """A latency/size distribution over fixed log-spaced buckets.
+
+    Observations become :class:`MetricEvent`\\ s (``kind="hist"``), so
+    they buffer, merge across workers, and round-trip through JSONL
+    exactly like counters.  Bucketing happens at aggregation time (see
+    :func:`bucket_bounds`), which keeps the record path to a single
+    event emit and lets sinks re-bucket without losing data.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation (no-op while tracing is inactive)."""
+        if not active():
+            return
+        _emit_metric_event(MetricEvent(
+            kind="hist", name=self.name, value=float(value),
+            ts=time.time(), pid=os.getpid(), tid=threading.get_ident(),
+            labels=labels,
+        ))
+
+
 _METRICS: dict[tuple[str, str], Any] = {}
 
 
@@ -373,6 +551,15 @@ def gauge(name: str) -> Gauge:
     got = _METRICS.get(key)
     if got is None:
         got = _METRICS[key] = Gauge(name)
+    return got
+
+
+def histogram(name: str) -> Histogram:
+    """Interned :class:`Histogram` for ``name``."""
+    key = ("hist", name)
+    got = _METRICS.get(key)
+    if got is None:
+        got = _METRICS[key] = Histogram(name)
     return got
 
 
@@ -412,7 +599,8 @@ class WorkerTask:
     """
 
     def __init__(self, fn: Callable, parent: str | None = None,
-                 depth: int = 0, mem: bool | None = None) -> None:
+                 depth: int = 0, mem: bool | None = None,
+                 ctx: TraceContext | None = None) -> None:
         self.fn = fn
         self.parent = parent
         self.depth = depth
@@ -420,6 +608,11 @@ class WorkerTask:
         #: ``profiling_memory()`` override crosses the pool the same way
         #: the tracing override does (env vars already cross via fork).
         self.mem = _memory.mem_active() if mem is None else mem
+        #: Trace context captured on the parent side; worker root spans
+        #: adopt it so they join the submitting request's trace.  Only
+        #: captured when propagation is enabled.
+        self.ctx = current_context() if ctx is None and propagate_active() \
+            else ctx
 
     def __call__(self, item: Any) -> tuple[Any, list]:
         from repro.obs.sinks import BufferSink
@@ -430,6 +623,7 @@ class WorkerTask:
         prev_sinks = _sink_override
         prev_parent = _tls.base_parent
         prev_depth = _tls.base_depth
+        prev_ctx = _tls.base_ctx
         prev_mem = _memory.get_mem_override()
         # A fork-started worker inherits the parent's open span stack;
         # the submitting span is represented by parent/depth instead.
@@ -439,6 +633,7 @@ class WorkerTask:
         _sink_override = [buffer]
         _tls.base_parent = self.parent
         _tls.base_depth = self.depth
+        _tls.base_ctx = self.ctx
         _tls.stack = []
         try:
             result = self.fn(item)
@@ -448,6 +643,7 @@ class WorkerTask:
             _sink_override = prev_sinks
             _tls.base_parent = prev_parent
             _tls.base_depth = prev_depth
+            _tls.base_ctx = prev_ctx
             _tls.stack = prev_stack
         return result, buffer.events
 

@@ -7,6 +7,8 @@ actually asks:
 
 - where did the time go? (top-N spans by total wall time);
 - what did the run do? (counter totals, gauge last-values);
+- how was latency distributed? (histogram quantiles — p50/p95/p99 of
+  codec, executor-task, stream-fold, and serve-job timings);
 - did the cache help? (``store.*`` hit/miss/put rates);
 - what did it cost in memory? (per-span tracemalloc peaks and per-pid
   RSS gauges, present when the run had ``REPRO_TRACE_MEM=1``).
@@ -104,6 +106,17 @@ def render_report(agg: Aggregator, top: int = 10,
     if gauge_rows:
         pieces.append(render_table(["gauge", "last value"], gauge_rows,
                                    title="Gauges", precision=4))
+    hist_rows = []
+    for name in sorted(agg.hists):
+        s = agg.hists[name].summary()
+        if s["count"]:
+            hist_rows.append([name, int(s["count"]), s["p50"],
+                              s["p95"], s["p99"], s["max"]])
+    if hist_rows:
+        pieces.append(render_table(
+            ["histogram", "count", "p50 (s)", "p95 (s)", "p99 (s)",
+             "max (s)"],
+            hist_rows, title="Latency distributions", precision=4))
     store = _store_section(agg)
     if store:
         pieces.append(store)

@@ -14,25 +14,38 @@ Every sink consumes the :class:`repro.obs.core.SpanRecord` /
 - :class:`BufferSink` — an in-memory list used to ferry worker events
   across the process boundary (see :class:`repro.obs.core.WorkerTask`).
 
+Histogram events (``kind="hist"``) fold into :class:`HistogramStats` —
+fixed log-spaced buckets from :func:`repro.obs.core.bucket_bounds` with
+interpolated quantiles — and every span's duration feeds a per-stage
+histogram so ``repro stats`` can show p50/p95 next to the mean.  Span
+records carry ``trace_id``/``span_id``/``parent_id``, which
+:func:`render_trace_tree` reassembles into one request's call tree
+across processes (``repro stats --trace <id>``).
+
 Sinks are zero-dependency (stdlib only) like the rest of ``repro.obs``.
 """
 
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from dataclasses import dataclass
+from fnmatch import fnmatchcase
 from pathlib import Path
-from typing import Any, TextIO
+from typing import Any, Iterable, TextIO
 
-from repro.obs.core import MetricEvent, SpanRecord
+from repro.obs.core import MetricEvent, SpanRecord, bucket_bounds
 
 __all__ = [
     "Aggregator",
     "BufferSink",
     "ChromeTraceSink",
+    "HistogramStats",
     "JsonlSink",
     "Sink",
     "SpanStats",
+    "list_traces",
+    "render_trace_tree",
 ]
 
 
@@ -98,6 +111,93 @@ class SpanStats:
         return self.bytes_out / self.bytes
 
 
+class HistogramStats:
+    """Fixed-bucket distribution summary, mergeable across processes.
+
+    Buckets use the shared log-spaced upper bounds from
+    :func:`repro.obs.core.bucket_bounds` (``le`` semantics: bucket ``i``
+    counts observations ``<= bounds[i]``, with one implicit overflow
+    bucket).  Quantiles interpolate linearly inside the landing bucket
+    and are clamped to the observed ``[vmin, vmax]`` so tiny samples
+    don't report a p99 beyond anything actually seen.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
+        self.bounds = tuple(bounds) if bounds is not None else bucket_bounds()
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = 0.0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the bucket counts."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    def merge(self, other: "HistogramStats") -> None:
+        """Fold another histogram (same bucket bounds) into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``), interpolated per bucket."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cum = 0.0
+        for i, c in enumerate(self.counts):
+            if not c:
+                continue
+            lo_cum = cum
+            cum += c
+            if cum >= target:
+                lo = self.bounds[i - 1] if i > 0 else self.vmin
+                hi = self.bounds[i] if i < len(self.bounds) else self.vmax
+                frac = max(0.0, min((target - lo_cum) / c, 1.0))
+                value = lo + (hi - lo) * frac
+                return max(self.vmin, min(value, self.vmax))
+        return self.vmax
+
+    def summary(self) -> dict[str, float]:
+        """Count/mean/max plus the standard percentile set."""
+        return {
+            "count": self.count, "mean": self.mean,
+            "p50": self.quantile(0.50), "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95), "p99": self.quantile(0.99),
+            "max": self.vmax if self.count else 0.0,
+        }
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        cum = 0
+        for bound, c in zip(self.bounds, self.counts):
+            cum += c
+            out.append((bound, cum))
+        out.append((float("inf"), self.count))
+        return out
+
+
 def _metric_key(name: str, labels: dict) -> str:
     if not labels:
         return name
@@ -120,6 +220,8 @@ class Aggregator(Sink):
         self.spans: dict[str, SpanStats] = {}
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.hists: dict[str, HistogramStats] = {}
+        self.span_hists: dict[str, HistogramStats] = {}
         self._by_codec: dict[tuple[str, str], SpanStats] = {}
 
     def on_span(self, record: SpanRecord) -> None:
@@ -131,6 +233,10 @@ class Aggregator(Sink):
         if stats is None:
             stats = self.spans[record.name] = SpanStats()
         stats.add(record.duration, n_bytes, n_out, mem_peak)
+        hist = self.span_hists.get(record.name)
+        if hist is None:
+            hist = self.span_hists[record.name] = HistogramStats()
+        hist.observe(record.duration)
         codec = record.meta.get("codec")
         if codec is not None:
             key = (record.name, str(codec))
@@ -140,10 +246,15 @@ class Aggregator(Sink):
             per.add(record.duration, n_bytes, n_out, mem_peak)
 
     def on_metric(self, event: MetricEvent) -> None:
-        """Fold one counter increment / gauge observation in."""
+        """Fold one counter increment / gauge / histogram observation in."""
         key = _metric_key(event.name, event.labels)
         if event.kind == "counter":
             self.counters[key] = self.counters.get(key, 0.0) + event.value
+        elif event.kind == "hist":
+            hist = self.hists.get(key)
+            if hist is None:
+                hist = self.hists[key] = HistogramStats()
+            hist.observe(event.value)
         else:
             self.gauges[key] = event.value
 
@@ -164,15 +275,18 @@ class Aggregator(Sink):
 
     # -- rendering ---------------------------------------------------------
 
-    def table(self, sort: str = "stage",
-              top: int | None = None) -> tuple[list[str], list[list]]:
+    def table(self, sort: str = "stage", top: int | None = None,
+              name_filter: str | None = None) -> tuple[list[str], list[list]]:
         """The ``repro stats`` per-stage table as ``(headers, rows)``.
 
         ``sort`` orders rows by ``"stage"`` (name, ascending) or by
         ``"time"``/``"count"``/``"bytes"`` (descending); ``top`` keeps
-        only the first N rows after sorting.  A trailing ``peak MB``
-        column appears when any span recorded a tracemalloc peak
-        (``REPRO_TRACE_MEM``).
+        only the first N rows after sorting; ``name_filter`` keeps only
+        span names matching the glob (applied before sorting/``top``).
+        Under ``sort="bytes"`` spans that never recorded byte counters
+        list at ``0.0`` MB rather than silently blanking out.  A
+        trailing ``peak MB`` column appears when any span recorded a
+        tracemalloc peak (``REPRO_TRACE_MEM``).
         """
         keys: dict[str, Any] = {
             "time": lambda s: s.total,
@@ -185,6 +299,8 @@ class Aggregator(Sink):
                 f"stage, {', '.join(keys)}"
             )
         names = sorted(self.spans)
+        if name_filter is not None:
+            names = [n for n in names if fnmatchcase(n, name_filter)]
         if sort != "stage":
             names.sort(key=lambda n: keys[sort](self.spans[n]),
                        reverse=True)
@@ -192,16 +308,24 @@ class Aggregator(Sink):
             names = names[:max(top, 0)]
         with_mem = any(s.mem_peak for s in self.spans.values())
         headers = ["stage", "count", "total (s)", "mean (s)",
-                   "MB", "CR", "MB/s"]
+                   "p50 (s)", "p95 (s)", "MB", "CR", "MB/s"]
         if with_mem:
             headers.append("peak MB")
         rows: list[list] = []
         for name in names:
             s = self.spans[name]
+            hist = self.span_hists.get(name)
+            if s.bytes:
+                mb = s.bytes / 1e6
+            else:
+                # Listing byte-less stages at zero keeps them visible
+                # when explicitly sorting by bytes (they sort last).
+                mb = 0.0 if sort == "bytes" else None
             row = [
                 name, s.count, s.total, s.mean,
-                s.bytes / 1e6 if s.bytes else None,
-                s.cr, s.mb_per_s,
+                hist.quantile(0.50) if hist is not None else None,
+                hist.quantile(0.95) if hist is not None else None,
+                mb, s.cr, s.mb_per_s,
             ]
             if with_mem:
                 row.append(s.mem_peak / 1e6 if s.mem_peak else None)
@@ -209,13 +333,22 @@ class Aggregator(Sink):
         return headers, rows
 
     def metrics_table(self) -> tuple[list[str], list[list]]:
-        """Counter totals and gauge last-values as ``(headers, rows)``."""
+        """Counter/gauge values and histogram summaries as rows.
+
+        Histogram rows render their value column as a compact
+        ``n=… p50=… p95=… p99=…`` summary string.
+        """
         headers = ["metric", "kind", "value"]
         rows: list[list] = []
         for name in sorted(self.counters):
             rows.append([name, "counter", self.counters[name]])
         for name in sorted(self.gauges):
             rows.append([name, "gauge", self.gauges[name]])
+        for name in sorted(self.hists):
+            s = self.hists[name].summary()
+            rows.append([name, "hist",
+                         f"n={s['count']:.0f} p50={s['p50']:.6g} "
+                         f"p95={s['p95']:.6g} p99={s['p99']:.6g}"])
         return headers, rows
 
     @classmethod
@@ -293,11 +426,12 @@ class JsonlSink(Sink):
             "type": "span", "name": record.name, "ts": record.ts,
             "dur": record.duration, "parent": record.parent,
             "depth": record.depth, "pid": record.pid, "tid": record.tid,
-            "meta": _jsonable(record.meta),
+            "meta": _jsonable(record.meta), "trace": record.trace_id,
+            "span": record.span_id, "parent_span": record.parent_id,
         })
 
     def on_metric(self, event: MetricEvent) -> None:
-        """Write the metric as a ``{"type": "counter"|"gauge", ...}`` line."""
+        """Write the metric as a ``{"type": <kind>, ...}`` line."""
         self._write({
             "type": event.kind, "name": event.name, "value": event.value,
             "ts": event.ts, "pid": event.pid, "tid": event.tid,
@@ -323,6 +457,9 @@ def load_jsonl(path: str | Path) -> list:
                 name=obj["name"], ts=obj["ts"], duration=obj["dur"],
                 parent=obj["parent"], depth=obj["depth"],
                 pid=obj["pid"], tid=obj["tid"], meta=obj.get("meta", {}),
+                trace_id=obj.get("trace", ""),
+                span_id=obj.get("span", ""),
+                parent_id=obj.get("parent_span"),
             ))
         else:
             out.append(MetricEvent(
@@ -371,7 +508,9 @@ class ChromeTraceSink(Sink):
                 "ts": (r.ts - t0) * 1e6, "dur": r.duration * 1e6,
                 "pid": r.pid, "tid": r.tid,
                 "args": _jsonable(dict(r.meta, parent=r.parent,
-                                       depth=r.depth)),
+                                       depth=r.depth, trace=r.trace_id,
+                                       span=r.span_id,
+                                       parent_span=r.parent_id)),
             })
         totals: dict[tuple[int, str], float] = {}
         for e in self._metrics:
@@ -386,3 +525,74 @@ class ChromeTraceSink(Sink):
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "w", encoding="utf-8") as fh:
             json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+
+
+# -- trace reconstruction ----------------------------------------------------
+
+def list_traces(events: Iterable) -> list[tuple[str, int, float]]:
+    """Per-trace ``(trace_id, span_count, total_s)`` rows, longest first.
+
+    ``total_s`` sums root-span durations only (spans whose parent is
+    outside the trace), so nested spans don't double-count.
+    """
+    spans: dict[str, list[SpanRecord]] = {}
+    for ev in events:
+        if isinstance(ev, SpanRecord) and ev.trace_id:
+            spans.setdefault(ev.trace_id, []).append(ev)
+    out: list[tuple[str, int, float]] = []
+    for trace_id, records in spans.items():
+        ids = {r.span_id for r in records}
+        total = sum(r.duration for r in records
+                    if r.parent_id is None or r.parent_id not in ids)
+        out.append((trace_id, len(records), total))
+    out.sort(key=lambda row: row[2], reverse=True)
+    return out
+
+
+def _resolve_trace(events: Iterable, prefix: str) -> list[SpanRecord]:
+    matched: dict[str, list[SpanRecord]] = {}
+    for ev in events:
+        if isinstance(ev, SpanRecord) and ev.trace_id.startswith(prefix):
+            matched.setdefault(ev.trace_id, []).append(ev)
+    if not matched:
+        raise ValueError(f"no trace matching {prefix!r}")
+    if len(matched) > 1:
+        ids = ", ".join(sorted(matched))
+        raise ValueError(f"trace prefix {prefix!r} is ambiguous: {ids}")
+    return next(iter(matched.values()))
+
+
+def render_trace_tree(events: Iterable, trace_id: str) -> str:
+    """One request's span tree across pids, as an indented text block.
+
+    ``trace_id`` may be a unique prefix.  Spans whose ``parent_id`` is
+    missing from the trace (e.g. the parent never closed) render as
+    roots.  Raises :class:`ValueError` on no match or an ambiguous
+    prefix.
+    """
+    records = _resolve_trace(events, trace_id)
+    ids = {r.span_id for r in records}
+    children: dict[str | None, list[SpanRecord]] = {}
+    roots: list[SpanRecord] = []
+    for r in records:
+        if r.parent_id is not None and r.parent_id in ids:
+            children.setdefault(r.parent_id, []).append(r)
+        else:
+            roots.append(r)
+    for sibs in children.values():
+        sibs.sort(key=lambda r: r.ts)
+    roots.sort(key=lambda r: r.ts)
+    pids = {r.pid for r in records}
+    lines = [f"trace {records[0].trace_id} — {len(records)} span(s), "
+             f"{len(pids)} pid(s)"]
+
+    def walk(record: SpanRecord, indent: int) -> None:
+        pad = "  " * indent
+        lines.append(f"{pad}{record.name:<{max(44 - len(pad), 1)}} "
+                     f"{record.duration * 1e3:10.3f} ms  pid {record.pid}")
+        for child in children.get(record.span_id, ()):
+            walk(child, indent + 1)
+
+    for root in roots:
+        walk(root, 1)
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Prometheus-style text exposition of live counters/gauges/histograms.
+
+The serve daemon's ``metrics`` op answers with one text snapshot in the
+Prometheus exposition format — ``# TYPE`` lines followed by samples,
+histograms expanded into cumulative ``_bucket{le="..."}`` series plus
+``_sum``/``_count``.  The renderer takes plain dicts in the flattened
+``name[k=v,...]`` key format :mod:`repro.obs.sinks` uses, so two
+producers feed it:
+
+- the :class:`~repro.serve.manager.JobManager`'s always-on lightweight
+  tallies (jobs, cache hits, queue depth, wait/run histograms), which
+  exist regardless of ``REPRO_TRACE`` so ``repro top`` works against
+  any daemon;
+- the process-global :class:`~repro.obs.sinks.Aggregator` when tracing
+  is active, contributing every other instrumented subsystem
+  (compressors, parallel, stream, store).  Snapshot keys win on
+  overlap, so nothing is double-counted.
+
+This module deliberately never imports :mod:`repro.serve` — the daemon
+imports *us* (the manager is duck-typed through the snapshot dict).
+:func:`parse_exposition` and :func:`quantile_from_buckets` are the
+client half, used by ``repro top`` and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import core
+from repro.obs.sinks import HistogramStats
+
+__all__ = [
+    "exposition",
+    "parse_exposition",
+    "quantile_from_buckets",
+    "render_prometheus",
+]
+
+#: Prefix for every exposed metric family.
+PREFIX = "repro_"
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """``"serve.jobs[kind=verify]"`` -> ``("serve.jobs", {"kind": ...})``."""
+    if "[" in key and key.endswith("]"):
+        name, _, inner = key.partition("[")
+        labels: dict[str, str] = {}
+        for part in inner[:-1].split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v
+        return name, labels
+    return key, {}
+
+
+def _family(name: str) -> str:
+    return PREFIX + name.replace(".", "_").replace("-", "_")
+
+
+def _labels(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+def _num(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return format(float(value), ".10g")
+
+
+def render_prometheus(counters: dict[str, float],
+                      gauges: dict[str, float],
+                      hists: dict[str, HistogramStats]) -> str:
+    """The exposition text for flattened counter/gauge/histogram dicts.
+
+    Counter families gain a ``_total`` suffix; histogram families expand
+    into cumulative ``_bucket`` series (``le`` upper bounds, ``+Inf``
+    last) plus ``_sum`` and ``_count``.  Families are emitted sorted so
+    the output is deterministic and diffable.
+    """
+    families: dict[str, list[str]] = {}
+
+    def _add(family: str, kind: str, sample_lines: list[str]) -> None:
+        block = families.setdefault(family, [f"# TYPE {family} {kind}"])
+        block.extend(sample_lines)
+
+    for key in sorted(counters):
+        name, labels = _split_key(key)
+        fam = _family(name) + "_total"
+        _add(fam, "counter",
+             [f"{fam}{_labels(labels)} {_num(counters[key])}"])
+    for key in sorted(gauges):
+        name, labels = _split_key(key)
+        fam = _family(name)
+        _add(fam, "gauge", [f"{fam}{_labels(labels)} {_num(gauges[key])}"])
+    for key in sorted(hists):
+        name, labels = _split_key(key)
+        fam = _family(name)
+        hist = hists[key]
+        lines = [
+            f"{fam}_bucket{_labels(labels, ('le', _num(le)))} {cum}"
+            for le, cum in hist.cumulative()
+        ]
+        lines.append(f"{fam}_sum{_labels(labels)} {_num(hist.total)}")
+        lines.append(f"{fam}_count{_labels(labels)} {hist.count}")
+        _add(fam, "histogram", lines)
+
+    out: list[str] = []
+    for family in sorted(families):
+        out.extend(families[family])
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def exposition(snapshot: dict[str, Any] | None = None) -> str:
+    """Render ``snapshot`` plus, when tracing is on, the global aggregator.
+
+    ``snapshot`` is a ``{"counters": ..., "gauges": ..., "hists": ...}``
+    dict (any key optional) — the shape ``JobManager.telemetry()``
+    returns.  Aggregator entries only fill keys the snapshot does not
+    already provide, so the manager's always-on tallies are never
+    double-counted against their traced twins.
+    """
+    snapshot = snapshot or {}
+    counters = dict(snapshot.get("counters", {}))
+    gauges = dict(snapshot.get("gauges", {}))
+    hists = dict(snapshot.get("hists", {}))
+    if core.active():
+        agg = core.aggregator()
+        if agg is not None:
+            for key, value in agg.counters.items():
+                counters.setdefault(key, value)
+            for key, value in agg.gauges.items():
+                gauges.setdefault(key, value)
+            for key, hist in agg.hists.items():
+                hists.setdefault(key, hist)
+    return render_prometheus(counters, gauges, hists)
+
+
+# -- the client half ---------------------------------------------------------
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Sample lines back into ``{"family{labels}": value}`` pairs."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+def quantile_from_buckets(samples: dict[str, float], family: str,
+                          q: float) -> float | None:
+    """The ``q``-quantile of a parsed ``_bucket`` series (``None`` if empty).
+
+    Reads the *unlabelled* cumulative buckets of ``family`` (e.g.
+    ``repro_serve_job_wait_s``) and interpolates inside the landing
+    bucket, clamping the open-ended ``+Inf`` bucket to its lower bound.
+    """
+    prefix = f'{family}_bucket{{le="'
+    buckets: list[tuple[float, float]] = []
+    for name, value in samples.items():
+        if not name.startswith(prefix) or not name.endswith('"}'):
+            continue
+        raw = name[len(prefix):-2]
+        le = float("inf") if raw == "+Inf" else float(raw)
+        buckets.append((le, value))
+    buckets.sort(key=lambda pair: pair[0])
+    if not buckets or buckets[-1][1] <= 0:
+        return None
+    total = buckets[-1][1]
+    target = q * total
+    prev_le, prev_cum = 0.0, 0.0
+    for le, cum in buckets:
+        if cum >= target:
+            if le == float("inf"):
+                return prev_le
+            count = cum - prev_cum
+            if count <= 0:
+                return le
+            frac = max(0.0, min((target - prev_cum) / count, 1.0))
+            return prev_le + (le - prev_le) * frac
+        prev_le, prev_cum = le, cum
+    return prev_le

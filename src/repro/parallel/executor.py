@@ -74,6 +74,7 @@ R = TypeVar("R")
 _TASKS = obs.counter("parallel.tasks")
 _RETRIES = obs.counter("parallel.retries")
 _FAILURES = obs.counter("parallel.failures")
+_TASK_H = obs.histogram("parallel.task_s")
 
 #: Valid ``on_failure`` policies for :meth:`Executor.map`.
 ON_FAILURE = ("raise", "collect")
@@ -162,13 +163,14 @@ class _ChunkRunner:
 
     def __init__(self, fn: Callable, clock: Clock,
                  task: "obs.WorkerTask | None" = None,
-                 seed: tuple[str | None, int] | None = None,
+                 seed: "tuple[str | None, int, obs.TraceContext | None] "
+                       "| None" = None,
                  pickle_errors: bool = False,
                  shm: bool = False) -> None:
         self.fn = fn
         self.clock = clock
         self.task = task                    #: buffered tracing (process)
-        self.seed = seed                    #: parent/depth seeds (thread)
+        self.seed = seed                    #: parent/depth/ctx seeds (thread)
         self.pickle_errors = pickle_errors  #: drop unpicklable exc objects
         self.shm = shm                      #: payload carries ArrayRefs
 
@@ -203,15 +205,16 @@ class _ChunkRunner:
 
     def _seeded(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
         # Thread workers start with an empty span stack; seed the
-        # thread-local parent/depth so their spans nest under the
-        # submitting ``parallel.map`` span in the shared sinks.
+        # thread-local parent/depth (and trace context) so their spans
+        # nest under the submitting ``parallel.map`` span in the shared
+        # sinks and join its trace.
         tls = _obs_core._tls
-        prev_parent, prev_depth = tls.base_parent, tls.base_depth
-        tls.base_parent, tls.base_depth = self.seed
+        prev = (tls.base_parent, tls.base_depth, tls.base_ctx)
+        tls.base_parent, tls.base_depth, tls.base_ctx = self.seed
         try:
             return self._run(payload)
         finally:
-            tls.base_parent, tls.base_depth = prev_parent, prev_depth
+            tls.base_parent, tls.base_depth, tls.base_ctx = prev
 
     def _run(self, payload: Sequence[tuple[int, Any]]) -> list[_Attempt]:
         out: list[_Attempt] = []
@@ -397,7 +400,9 @@ class _MapRun:
                                 shm=self.transport is not None)
         seed = None
         if self.backend_name == "thread" and obs.active():
-            seed = (sp.name, obs.current_depth())
+            ctx = (obs.current_context() if obs.propagate_active()
+                   else None)
+            seed = (sp.name, obs.current_depth(), ctx)
         return _ChunkRunner(self.fn, self.clock, seed=seed)
 
     def _backoff(self) -> None:
@@ -538,6 +543,8 @@ class _MapRun:
             if attempt.index in self.pending:
                 self.results[attempt.index] = attempt.value
                 self.pending.discard(attempt.index)
+                _TASK_H.observe(attempt.duration,
+                                backend=self.backend_name)
                 if attempt.events:
                     obs.merge_events(attempt.events)
             return

@@ -23,6 +23,7 @@ from __future__ import annotations
 import socket
 from typing import Iterator
 
+from repro import obs
 from repro.serve.daemon import default_address
 from repro.serve.protocol import recv_frame, send_frame
 
@@ -97,9 +98,22 @@ class ServeClient:
 
     def submit(self, kind: str, params: dict | None = None, *,
                priority: int = 0) -> dict:
-        """Submit a job; returns its snapshot (``id``, ``state``, ...)."""
-        return self.call("submit", kind=kind, params=params or {},
-                         priority=priority)["job"]
+        """Submit a job; returns its snapshot (``id``, ``state``, ...).
+
+        With tracing on (and ``REPRO_TRACE_PROPAGATE`` not disabled)
+        the request carries this process's trace context, so the
+        daemon- and worker-side spans of the job join the caller's
+        trace — ``repro stats --trace <id>`` then shows the whole
+        request across pids.
+        """
+        with obs.span("serve.client.submit", kind=kind) as sp:
+            fields: dict[str, object] = {
+                "kind": kind, "params": params or {},
+                "priority": priority,
+            }
+            if sp.context is not None and obs.propagate_active():
+                fields["trace"] = sp.context.to_wire()
+            return self.call("submit", **fields)["job"]
 
     def status(self, job_id: str) -> dict:
         """One snapshot of ``job_id``."""
@@ -147,6 +161,10 @@ class ServeClient:
             yield frame
             if frame.get("final"):
                 return
+
+    def metrics(self) -> str:
+        """The daemon's live Prometheus-style telemetry snapshot."""
+        return str(self.call("metrics")["metrics"])
 
     def shutdown(self, drain: bool = True) -> None:
         """Ask the daemon to shut down (draining by default)."""

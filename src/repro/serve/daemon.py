@@ -20,8 +20,14 @@ jobs       snapshots of every job the daemon knows, submission order
 kinds      the registered job-kind names
 watch      stream ``event`` frames as the job transitions, ending with a
            ``final`` snapshot frame once terminal
+metrics    a Prometheus-style text snapshot of the manager's live
+           telemetry (plus traced subsystems when ``REPRO_TRACE`` is on)
 shutdown   begin graceful shutdown (``drain`` true by default) and ack
 =========  =================================================================
+
+``submit`` additionally accepts a ``trace`` object (``trace_id`` /
+``span_id``) — the client's propagated trace context, adopted so the
+job's server-side and worker-side spans join the client's trace.
 
 Failure shape: ``{"ok": false, "error": <code>, "message": ...}`` where
 ``code`` is one of ``bad-request``, ``unknown-op``, ``unknown-job``,
@@ -42,7 +48,8 @@ import os
 import socket
 import threading
 
-from repro import config
+from repro import config, obs
+from repro.obs import telemetry
 from repro.serve.jobs import UnknownJobKind, JobSpec, job_kinds
 from repro.serve.manager import JobManager, ServerBusy
 from repro.serve.protocol import ProtocolError, recv_frame, send_frame
@@ -191,8 +198,9 @@ class ReproServer:
             return False
         spec = JobSpec(kind=kind, params=params,
                        priority=int(request.get("priority", 0)))
+        trace = obs.TraceContext.from_wire(request.get("trace"))
         try:
-            handle = self.manager.submit(spec)
+            handle = self.manager.submit(spec, trace=trace)
         except UnknownJobKind as exc:
             send_frame(conn, {"ok": False, "error": "unknown-kind",
                               "message": str(exc)})
@@ -266,6 +274,11 @@ class ReproServer:
                 break
         send_frame(conn, {"ok": True, "final": True,
                           "job": handle.snapshot()})
+        return False
+
+    def _op_metrics(self, conn: socket.socket, request: dict) -> bool:
+        text = telemetry.exposition(self.manager.telemetry())
+        send_frame(conn, {"ok": True, "metrics": text})
         return False
 
     def _op_shutdown(self, conn: socket.socket, request: dict) -> bool:

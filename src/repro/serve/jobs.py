@@ -135,6 +135,10 @@ class JobHandle:
         #: Filled by the manager for queued jobs; ``None`` for
         #: cache-served ones that never reach a worker.
         self.payload: JobPayload | None = None
+        #: The submitting request's trace context (when the client
+        #: propagated one and tracing is on); the manager thread adopts
+        #: it so execution spans join the client's trace.
+        self.trace = None
         #: ``(state, monotonic timestamp)`` per transition, starting
         #: with the initial ``pending``.
         self.events: list[tuple[str, float]] = [

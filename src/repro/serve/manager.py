@@ -24,6 +24,12 @@ Responsibilities:
   jobs by default, cancelling them on a fast stop) and joins the
   worker threads; SIGTERM handling in the CLI maps straight onto it.
 
+- **Telemetry** — every manager keeps always-on O(1) tallies (job
+  counts per kind, cache hits, wait/run histograms) independent of
+  ``REPRO_TRACE``; :meth:`telemetry` snapshots them in the flattened
+  dict shape :func:`repro.obs.telemetry.exposition` renders, which is
+  what the daemon's ``metrics`` op and ``repro top`` consume.
+
 Sizing knobs (constructor arguments override the environment):
 ``REPRO_SERVE_WORKERS`` (default 2 manager threads),
 ``REPRO_SERVE_QUEUE`` (default 64 pending jobs), and
@@ -36,6 +42,7 @@ import itertools
 import threading
 
 from repro import config, obs, store
+from repro.obs.sinks import HistogramStats, _metric_key
 from repro.parallel.executor import Executor
 from repro.parallel.failures import TaskFailure
 from repro.serve.jobs import (
@@ -61,6 +68,49 @@ _REJECTED = obs.counter("serve.rejected")
 _CACHE_HITS = obs.counter("serve.cache_hits")
 _CACHE_MISSES = obs.counter("serve.cache_misses")
 _WAIT = obs.gauge("serve.wait_s")
+_WAIT_H = obs.histogram("serve.job_wait_s")
+_RUN_H = obs.histogram("serve.job_run_s")
+
+
+class _Telemetry:
+    """Always-on per-manager tallies behind the ``metrics`` op.
+
+    Deliberately independent of ``REPRO_TRACE``: a production daemon
+    with tracing off still answers ``repro top`` with live counts and
+    latency percentiles.  Everything is O(1) per job under one lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, float] = {}
+        self.wait = HistogramStats()
+        self.run = HistogramStats()
+
+    def bump(self, name: str, kind: str | None = None) -> None:
+        """Increment ``name`` (and its per-``kind`` twin) by one."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + 1.0
+            if kind is not None:
+                key = _metric_key(name, {"kind": kind})
+                self.counters[key] = self.counters.get(key, 0.0) + 1.0
+
+    def observe(self, wait_s: float | None, run_s: float | None) -> None:
+        """Fold one job's wait/run seconds into the histograms."""
+        with self._lock:
+            if wait_s is not None:
+                self.wait.observe(wait_s)
+            if run_s is not None:
+                self.run.observe(run_s)
+
+    def snapshot(self) -> tuple[dict[str, float], HistogramStats,
+                                HistogramStats]:
+        """Consistent copies of the counters and both histograms."""
+        with self._lock:
+            wait = HistogramStats(self.wait.bounds)
+            wait.merge(self.wait)
+            run = HistogramStats(self.run.bounds)
+            run.merge(self.run)
+            return dict(self.counters), wait, run
 
 
 class ServerBusy(Exception):
@@ -113,6 +163,7 @@ class JobManager:
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
         self._started = False
+        self._telemetry = _Telemetry()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -142,35 +193,49 @@ class JobManager:
         for handle in leftovers:
             handle.transition("cancelled")
             _CANCELLED.add()
+            self._telemetry.bump("serve.cancelled")
         for t in self._threads:
             t.join(timeout=timeout)
 
     # -- admission ------------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> JobHandle:
+    def submit(self, spec: JobSpec,
+               trace: obs.TraceContext | None = None) -> JobHandle:
         """Admit ``spec``: cache-answer, enqueue, or refuse.
 
-        Raises :class:`~repro.serve.jobs.UnknownJobKind` for a kind no
-        one registered, :class:`ServerBusy` on a full queue, and
+        ``trace`` is the client's propagated trace context (from the
+        protocol's ``trace`` frame field); the submit span and, later,
+        the job's execution spans all join that trace.  Raises
+        :class:`~repro.serve.jobs.UnknownJobKind` for a kind no one
+        registered, :class:`ServerBusy` on a full queue, and
         ``RuntimeError`` once shutdown began.
         """
-        with obs.span("serve.submit", kind=spec.kind) as sp:
+        with obs.attach_context(trace), \
+                obs.span("serve.submit", kind=spec.kind) as sp:
             fn = resolve_job_kind(spec.kind)
             job_id = f"job-{next(self._seq):06d}"
             _JOBS.add(kind=spec.kind)
+            self._telemetry.bump("serve.jobs", spec.kind)
             cached = self._cache_get(spec)
             if cached is not None:
                 _CACHE_HITS.add(kind=spec.kind)
+                self._telemetry.bump("serve.cache_hits", spec.kind)
                 sp.note(cache="hit")
                 handle = JobHandle(job_id, spec, cache_hit=True)
                 handle.transition("done", result=cached)
                 _DONE.add(kind=spec.kind)
+                self._telemetry.bump("serve.done", spec.kind)
                 with self._lock:
                     self._jobs[job_id] = handle
                 return handle
             _CACHE_MISSES.add(kind=spec.kind)
+            self._telemetry.bump("serve.cache_misses", spec.kind)
             sp.note(cache="miss")
             handle = JobHandle(job_id, spec)
+            # The queued job remembers the *submit span's* context, not
+            # the raw client one, so worker spans hang off serve.submit
+            # -> serve.job in the reconstructed tree.
+            handle.trace = sp.context if sp.context is not None else trace
             handle.payload = JobPayload(
                 fn=fn, params=spec.params, store_root=store.current_root())
             with self._lock:
@@ -179,6 +244,7 @@ class JobManager:
                 self.queue.put(handle)
             except QueueFull as exc:
                 _REJECTED.add(kind=spec.kind)
+                self._telemetry.bump("serve.rejected", spec.kind)
                 with self._lock:
                     del self._jobs[job_id]
                 raise ServerBusy(exc.retry_after) from exc
@@ -202,6 +268,7 @@ class JobManager:
         if self.queue.discard(job_id):
             handle.transition("cancelled")
             _CANCELLED.add(kind=handle.spec.kind)
+            self._telemetry.bump("serve.cancelled", handle.spec.kind)
         return True
 
     # -- observation ----------------------------------------------------------
@@ -232,12 +299,18 @@ class JobManager:
         if handle.cancel_requested:
             handle.transition("cancelled")
             _CANCELLED.add(kind=spec.kind)
+            self._telemetry.bump("serve.cancelled", spec.kind)
             return
         handle.transition("running")
         wait_s = handle.timings().get("wait_s", 0.0)
         _WAIT.set(wait_s, kind=spec.kind)
-        with obs.span("serve.job", kind=spec.kind, job=handle.id,
-                      wait_s=round(wait_s, 6)) as sp:
+        _WAIT_H.observe(wait_s, kind=spec.kind)
+        # The manager thread adopts the job's trace context, so the
+        # serve.job span (and every worker span the executor merges
+        # back) lands in the submitting request's trace.
+        with obs.attach_context(handle.trace), \
+                obs.span("serve.job", kind=spec.kind, job=handle.id,
+                         wait_s=round(wait_s, 6)) as sp:
             payload = handle.payload
             outcome = self.executor.map(
                 execute_job, [payload],
@@ -246,6 +319,7 @@ class JobManager:
             if handle.cancel_requested:
                 handle.transition("cancelled")
                 _CANCELLED.add(kind=spec.kind)
+                self._telemetry.bump("serve.cancelled", spec.kind)
                 sp.note(outcome="cancelled")
             elif isinstance(slot, TaskFailure):
                 handle.transition("failed", error={
@@ -255,6 +329,7 @@ class JobManager:
                     "attempts": slot.attempts,
                 })
                 _FAILED.add(kind=spec.kind)
+                self._telemetry.bump("serve.failed", spec.kind)
                 sp.note(outcome="failed", error=slot.error_type)
             else:
                 # Cache before the terminal transition: anyone woken by
@@ -262,7 +337,35 @@ class JobManager:
                 self._cache_put(spec, slot)
                 handle.transition("done", result=slot)
                 _DONE.add(kind=spec.kind)
+                self._telemetry.bump("serve.done", spec.kind)
                 sp.note(outcome="done")
+        run_s = handle.timings().get("run_s")
+        if run_s is not None:
+            _RUN_H.observe(run_s, kind=spec.kind)
+        self._telemetry.observe(wait_s, run_s)
+
+    # -- telemetry ------------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """A live metrics snapshot in the exposition renderer's shape.
+
+        Always available (no ``REPRO_TRACE`` needed): counter tallies,
+        queue depth, worker liveness, and the wait/run histograms.  The
+        daemon's ``metrics`` op feeds this straight into
+        :func:`repro.obs.telemetry.exposition`.
+        """
+        counters, wait, run = self._telemetry.snapshot()
+        gauges = {
+            "serve.queue_depth": float(self.queue.depth()),
+            "serve.workers_alive": float(
+                sum(t.is_alive() for t in self._threads)),
+            "serve.jobs_known": float(len(self._jobs)),
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "hists": {"serve.job_wait_s": wait, "serve.job_run_s": run},
+        }
 
     # -- result cache ---------------------------------------------------------
 

@@ -13,7 +13,9 @@ arrays crossing the process boundary via shared-memory descriptors
 
 Under ``REPRO_TRACE=1`` a run is a ``stream.roundtrip`` span with
 ``stream.chunks`` / ``stream.bytes_in`` / ``stream.bytes_out``
-counters.
+counters; each chunk's metric fold is a ``stream.fold`` span whose
+duration also feeds the ``stream.chunk_fold_s`` histogram (p50/p95 in
+``repro stats``).
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ __all__ = ["StreamOutcome", "stream_roundtrip"]
 _CHUNKS = obs.counter("stream.chunks")
 _BYTES_IN = obs.counter("stream.bytes_in")
 _BYTES_OUT = obs.counter("stream.bytes_out")
+_FOLD_H = obs.histogram("stream.chunk_fold_s")
 
 
 @dataclass(frozen=True)
@@ -132,11 +135,13 @@ def stream_roundtrip(
                   workers=0 if serial else workers) as sp:
         if serial:
             for chunk, recon, blob_len in codec.roundtrip_chunks(chunks):
-                moments.update(chunk)
-                errors.update(chunk, recon)
-                if rmsz_recon is not None:
-                    rmsz_recon.update(recon)
-                    rmsz_orig.update(chunk)
+                with obs.span("stream.fold") as fold_sp:
+                    moments.update(chunk)
+                    errors.update(chunk, recon)
+                    if rmsz_recon is not None:
+                        rmsz_recon.update(recon)
+                        rmsz_orig.update(chunk)
+                _FOLD_H.observe(fold_sp.duration)
                 n_chunks += 1
                 n_points += int(chunk.size)
                 bytes_in += int(chunk.nbytes)
@@ -151,8 +156,10 @@ def stream_roundtrip(
                                [(codec, c) for c in window],
                                workers=workers)
                 for part_m, part_e, nbytes, blob_len, size in parts:
-                    moments.merge(part_m)
-                    errors.merge(part_e)
+                    with obs.span("stream.fold") as fold_sp:
+                        moments.merge(part_m)
+                        errors.merge(part_e)
+                    _FOLD_H.observe(fold_sp.duration)
                     n_chunks += 1
                     n_points += size
                     bytes_in += nbytes

@@ -31,6 +31,7 @@ CASES = [
     ("REP011", "benchmarks/bench_rep011_bad.py", 3),
     ("REP012", "parallel/rep012_bad.py", 2),
     ("REP018", "stream/rep018_bad.py", 2),
+    ("REP019", "parallel/rep019_bad.py", 3),
 ]
 
 

@@ -31,6 +31,16 @@ def run_workload(sinks) -> None:
         obs.gauge("demo.level").set(0.5)
 
 
+def _normalize_trace_ids(obj: dict) -> None:
+    """Zero the random trace ids, preserving presence and None-ness."""
+    if obj.get("trace"):
+        obj["trace"] = "0" * 16
+    if obj.get("span"):
+        obj["span"] = "0" * 16
+    if obj.get("parent_span"):
+        obj["parent_span"] = "0" * 16
+
+
 def normalized_jsonl(path) -> list[dict]:
     """Parse a JSONL trace with volatile fields zeroed."""
     out = []
@@ -39,6 +49,7 @@ def normalized_jsonl(path) -> list[dict]:
         obj.update(ts=0.0, pid=0, tid=0)
         if "dur" in obj:
             obj["dur"] = 0.0
+        _normalize_trace_ids(obj)
         out.append(obj)
     return out
 
@@ -50,6 +61,8 @@ def normalized_chrome(path) -> dict:
         event.update(ts=0.0, pid=0, tid=0)
         if "dur" in event:
             event["dur"] = 0.0
+        if "args" in event:
+            _normalize_trace_ids(event["args"])
     return obj
 
 

@@ -18,6 +18,8 @@ def test_parser_defaults():
     assert args.from_jsonl is None
     assert args.sort == "stage"
     assert args.top is None
+    assert args.filter is None
+    assert args.trace is None
 
 
 def _synthetic_agg() -> obs.Aggregator:
@@ -105,3 +107,54 @@ def test_stats_from_jsonl(tmp_path, capsys):
 def test_stats_from_missing_jsonl_raises(tmp_path):
     with pytest.raises(FileNotFoundError):
         main(["stats", "--from-jsonl", str(tmp_path / "nope.jsonl")])
+
+
+def _tracefile_with_ids(tmp_path):
+    trace = tmp_path / "t.jsonl"
+    sink = obs.JsonlSink(trace)
+    with obs.tracing(sinks=[sink]):
+        with obs.span("demo.root") as root:
+            with obs.span("demo.child"):
+                pass
+        with obs.span("other.root"):
+            pass
+    sink.close()
+    return trace, root.context.trace_id
+
+
+def test_stats_cli_filter_glob(tmp_path, capsys):
+    trace, _ = _tracefile_with_ids(tmp_path)
+    assert main(["stats", "--from-jsonl", str(trace),
+                 "--filter", "demo.*"]) == 0
+    out = capsys.readouterr().out
+    stages = [ln.split()[0] for ln in out.splitlines()
+              if ln.startswith(("demo.", "other."))]
+    assert stages == ["demo.child", "demo.root"]
+
+
+def test_stats_cli_trace_tree(tmp_path, capsys):
+    trace, trace_id = _tracefile_with_ids(tmp_path)
+    assert main(["stats", "--from-jsonl", str(trace),
+                 "--trace", trace_id[:6]]) == 0
+    out = capsys.readouterr().out
+    assert f"trace {trace_id}" in out
+    assert "demo.root" in out and "demo.child" in out
+    assert "other.root" not in out
+
+
+def test_stats_cli_trace_ls(tmp_path, capsys):
+    trace, trace_id = _tracefile_with_ids(tmp_path)
+    assert main(["stats", "--from-jsonl", str(trace),
+                 "--trace", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert trace_id in out
+    assert "2 span(s)" in out  # demo.root + demo.child
+
+
+def test_stats_cli_trace_errors(tmp_path, capsys):
+    trace, _ = _tracefile_with_ids(tmp_path)
+    assert main(["stats", "--from-jsonl", str(trace),
+                 "--trace", "zzzz"]) == 2
+    assert "no trace matching" in capsys.readouterr().err
+    assert main(["stats", "--trace", "abcd"]) == 2
+    assert "--from-jsonl" in capsys.readouterr().err

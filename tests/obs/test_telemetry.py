@@ -1,0 +1,132 @@
+"""Prometheus exposition: render, parse, quantiles, the metrics op."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import telemetry
+from repro.obs.sinks import HistogramStats
+
+
+def _sample_hist(values=(0.002, 0.004, 0.02)) -> HistogramStats:
+    h = HistogramStats()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def test_render_counters_gauges_hists():
+    text = telemetry.render_prometheus(
+        counters={"serve.jobs": 3.0, "serve.jobs[kind=verify]": 2.0},
+        gauges={"serve.queue_depth": 1.0},
+        hists={"serve.job_wait_s": _sample_hist()},
+    )
+    assert "# TYPE repro_serve_jobs_total counter" in text
+    assert "repro_serve_jobs_total 3" in text
+    assert 'repro_serve_jobs_total{kind="verify"} 2' in text
+    assert "# TYPE repro_serve_queue_depth gauge" in text
+    assert "# TYPE repro_serve_job_wait_s histogram" in text
+    assert 'repro_serve_job_wait_s_bucket{le="+Inf"} 3' in text
+    assert "repro_serve_job_wait_s_count 3" in text
+    assert text.endswith("\n")
+
+
+def test_render_is_deterministic():
+    kwargs = dict(
+        counters={"b.x": 1.0, "a.y": 2.0},
+        gauges={"c.z": 0.0},
+        hists={},
+    )
+    assert telemetry.render_prometheus(**kwargs) == \
+        telemetry.render_prometheus(**kwargs)
+    lines = telemetry.render_prometheus(**kwargs).splitlines()
+    families = [ln.split()[2] for ln in lines if ln.startswith("# TYPE")]
+    assert families == sorted(families)
+
+
+def test_parse_roundtrip():
+    text = telemetry.render_prometheus(
+        counters={"serve.done": 7.0},
+        gauges={"serve.queue_depth": 2.0},
+        hists={"serve.job_wait_s": _sample_hist()},
+    )
+    samples = telemetry.parse_exposition(text)
+    assert samples["repro_serve_done_total"] == 7.0
+    assert samples["repro_serve_queue_depth"] == 2.0
+    assert samples["repro_serve_job_wait_s_count"] == 3.0
+    assert samples['repro_serve_job_wait_s_bucket{le="+Inf"}'] == 3.0
+
+
+def test_quantile_from_buckets_matches_stats():
+    h = _sample_hist((0.001, 0.002, 0.004, 0.008, 0.5))
+    text = telemetry.render_prometheus({}, {}, {"demo.lat_s": h})
+    samples = telemetry.parse_exposition(text)
+    q = telemetry.quantile_from_buckets(samples, "repro_demo_lat_s", 0.5)
+    assert q == pytest.approx(h.quantile(0.5), rel=0.5)
+    assert telemetry.quantile_from_buckets(samples, "repro_nope", 0.5) \
+        is None
+
+
+def test_quantile_clamps_overflow_bucket():
+    h = HistogramStats()
+    h.observe(5000.0)  # lands past the last bound
+    text = telemetry.render_prometheus({}, {}, {"demo.big_s": h})
+    samples = telemetry.parse_exposition(text)
+    q = telemetry.quantile_from_buckets(samples, "repro_demo_big_s", 0.99)
+    assert q == pytest.approx(1000.0)  # clamped to the +Inf lower bound
+
+
+def test_exposition_merges_aggregator_without_double_count():
+    agg = obs.Aggregator()
+    with obs.tracing(sinks=[agg]):
+        obs.counter("serve.jobs").add(100)  # traced twin
+        obs.counter("tm.other").add(5)
+        text = telemetry.exposition(
+            {"counters": {"serve.jobs": 2.0}})
+    samples = telemetry.parse_exposition(text)
+    assert samples["repro_serve_jobs_total"] == 2.0  # snapshot wins
+    assert samples["repro_tm_other_total"] == 5.0
+
+
+def test_exposition_without_tracing_is_snapshot_only():
+    text = telemetry.exposition({
+        "counters": {"serve.jobs": 1.0},
+        "gauges": {"serve.queue_depth": 0.0},
+        "hists": {"serve.job_wait_s": _sample_hist()},
+    })
+    assert "repro_serve_jobs_total 1" in text
+    text_empty = telemetry.exposition({})
+    assert text_empty == ""
+
+
+def test_manager_telemetry_shape_and_metrics_op():
+    from repro.parallel.executor import Executor
+    from repro.serve import (
+        JobManager,
+        ReproServer,
+        ServeClient,
+        register_job_kind,
+    )
+
+    register_job_kind("tm-echo", lambda p: {"ok": True}, replace=True)
+    srv = ReproServer(JobManager(
+        workers=1, queue_size=4, executor=Executor("thread", retries=0)))
+    srv.serve_in_thread()
+    try:
+        host, port = srv.address
+        with ServeClient.connect(host=host, port=port) as client:
+            job = client.submit("tm-echo", {})
+            client.result(job["id"], timeout=10)
+            text = client.metrics()
+    finally:
+        srv.close(drain=False)
+    samples = telemetry.parse_exposition(text)
+    assert samples["repro_serve_jobs_total"] == 1.0
+    assert samples['repro_serve_done_total{kind="tm-echo"}'] == 1.0
+    assert samples["repro_serve_job_wait_s_count"] == 1.0
+    assert samples["repro_serve_job_run_s_count"] == 1.0
+    assert "repro_serve_workers_alive" in samples
+    snap = srv.manager.telemetry()
+    assert set(snap) == {"counters", "gauges", "hists"}
+    assert snap["gauges"]["serve.jobs_known"] == 1.0

@@ -1,0 +1,130 @@
+"""Trace-context propagation: ids, nesting, wire format, workers."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.core import WorkerTask
+
+
+def test_spans_carry_trace_ids_when_tracing():
+    buf = obs.BufferSink()
+    with obs.tracing(sinks=[buf]):
+        with obs.span("tc.outer") as outer:
+            outer_ctx = outer.context
+            with obs.span("tc.inner") as inner:
+                inner_ctx = inner.context
+    assert outer_ctx is not None and inner_ctx is not None
+    assert outer_ctx.trace_id == inner_ctx.trace_id
+    assert inner_ctx.parent_id == outer_ctx.span_id
+    assert outer_ctx.parent_id is None
+    records = {r.name: r for r in buf.events
+               if isinstance(r, obs.SpanRecord)}
+    assert records["tc.outer"].trace_id == outer_ctx.trace_id
+    assert records["tc.outer"].span_id == outer_ctx.span_id
+    assert records["tc.inner"].parent_id == outer_ctx.span_id
+
+
+def test_sibling_roots_get_distinct_traces():
+    with obs.tracing():
+        with obs.span("tc.a") as a:
+            pass
+        with obs.span("tc.b") as b:
+            pass
+    assert a.context.trace_id != b.context.trace_id
+
+
+def test_no_context_when_tracing_off():
+    with obs.span("tc.off") as sp:
+        assert sp.context is None
+    assert obs.current_context() is None
+
+
+def test_wire_roundtrip_and_malformed_frames():
+    ctx = obs.TraceContext(trace_id="aa" * 8, span_id="bb" * 8)
+    wired = ctx.to_wire()
+    back = obs.TraceContext.from_wire(wired)
+    assert back is not None
+    assert (back.trace_id, back.span_id) == (ctx.trace_id, ctx.span_id)
+    for bad in (None, "x", 7, [], {"trace_id": "a"},
+                {"trace_id": 1, "span_id": "b"}):
+        assert obs.TraceContext.from_wire(bad) is None
+
+
+def test_attach_context_roots_new_spans_in_remote_trace():
+    remote = obs.TraceContext(trace_id="11" * 8, span_id="22" * 8)
+    with obs.tracing():
+        with obs.attach_context(remote):
+            assert obs.current_context() == remote
+            with obs.span("tc.adopted") as sp:
+                assert sp.context.trace_id == remote.trace_id
+                assert sp.context.parent_id == remote.span_id
+        # restored: a fresh root starts its own trace again
+        with obs.span("tc.fresh") as sp:
+            assert sp.context.trace_id != remote.trace_id
+
+
+def test_attach_none_is_a_noop():
+    with obs.tracing():
+        with obs.attach_context(None):
+            with obs.span("tc.root") as sp:
+                assert sp.context.parent_id is None
+
+
+def test_current_context_prefers_open_span():
+    remote = obs.TraceContext(trace_id="33" * 8, span_id="44" * 8)
+    with obs.tracing():
+        with obs.attach_context(remote):
+            with obs.span("tc.open") as sp:
+                assert obs.current_context() == sp.context
+
+
+def test_propagate_active_follows_tracing_and_env(monkeypatch):
+    assert not obs.propagate_active()  # tracing off
+    with obs.tracing():
+        assert obs.propagate_active()
+        monkeypatch.setenv("REPRO_TRACE_PROPAGATE", "0")
+        assert not obs.propagate_active()
+        monkeypatch.setenv("REPRO_TRACE_PROPAGATE", "1")
+        assert obs.propagate_active()
+
+
+def test_worker_task_captures_context(monkeypatch):
+    with obs.tracing():
+        with obs.span("tc.parent") as sp:
+            task = WorkerTask(lambda x: x)
+            assert task.ctx == sp.context
+            monkeypatch.setenv("REPRO_TRACE_PROPAGATE", "0")
+            assert WorkerTask(lambda x: x).ctx is None
+    assert WorkerTask(lambda x: x).ctx is None  # tracing off
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_worker_spans_join_parent_trace(backend):
+    from repro.parallel.executor import Executor
+
+    from tests.obs.test_parallel_merge import traced_task
+
+    buf = obs.BufferSink()
+    with obs.tracing(sinks=[buf]):
+        with obs.span("tc.request") as sp:
+            Executor(backend, workers=2).map(traced_task, [1, 2, 3])
+            trace_id = sp.context.trace_id
+    spans = [r for r in buf.events if isinstance(r, obs.SpanRecord)]
+    workers = [r for r in spans if r.name == "work.unit"]
+    assert len(workers) == 3
+    assert all(r.trace_id == trace_id for r in spans)
+    if backend == "process":
+        assert any(r.pid != os.getpid() for r in workers)
+    by_id = {r.span_id: r for r in spans}
+    for r in workers:  # parent chain reaches the request root
+        seen = set()
+        node = r
+        while node.parent_id is not None:
+            assert node.span_id not in seen
+            seen.add(node.span_id)
+            node = by_id[node.parent_id]
+        assert node.name == "tc.request"

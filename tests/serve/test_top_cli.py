@@ -1,0 +1,95 @@
+"""The ``repro top`` command against a live daemon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.parallel.executor import Executor
+from repro.serve import (
+    JobManager,
+    ReproServer,
+    ServeClient,
+    register_job_kind,
+)
+
+register_job_kind("top-echo", lambda p: {"ok": True}, replace=True)
+
+
+@pytest.fixture()
+def server():
+    srv = ReproServer(JobManager(
+        workers=1, queue_size=8,
+        executor=Executor("thread", retries=0)))
+    srv.serve_in_thread()
+    host, port = srv.address
+    with ServeClient.connect(host=host, port=port) as client:
+        job = client.submit("top-echo", {})
+        client.result(job["id"], timeout=10)
+    yield srv
+    srv.close(drain=False)
+
+
+def _addr(server) -> list[str]:
+    host, port = server.address
+    return ["--host", host, "--port", str(port)]
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["top"])
+    assert args.interval == 2.0
+    assert args.iterations is None
+    assert not args.once and not args.raw
+    assert args.slo == []
+
+
+def test_top_once_renders_dashboard(server, capsys):
+    assert main(["top", *_addr(server), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "jobs/s" in out
+    assert "p95 wait" in out
+    assert "cache hit" in out
+    assert "top-echo" in out  # per-kind breakdown
+    assert "done" in out
+
+
+def test_top_raw_prints_exposition(server, capsys):
+    assert main(["top", *_addr(server), "--raw"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_serve_jobs_total counter" in out
+    assert "repro_serve_job_wait_s_count" in out
+
+
+def test_top_slo_breach_exits_nonzero(server, capsys):
+    rc = main(["top", *_addr(server), "--once",
+               "--slo", "p95_wait_ms=0.000001"])
+    assert rc == 1
+    assert "slo:" in capsys.readouterr().err
+
+
+def test_top_slo_ok_exits_zero(server, capsys):
+    assert main(["top", *_addr(server), "--once",
+                 "--slo", "p95_wait_ms=1e9", "--slo", "queue_depth=1e9"]) == 0
+    assert "slo:" not in capsys.readouterr().err
+
+
+def test_top_rejects_malformed_slo(server):
+    with pytest.raises(SystemExit):
+        main(["top", *_addr(server), "--once", "--slo", "nonsense"])
+    with pytest.raises(SystemExit):
+        main(["top", *_addr(server), "--once", "--slo", "p95_wait_ms=abc"])
+
+
+def test_top_unreachable_daemon_exits_two(capsys):
+    rc = main(["top", "--host", "127.0.0.1", "--port", "1",
+               "--once"])
+    assert rc == 2
+    assert "cannot reach the daemon" in capsys.readouterr().err
+
+
+def test_top_iterations_polls_and_computes_rate(server, capsys):
+    assert main(["top", *_addr(server), "--interval", "0.05",
+                 "--iterations", "2"]) == 0
+    out = capsys.readouterr().out
+    # the second frame has a previous sample, so jobs/s is numeric
+    assert "jobs/s" in out

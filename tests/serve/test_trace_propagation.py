@@ -1,0 +1,130 @@
+"""Acceptance: one trace spans client -> daemon -> retried worker job.
+
+A ``ServeClient`` submits with tracing on; the job body runs a real
+codec round trip inside a process-backend executor worker whose first
+attempt fails (forcing a retry).  The JSONL trace must contain the
+worker-side codec spans tagged with the *client's* trace id, and
+``repro stats --trace`` must reassemble the whole request across pids.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.parallel.executor import Executor
+from repro.serve import (
+    JobManager,
+    ReproServer,
+    ServeClient,
+    register_job_kind,
+)
+
+
+def _flaky_compress(params):
+    """Fail the first attempt (marker file), then codec-round-trip."""
+    marker = Path(params["marker"])
+    if not marker.exists():
+        marker.write_text("first attempt")
+        raise RuntimeError("injected first-attempt failure")
+    from repro.compressors import get_variant
+
+    codec = get_variant("fpzip-24")
+    data = np.linspace(0.0, 1.0, 1024, dtype=np.float64).reshape(32, 32)
+    blob = codec.compress(data)
+    codec.decompress(blob)
+    return {"pid": os.getpid(), "attempt": 2}
+
+
+register_job_kind("tp-flaky", _flaky_compress, replace=True)
+
+
+def test_retried_worker_codec_spans_carry_client_trace(tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    sink = obs.JsonlSink(trace_path)
+    buf = obs.BufferSink()
+    with obs.tracing(sinks=[sink, buf]):
+        manager = JobManager(
+            workers=1, queue_size=8,
+            executor=Executor("process", workers=1, retries=1))
+        server = ReproServer(manager)
+        server.serve_in_thread()
+        host, port = server.address
+        try:
+            with ServeClient.connect(host=host, port=port) as client:
+                with obs.span("tp.request") as root:
+                    job = client.submit(
+                        "tp-flaky", {"marker": str(tmp_path / "m")})
+                    final = client.result(job["id"], timeout=120)
+                trace_id = root.context.trace_id
+        finally:
+            server.close(drain=False)
+        obs.flush_sinks()
+    sink.close()
+
+    assert final["state"] == "done"
+    assert final["result"]["attempt"] == 2
+    worker_pid = final["result"]["pid"]
+    assert worker_pid != os.getpid()  # really ran out of process
+
+    events = obs.load_jsonl(trace_path)
+    spans = [e for e in events if isinstance(e, obs.SpanRecord)]
+    mine = [s for s in spans if s.trace_id == trace_id]
+    names = {s.name for s in mine}
+    # The chain crosses the socket and the process boundary intact.
+    assert {"tp.request", "serve.client.submit", "serve.submit",
+            "serve.job"} <= names
+    codec_spans = [s for s in mine
+                   if s.name in ("compressors.compress",
+                                 "compressors.decompress")]
+    assert codec_spans, "worker codec spans missing from the trace"
+    assert all(s.pid == worker_pid for s in codec_spans)
+    assert all(s.trace_id == trace_id for s in codec_spans)
+
+    # The tree reassembles: codec spans reach the client root via
+    # parent links (the retried first attempt merged nothing).
+    by_id = {s.span_id: s for s in mine}
+    for s in codec_spans:
+        node = s
+        while node.parent_id is not None and node.parent_id in by_id:
+            node = by_id[node.parent_id]
+        assert node.name == "tp.request"
+
+    tree = obs.render_trace_tree(events, trace_id)
+    assert "tp.request" in tree
+    assert "compressors.compress" in tree
+    assert f"pid {worker_pid}" in tree
+    traces = obs.list_traces(events)
+    assert trace_id in {t for t, _, _ in traces}
+
+
+def test_propagation_disabled_keeps_daemon_spans_out_of_client_trace(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_PROPAGATE", "0")
+    buf = obs.BufferSink()
+    with obs.tracing(sinks=[buf]):
+        manager = JobManager(
+            workers=1, queue_size=8,
+            executor=Executor("thread", workers=1, retries=0))
+        server = ReproServer(manager)
+        server.serve_in_thread()
+        host, port = server.address
+        try:
+            with ServeClient.connect(host=host, port=port) as client:
+                # marker pre-created: the single attempt succeeds
+                (tmp_path / "m2").write_text("ready")
+                with obs.span("tp.lonely") as root:
+                    job = client.submit(
+                        "tp-flaky", {"marker": str(tmp_path / "m2")})
+                    final = client.result(job["id"], timeout=60)
+                trace_id = root.context.trace_id
+        finally:
+            server.close(drain=False)
+    assert final["state"] == "done"
+    spans = [e for e in buf.events if isinstance(e, obs.SpanRecord)]
+    server_side = [s for s in spans if s.name == "serve.job"]
+    assert server_side
+    assert all(s.trace_id != trace_id for s in server_side)

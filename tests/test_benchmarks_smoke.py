@@ -40,3 +40,22 @@ def test_stream_throughput_bench_smokes(tmp_path):
     )
     record = tmp_path / "BENCH_stream_throughput.json"
     assert record.exists(), "tiny run wrote no bench record"
+
+
+def test_obs_overhead_bench_smokes(tmp_path):
+    env = dict(os.environ, **TINY)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_BENCH_HISTORY"] = str(tmp_path / "history")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         str(REPO / "benchmarks" / "bench_obs_overhead.py")],
+        cwd=REPO / "benchmarks", env=env,
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"benchmark smoke failed\n--- stdout ---\n{proc.stdout}"
+        f"\n--- stderr ---\n{proc.stderr}"
+    )
+    record = tmp_path / "BENCH_obs_overhead.json"
+    assert record.exists(), "tiny run wrote no bench record"

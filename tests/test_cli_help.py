@@ -33,6 +33,7 @@ EXPECTED_PAGES = {
     "serve": "docs/serving.md",
     "submit": "docs/serving.md",
     "jobs": "docs/serving.md",
+    "top": "docs/serving.md",
 }
 
 
