@@ -1,0 +1,209 @@
+"""Codec zoo: the SZ and BitRound codecs and the mixed SZ+BR hybrid.
+
+Shape: every SZ rung reconstructs within its advertised error bound
+(violations == 0) and BitRound zeroes exactly the dropped mantissa tail;
+both codecs pass all four acceptance tests at some rung on a featured
+variable; and the mixed SZ+BR hybrid beats the paper's 5:1 target on
+total data volume (total CR < 0.2) at the default bench scale, which no
+paper-era family manages (fpzip's committed avg CR is ~0.29).
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import save_table
+
+from repro.compressors import get_variant, method_families
+from repro.compressors.bitround import round_mantissa
+from repro.config import FILL_VALUE
+from repro.encoding.container import SectionReader
+from repro.harness.tables import (
+    table7_hybrid_summary,
+    table8_hybrid_composition,
+)
+from repro.pvt.acceptance import VariableContext, evaluate_variable
+
+#: The per-codec rate/latency sweep: the new families' headline rungs
+#: with the paper's fpzip-24 and the NC baseline for reference.
+RATE_VARIANTS = (
+    "SZ-rel-0.001", "SZ-rel-0.0001", "SZ-abs-0.001", "SZ-pw-0.005",
+    "SZ-rel-0.001-delta", "BR-6", "BR-8", "BR-auto", "fpzip-24",
+    "NetCDF-4",
+)
+
+TIMING_ROUNDS = 7
+
+
+def _run_bias() -> bool:
+    return os.environ.get("REPRO_SKIP_BIAS", "0") != "1"
+
+
+def _full_scale(ctx) -> bool:
+    """True at the default bench scale the committed baselines use."""
+    c = ctx.config
+    return c.ne >= 6 and c.n_members >= 101 and c.n_variables >= 170
+
+
+def _sz_bound_violations(codec, original, recon) -> int:
+    """Points whose reconstruction error exceeds the advertised bound."""
+    x = original.astype(np.float64)
+    finite = np.isfinite(x) & (original != original.dtype.type(FILL_VALUE))
+    err = np.abs(recon.astype(np.float64) - x)[finite]
+    if codec.mode == "pw":
+        return int((err > codec.bound * np.abs(x)[finite]).sum())
+    if codec.mode == "abs":
+        eb = codec.bound
+    else:
+        vals = x[finite]
+        span = float(vals.max() - vals.min()) if vals.size else 0.0
+        if span == 0.0 and vals.size:
+            span = float(np.abs(vals).max())
+        eb = codec.bound * span
+    return int((err > eb).sum())
+
+
+def _bitround_violations(codec, original, blob, recon) -> int:
+    """Points that differ from an exact keepbits mantissa rounding."""
+    kb = codec.used_keepbits(SectionReader(blob).get("data"))
+    expected = round_mantissa(original, kb)
+    return int(
+        (~np.isclose(recon, expected, rtol=0.0, atol=0.0, equal_nan=True))
+        .sum()
+    )
+
+
+def _median_seconds(fn, rounds: int = TIMING_ROUNDS) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def test_codec_rates(benchmark, ctx, results_dir, bench_record):
+    """Per-codec CR, bound-violation count, and round-trip latency."""
+    field = np.ascontiguousarray(
+        ctx.ensemble.ensemble_field(ctx.featured[0])[0]
+    )
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for variant in RATE_VARIANTS:
+            codec = get_variant(variant)
+            blob = codec.compress(field)
+            recon = codec.decompress(blob)
+            cr = len(blob) / field.nbytes
+            if variant.startswith("SZ-"):
+                violations = _sz_bound_violations(codec, field, recon)
+            elif variant.startswith("BR-"):
+                violations = _bitround_violations(codec, field, blob, recon)
+            else:
+                violations = int(not np.array_equal(recon, field)) \
+                    if codec.is_lossless else 0
+            c_p50 = _median_seconds(lambda: codec.compress(field))
+            d_p50 = _median_seconds(lambda: codec.decompress(blob))
+            rows.append([variant, cr, violations, c_p50, d_p50])
+        return rows
+
+    bench_record.run(benchmark, sweep, metric="rates_sweep_s",
+                     threshold_pct=50.0)
+    save_table(
+        results_dir, "codec_zoo_rates",
+        ["variant", "CR", "bound violations", "compress p50 (s)",
+         "decompress p50 (s)"],
+        rows,
+        title=f"Codec zoo rates on {ctx.featured[0]} "
+              f"(member 0, {field.size} points)",
+        precision=4,
+    )
+    for variant, cr, violations, c_p50, d_p50 in rows:
+        bench_record.metric(f"{variant}.cr", cr, threshold_pct=5.0)
+        bench_record.metric(f"{variant}.compress_p50_s", c_p50, unit="s",
+                            threshold_pct=50.0)
+        bench_record.metric(f"{variant}.decompress_p50_s", d_p50, unit="s",
+                            threshold_pct=50.0)
+        # The SZ bound and the BitRound keepbits contract hold exactly.
+        assert violations == 0, (variant, violations)
+    by_name = {r[0]: r[1] for r in rows}
+    assert by_name["SZ-rel-0.001"] < by_name["NetCDF-4"]
+    assert by_name["BR-8"] < by_name["NetCDF-4"]
+
+
+def test_pvt_acceptance(benchmark, ctx, bench_record):
+    """Both codec families pass all four tests at some rung (Table 6)."""
+    name = ctx.featured[0]
+    fields = ctx.ensemble.ensemble_field(name)
+    context = VariableContext.from_ensemble(fields)
+    run_bias = _run_bias()
+
+    def walk():
+        first = {}
+        for family in ("SZ", "BitRound"):
+            ladder = method_families(include_modern=True)[family]
+            for variant in ladder[:-1]:  # lossy rungs only
+                verdict = evaluate_variable(
+                    fields, get_variant(variant), ctx.test_members,
+                    variable=name, run_bias=run_bias, context=context,
+                )
+                if verdict.all_passed:
+                    first[family] = ladder.index(variant)
+                    break
+        return first
+
+    first = bench_record.run(benchmark, walk, metric="pvt_walk_s",
+                             threshold_pct=50.0)
+    for family in ("SZ", "BitRound"):
+        assert family in first, \
+            f"no lossy {family} rung passes the PVT on {name}"
+        bench_record.metric(
+            f"{family}.first_passing_rung", float(first[family]),
+            direction="lower", threshold_pct=None,
+        )
+
+
+def test_table7_codec_zoo(benchmark, ctx, results_dir, bench_record):
+    """Extended Table 7: the modern hybrids next to the paper's four."""
+    headers, rows, hybrids = bench_record.run(
+        benchmark,
+        lambda: table7_hybrid_summary(ctx, run_bias=_run_bias(),
+                                      include_modern=True),
+        metric="table7_modern_s", threshold_pct=50.0,
+    )
+    save_table(
+        results_dir, "table7_codec_zoo", headers, rows,
+        title="Table 7 (extended): paper families + SZ / BitRound / SZ+BR "
+              "(SZ+BR beats 5:1 on total volume at bench scale)",
+    )
+    comp_headers, comp_rows = table8_hybrid_composition(
+        {f: hybrids[f] for f in ("SZ", "BitRound", "SZ+BR")}
+    )
+    save_table(
+        results_dir, "table8_codec_zoo", comp_headers, comp_rows,
+        title="Table 8 (extended): composition of the modern hybrids",
+    )
+
+    stat = {r[0]: dict(zip(headers, r)) for r in rows}
+    modern = ("SZ", "BitRound", "SZ+BR")
+    for family in modern:
+        bench_record.metric(f"{family}.avg_cr", stat["avg. CR"][family],
+                            threshold_pct=5.0)
+        bench_record.metric(f"{family}.total_cr",
+                            stat["total CR"][family], threshold_pct=5.0)
+        # Selector guarantee: every lossy choice passed the rho test.
+        assert stat["avg. rho"][family] >= 0.99999
+    for family in modern:
+        # Composition covers the whole catalog.
+        total = sum(r[2] for r in comp_rows if r[0] == family)
+        assert total == ctx.config.n_variables
+    if _full_scale(ctx):
+        avg = stat["avg. CR"]
+        # Every modern hybrid beats lossless-everything...
+        for family in modern:
+            assert avg[family] < avg["NC"]
+        # ...the mixed ladder needs no lossless fallback to speak of, and
+        # the headline claim: >5:1 on total data volume.
+        assert stat["total CR"]["SZ+BR"] < 0.2
+        assert avg["SZ+BR"] <= avg["SZ"] + 0.01

@@ -41,8 +41,13 @@ def ctx() -> ExperimentContext:
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+    # REPRO_RESULTS_DIR redirects rendered tables/CSVs away from the
+    # committed benchmarks/results/ — the tier-1 smoke runs use it so a
+    # tiny-scale pass never clobbers the bench-scale artifacts.
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    path = Path(override) if override else RESULTS_DIR
+    path.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 @pytest.fixture(scope="session")

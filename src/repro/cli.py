@@ -157,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="build a per-variable hybrid plan (Section 5.4)",
                        epilog=_docs("docs/architecture.md"))
     p.add_argument("family", choices=["GRIB2", "ISABELA", "fpzip", "APAX",
+                                      "SZ", "BitRound", "SZ+BR",
                                       "NetCDF-4"])
     p.add_argument("--extended-apax", action="store_true",
                    help="include APAX rates 6 and 7")
@@ -167,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
                        epilog=_docs("docs/architecture.md"))
     p.add_argument("number", type=int, choices=range(1, 9))
     p.add_argument("--no-bias", action="store_true")
+    p.add_argument("--modern", action="store_true",
+                   help="tables 7/8: include the SZ, BitRound, and SZ+BR "
+                        "hybrids")
     _add_scale_flags(p)
     _add_exec_flags(p, workers_default=0)
 
@@ -191,8 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mean-tolerance", type=float, default=1.0,
                    help="stretch factor on the global-mean range")
 
-    sub.add_parser("variants", help="list registered codec variants",
-                   epilog=_docs("docs/architecture.md"))
+    p = sub.add_parser("variants", help="list registered codec variants",
+                       epilog=_docs("docs/compressors.md"))
+    p.add_argument("--properties", action="store_true",
+                   help="add each codec's Table 1 row (lossless mode, "
+                        "special values, quality/rate, 64-bit)")
 
     p = sub.add_parser(
         "lint",
@@ -449,7 +456,19 @@ def main(argv=None) -> int:
 
         for name in variant_names():
             props = get_variant(name).properties()
-            print(f"{name:10s} {props.name}")
+            line = f"{name:18s} {props.name}"
+            if args.properties:
+                flags = (
+                    ("lossless", props.lossless_mode),
+                    ("special-values", props.special_values),
+                    ("fixed-quality", props.fixed_quality),
+                    ("fixed-cr", props.fixed_cr),
+                    ("64-bit", props.bits_32_and_64),
+                )
+                line += "  " + " ".join(
+                    f"{label}={'y' if on else 'n'}" for label, on in flags
+                )
+            print(line)
         return 0
 
     from repro.harness.report import render_table
@@ -549,7 +568,11 @@ def main(argv=None) -> int:
     if args.command == "verify":
         from repro.compressors import get_variant
 
-        codec = get_variant(args.variant)
+        try:
+            codec = get_variant(args.variant)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
         report = ctx.pvt.evaluate_codec(
             codec, variables=_featured_or(args.variables, ctx),
             run_bias=not args.no_bias, workers=args.workers,
@@ -585,7 +608,8 @@ def main(argv=None) -> int:
             [[c.variable, c.variant, c.cr, c.rho, c.nrmse, c.e_nmax]
              for c in result.choices.values()],
             title=f"Hybrid {args.family}: avg CR {s['avg_cr']:.3f} "
-                  f"(best {s['best_cr']:.3f}, worst {s['worst_cr']:.3f})",
+                  f"(total {s['total_cr']:.3f}, best {s['best_cr']:.3f}, "
+                  f"worst {s['worst_cr']:.3f})",
         ))
         return 0
 
@@ -620,11 +644,13 @@ def main(argv=None) -> int:
                                             workers=args.workers)
         elif n == 7:
             headers, rows, _ = t.table7_hybrid_summary(
-                ctx, run_bias=not args.no_bias
+                ctx, run_bias=not args.no_bias,
+                include_modern=args.modern,
             )
         else:
             _, _, hybrids = t.table7_hybrid_summary(
-                ctx, run_bias=not args.no_bias
+                ctx, run_bias=not args.no_bias,
+                include_modern=args.modern,
             )
             headers, rows = t.table8_hybrid_composition(hybrids)
         print(render_table(headers, rows, title=f"Table {n}"))
@@ -651,10 +677,15 @@ def _traced_aggregator(args, mem: bool = False):
         ne=args.ne, nlev=args.nlev,
         n_members=args.members if args.members else 21,
     )
+    try:
+        codec = get_variant(args.variant)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        raise SystemExit(2) from None
     with obs.tracing(), obs.profiling_memory(mem or obs.mem_active()):
         ctx = ExperimentContext.create(config)
         ctx.pvt.evaluate_codec(
-            get_variant(args.variant),
+            codec,
             variables=_featured_or(args.variables, ctx),
             run_bias=args.bias,
             workers=args.workers,

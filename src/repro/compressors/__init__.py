@@ -10,11 +10,13 @@ API:
 :class:`Isabela`          window sort + B-spline fit with relative-error bound
 :class:`Grib2Jpeg2000`    decimal/binary scaling + wavelet packing + bitmap
 :class:`Apax`             fixed-rate block adaptive coder (+ fixed quality)
+:class:`SzLike`           SZ-style error-bounded predictor-quantizer
+:class:`BitRound`         keepbits mantissa rounding + shuffle+DEFLATE
 ========================  ======================================================
 
 Variants used in the paper's tables (fpzip-16, ISA-0.5, APAX-4, ...) are
 constructed via :func:`get_variant`, which knows every named variant in
-Tables 3-8.
+Tables 3-8 plus the modern SZ-*/BR-* additions (docs/compressors.md).
 """
 
 from repro.compressors.base import (
@@ -29,6 +31,8 @@ from repro.compressors.fpzip import Fpzip
 from repro.compressors.isabela import Isabela
 from repro.compressors.grib2 import Grib2Jpeg2000
 from repro.compressors.apax import Apax, ApaxProfiler
+from repro.compressors.szlike import SzLike
+from repro.compressors.bitround import BitRound, estimate_keepbits, round_mantissa
 from repro.compressors.registry import (
     get_variant,
     variant_names,
@@ -48,6 +52,10 @@ __all__ = [
     "Grib2Jpeg2000",
     "Apax",
     "ApaxProfiler",
+    "SzLike",
+    "BitRound",
+    "estimate_keepbits",
+    "round_mantissa",
     "get_variant",
     "variant_names",
     "paper_variants",

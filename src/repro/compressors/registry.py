@@ -8,15 +8,18 @@ lossless fallback — the ordering the hybrid selector (Section 5.4) walks.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 from repro.compressors.apax import Apax
 from repro.compressors.base import Compressor
+from repro.compressors.bitround import BitRound
 from repro.compressors.fpzip import Fpzip
 from repro.compressors.grib2 import Grib2Jpeg2000
 from repro.compressors.isabela import Isabela
 from repro.compressors.lossless_related import Isobar, Mafisc
 from repro.compressors.nczlib import NetCDF4Zlib
+from repro.compressors.szlike import SzLike
 
 __all__ = ["get_variant", "variant_names", "paper_variants", "method_families"]
 
@@ -42,6 +45,36 @@ _FACTORIES: dict[str, Callable[[], Compressor]] = {
     "MAFISC": lambda: Mafisc(adaptive=True),
     "LZMA": lambda: Mafisc(adaptive=False),
     "fpzip-32-lorenzo": lambda: Fpzip(precision=32, predictor="lorenzo"),
+    # Modern additions (ROADMAP: codec zoo expansion, docs/compressors.md):
+    # SZ-style error-bounded predictor-quantizer ...
+    "SZ-rel-0.01": lambda: SzLike(bound=1e-2, mode="rel"),
+    "SZ-rel-0.005": lambda: SzLike(bound=5e-3, mode="rel"),
+    "SZ-rel-0.002": lambda: SzLike(bound=2e-3, mode="rel"),
+    "SZ-rel-0.001": lambda: SzLike(bound=1e-3, mode="rel"),
+    "SZ-rel-0.0005": lambda: SzLike(bound=5e-4, mode="rel"),
+    "SZ-rel-0.0002": lambda: SzLike(bound=2e-4, mode="rel"),
+    "SZ-rel-0.0001": lambda: SzLike(bound=1e-4, mode="rel"),
+    "SZ-rel-5e-05": lambda: SzLike(bound=5e-5, mode="rel"),
+    "SZ-rel-2e-05": lambda: SzLike(bound=2e-5, mode="rel"),
+    "SZ-rel-1e-05": lambda: SzLike(bound=1e-5, mode="rel"),
+    "SZ-abs-0.001": lambda: SzLike(bound=1e-3, mode="abs"),
+    # Pointwise-relative bounds (SZ's PW_REL, log-lattice): the natural
+    # shape for tracer-like fields spanning many decades.
+    "SZ-pw-0.01": lambda: SzLike(bound=1e-2, mode="pw"),
+    "SZ-pw-0.005": lambda: SzLike(bound=5e-3, mode="pw"),
+    "SZ-pw-0.002": lambda: SzLike(bound=2e-3, mode="pw"),
+    "SZ-pw-0.001": lambda: SzLike(bound=1e-3, mode="pw"),
+    "SZ-rel-0.001-delta": lambda: SzLike(bound=1e-3, mode="rel",
+                                         predictor="delta"),
+    # ... and keepbits mantissa rounding (BR-auto estimates keepbits from
+    # the data's bitwise information).
+    "BR-4": lambda: BitRound(keepbits=4),
+    "BR-6": lambda: BitRound(keepbits=6),
+    "BR-8": lambda: BitRound(keepbits=8),
+    "BR-10": lambda: BitRound(keepbits=10),
+    "BR-12": lambda: BitRound(keepbits=12),
+    "BR-16": lambda: BitRound(keepbits=16),
+    "BR-auto": lambda: BitRound(keepbits="auto"),
 }
 
 #: The nine lossy variants of the paper's Tables 3-6 / Figures 1-4, in the
@@ -77,6 +110,27 @@ _FAMILIES_EXTENDED = dict(
                      "NetCDF-4")
 )
 
+#: Ladders for the post-paper codec families (most-compressive first:
+#: the loosest error bound / fewest keepbits leads).  Kept out of the
+#: default family set so the paper-faithful Tables 7-8 are unchanged;
+#: opt in via ``method_families(include_modern=True)``.
+_FAMILIES_MODERN: dict[str, tuple[str, ...]] = {
+    "SZ": ("SZ-rel-0.01", "SZ-rel-0.005", "SZ-rel-0.002", "SZ-rel-0.001",
+           "SZ-rel-0.0005", "SZ-rel-0.0002", "SZ-rel-0.0001",
+           "SZ-rel-5e-05", "SZ-rel-2e-05", "SZ-rel-1e-05", "NetCDF-4"),
+    "BitRound": ("BR-4", "BR-6", "BR-8", "BR-10", "BR-12", "NetCDF-4"),
+    # The flagship mixed ladder: range-relative SZ rungs are the most
+    # compressive when they pass; pointwise-relative rungs — SZ's
+    # log-lattice pw mode first, BitRound as the deeper fallback —
+    # rescue wide-dynamic-range fields that would otherwise fall through
+    # to lossless NetCDF-4.  Interleaved by typical compression ratio.
+    "SZ+BR": ("SZ-rel-0.005", "SZ-rel-0.002", "SZ-rel-0.001",
+              "SZ-pw-0.005", "SZ-rel-0.0005", "SZ-rel-0.0002",
+              "SZ-pw-0.002", "SZ-rel-0.0001", "BR-6", "SZ-rel-5e-05",
+              "SZ-pw-0.001", "BR-8", "SZ-rel-2e-05", "BR-10",
+              "SZ-rel-1e-05", "BR-12", "NetCDF-4"),
+}
+
 
 def get_variant(name: str) -> Compressor:
     """Instantiate the codec for a table label such as ``"APAX-4"``."""
@@ -84,7 +138,11 @@ def get_variant(name: str) -> Compressor:
         factory = _FACTORIES[name]
     except KeyError:
         known = ", ".join(sorted(_FACTORIES))
-        raise KeyError(f"unknown variant {name!r}; known: {known}") from None
+        close = difflib.get_close_matches(name, _FACTORIES, n=3, cutoff=0.4)
+        hint = f" (did you mean {', '.join(close)}?)" if close else ""
+        raise KeyError(
+            f"unknown variant {name!r};{hint} known: {known}"
+        ) from None
     return factory()
 
 
@@ -98,11 +156,16 @@ def paper_variants() -> tuple[str, ...]:
     return _PAPER_VARIANTS
 
 
-def method_families(extended_apax: bool = False) -> dict[str, tuple[str, ...]]:
+def method_families(extended_apax: bool = False,
+                    include_modern: bool = False) -> dict[str, tuple[str, ...]]:
     """Variant ladders per family, most-compressive first.
 
     With ``extended_apax=True`` the APAX ladder includes rates 6 and 7
-    (the paper's suggested follow-up experiment).
+    (the paper's suggested follow-up experiment).  With
+    ``include_modern=True`` the post-paper SZ and BitRound ladders are
+    appended after the paper's four families.
     """
-    families = _FAMILIES_EXTENDED if extended_apax else _FAMILIES
+    families = dict(_FAMILIES_EXTENDED if extended_apax else _FAMILIES)
+    if include_modern:
+        families.update(_FAMILIES_MODERN)
     return {k: tuple(v) for k, v in families.items()}

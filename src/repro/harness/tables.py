@@ -302,20 +302,33 @@ def _variant_passes_for_names(args):
 
 
 def table7_hybrid_summary(ctx: ExperimentContext, run_bias: bool = True,
-                          extended_apax: bool = False):
-    """Table 7: per-family hybrid statistics plus the NC column."""
+                          extended_apax: bool = False,
+                          include_modern: bool = False):
+    """Table 7: per-family hybrid statistics plus the NC column.
+
+    ``include_modern=True`` appends the post-paper SZ, BitRound, and
+    mixed SZ+BR hybrid columns between APAX and NC
+    (docs/compressors.md).
+    """
     hybrids = build_all_hybrids(
-        ctx.ensemble, run_bias=run_bias, extended_apax=extended_apax
+        ctx.ensemble, run_bias=run_bias, extended_apax=extended_apax,
+        include_modern=include_modern,
     )
     order = ["GRIB2", "ISABELA", "fpzip", "APAX", "NetCDF-4"]
-    headers = ["statistic"] + [f if f != "NetCDF-4" else "NC" for f in order]
-    stats = {f: hybrids[f].summary() for f in order}
-    rows = []
-    for key, label in [
+    labels = [
         ("avg_cr", "avg. CR"), ("best_cr", "best CR"),
         ("worst_cr", "worst CR"), ("avg_rho", "avg. rho"),
         ("avg_nrmse", "avg. nrmse"), ("avg_enmax", "avg. e_nmax"),
-    ]:
+    ]
+    if include_modern:
+        order[4:4] = ["SZ", "BitRound", "SZ+BR"]
+        # The volume-weighted ratio only joins the extended table: the
+        # paper's Table 7 reports the unweighted per-variable average.
+        labels.insert(1, ("total_cr", "total CR"))
+    headers = ["statistic"] + [f if f != "NetCDF-4" else "NC" for f in order]
+    stats = {f: hybrids[f].summary() for f in order}
+    rows = []
+    for key, label in labels:
         rows.append([label] + [stats[f][key] for f in order])
     return headers, rows, hybrids
 
@@ -324,7 +337,9 @@ def table8_hybrid_composition(hybrids):
     """Table 8: number of variables per variant in each hybrid method."""
     headers = ["Method", "Variant", "Number of Variables"]
     rows = []
-    for family in ("GRIB2", "ISABELA", "fpzip", "APAX"):
+    order = ("GRIB2", "ISABELA", "fpzip", "APAX", "SZ", "BitRound",
+             "SZ+BR")
+    for family in (f for f in order if f in hybrids):
         comp = hybrids[family].composition()
         for variant, count in sorted(
             comp.items(), key=lambda kv: -kv[1]

@@ -1,0 +1,148 @@
+"""BitRound keepbits codec: rounding exactness and the NSB estimator."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compressors import BitRound, estimate_keepbits, round_mantissa
+from repro.config import FILL_VALUE
+
+
+@pytest.fixture
+def field(rng):
+    return np.cumsum(
+        rng.normal(size=(20, 16, 24)).astype(np.float32), axis=2
+    )
+
+
+class TestValidation:
+    def test_bad_keepbits(self):
+        for kb in (-1, 53, "many"):
+            with pytest.raises(ValueError):
+                BitRound(keepbits=kb)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError, match="information_ratio"):
+            BitRound(information_ratio=0.0)
+
+    def test_variant_labels(self):
+        assert BitRound(8).variant == "BR-8"
+        assert BitRound("auto").variant == "BR-auto"
+
+    def test_lossless_at_full_float32_mantissa(self):
+        assert BitRound(23).is_lossless
+        assert not BitRound(22).is_lossless
+        assert not BitRound("auto").is_lossless
+
+
+class TestRoundMantissa:
+    @pytest.mark.parametrize("keepbits", [1, 4, 10, 22])
+    def test_trailing_bits_zeroed(self, field, keepbits):
+        out = round_mantissa(field, keepbits)
+        drop = 23 - keepbits
+        tail = out.reshape(-1).view(np.uint32) & np.uint32((1 << drop) - 1)
+        assert int(tail.max()) == 0
+
+    def test_relative_error_bounded(self, field, rng):
+        # Keeping k mantissa bits bounds the relative error by 2**-(k+1)
+        # (half an ulp at that precision) for normal values.
+        for keepbits in (4, 8, 12):
+            out = round_mantissa(field, keepbits)
+            rel = np.abs(out.astype(np.float64) - field.astype(np.float64))
+            rel /= np.abs(field.astype(np.float64))
+            assert rel.max() <= 2.0 ** -(keepbits + 1) * (1 + 1e-7)
+
+    def test_ties_round_to_even(self):
+        # With keepbits=1 for these powers-of-two-adjacent values the
+        # dropped tail is exactly half: 1.25 -> 1.0 (even), 1.75 -> 2.0.
+        data = np.array([1.25, 1.75], dtype=np.float32)
+        out = round_mantissa(data, 1)
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    def test_round_up_carries_into_exponent(self):
+        data = np.array([1.99, -1.99], dtype=np.float32)
+        out = round_mantissa(data, 2)
+        np.testing.assert_array_equal(out, [2.0, -2.0])
+
+    def test_specials_untouched(self):
+        data = np.array([np.inf, -np.inf, np.nan, np.float32(FILL_VALUE)],
+                        dtype=np.float32)
+        out = round_mantissa(data, 3)
+        assert out[0] == np.inf and out[1] == -np.inf
+        assert np.isnan(out[2])
+        assert out[3] == np.float32(FILL_VALUE)
+
+    def test_never_rounds_finite_to_infinity(self):
+        data = np.array([np.finfo(np.float32).max,
+                         -np.finfo(np.float32).max], dtype=np.float32)
+        out = round_mantissa(data, 2)
+        assert np.isfinite(out).all()
+
+    def test_denormals_stay_finite_and_bounded(self):
+        tiny = np.float32(1e-42)  # subnormal
+        data = np.array([tiny, -tiny, np.float32(0.0)], dtype=np.float32)
+        out = round_mantissa(data, 4)
+        assert np.isfinite(out).all()
+        assert np.abs(out[0]) <= np.float32(2e-42)
+
+    def test_float64(self):
+        data = np.linspace(0.9, 1.1, 64)
+        out = round_mantissa(data, 8)
+        rel = np.abs(out - data) / np.abs(data)
+        assert rel.max() <= 2.0 ** -9 * (1 + 1e-12)
+        assert out.dtype == np.float64
+
+
+class TestEstimator:
+    def test_smooth_field_keeps_more_than_noise(self, rng):
+        smooth = np.sin(np.linspace(0, 40, 50000)).astype(np.float32)
+        noise = rng.normal(size=50000).astype(np.float32)
+        assert estimate_keepbits(smooth) > estimate_keepbits(noise)
+
+    def test_clamped_to_mantissa(self, rng):
+        data = rng.normal(size=64).astype(np.float32)
+        assert 0 <= estimate_keepbits(data) <= 23
+
+    def test_tiny_inputs_conservative(self):
+        assert estimate_keepbits(np.array([1.0], dtype=np.float32)) == 23
+
+    def test_deterministic(self, rng):
+        data = np.cumsum(rng.normal(size=4096)).astype(np.float32)
+        assert estimate_keepbits(data) == estimate_keepbits(data)
+
+
+class TestCodec:
+    def test_roundtrip_equals_round_mantissa(self, field):
+        codec = BitRound(6)
+        out = codec.roundtrip(field).reconstructed
+        np.testing.assert_array_equal(out, round_mantissa(field, 6))
+
+    def test_fewer_keepbits_compress_harder(self, field):
+        crs = [BitRound(k).roundtrip(field).cr for k in (4, 8, 12, 16)]
+        assert crs == sorted(crs)
+
+    def test_auto_records_used_keepbits(self, field):
+        codec = BitRound("auto")
+        blob = codec.compress(field)
+        from repro.encoding.container import SectionReader
+
+        payload = SectionReader(blob).get("data")
+        used = codec.used_keepbits(payload)
+        assert 1 <= used <= 23
+        # The header byte matches a direct estimate on the same values.
+        assert used == estimate_keepbits(field.reshape(-1))
+
+    def test_fixed_keepbits_header(self, field):
+        blob = BitRound(9).compress(field)
+        from repro.encoding.container import SectionReader
+
+        payload = SectionReader(blob).get("data")
+        assert struct.unpack_from("<B", payload, 0)[0] == 9
+
+    def test_beats_lossless_on_smooth_data(self, field):
+        from repro.compressors import NetCDF4Zlib
+
+        br = BitRound(8).roundtrip(field).cr
+        nc = NetCDF4Zlib().roundtrip(field).cr
+        assert br < nc

@@ -27,6 +27,17 @@ class TestGetVariant:
         with pytest.raises(KeyError, match="unknown variant"):
             get_variant("zfp-16")
 
+    def test_unknown_variant_lists_known_names(self):
+        with pytest.raises(KeyError, match="known:.*APAX-4.*fpzip-24"):
+            get_variant("zfp-16")
+
+    def test_unknown_variant_suggests_close_match(self):
+        # A near-miss label gets a did-you-mean hint before the full list.
+        with pytest.raises(KeyError, match="did you mean.*fpzip-24"):
+            get_variant("fpzip24")
+        with pytest.raises(KeyError, match="did you mean.*SZ-rel-0.001"):
+            get_variant("SZ-rel-.001")
+
     def test_fresh_instances(self):
         assert get_variant("APAX-4") is not get_variant("APAX-4")
 
@@ -65,6 +76,42 @@ class TestFamilies:
         extended = method_families(extended_apax=True)["APAX"]
         assert "APAX-6" in extended and "APAX-7" in extended
         assert len(extended) > len(base)
+
+    def test_modern_families_are_opt_in(self):
+        # Default families stay paper-faithful (Tables 7-8 unchanged).
+        assert "SZ" not in method_families()
+        assert "BitRound" not in method_families()
+        assert "SZ+BR" not in method_families()
+        modern = method_families(include_modern=True)
+        assert modern["SZ"][-1] == "NetCDF-4"
+        assert modern["BitRound"][-1] == "NetCDF-4"
+        assert modern["SZ+BR"][-1] == "NetCDF-4"
+        # The paper's four families are still present and unchanged.
+        for family, ladder in method_families().items():
+            assert modern[family] == ladder
+
+    def test_mixed_ladder_interleaves_the_pure_ladders(self):
+        # Every SZ+BR rung is an SZ or BitRound codec (the pw rungs only
+        # appear here), both families contribute lossy rungs, and every
+        # rung resolves through the registry.
+        from repro.compressors import BitRound, NetCDF4Zlib, SzLike
+
+        mixed = method_families(include_modern=True)["SZ+BR"]
+        for name in mixed:
+            assert isinstance(get_variant(name),
+                              (SzLike, BitRound, NetCDF4Zlib)), name
+        assert any(v.startswith("SZ-rel-") for v in mixed)
+        assert any(v.startswith("SZ-pw-") for v in mixed)
+        assert any(v.startswith("BR-") for v in mixed)
+
+    def test_modern_ladder_order_most_compressive_first(self, climate_field):
+        modern = method_families(include_modern=True)
+        for family in ("SZ", "BitRound"):
+            crs = [
+                get_variant(v).roundtrip(climate_field).cr
+                for v in modern[family][:-1]
+            ]
+            assert crs == sorted(crs), family
 
     def test_isabela_and_grib2_fall_back_to_netcdf(self):
         # Section 5.4: they cannot be lossless, so NetCDF-4 is their

@@ -1,0 +1,90 @@
+"""Noise-plane split coding."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.bitplane import (
+    MAX_SPLIT,
+    candidate_splits,
+    split_decode,
+    split_encode,
+)
+
+
+def roundtrip(values, k):
+    values = np.asarray(values, dtype=np.uint64)
+    out = split_decode(split_encode(values, k), values.size)
+    np.testing.assert_array_equal(out, values)
+    return out
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("k", [0, 1, 3, 7, 8, 13, 31])
+    def test_random_residuals(self, rng, k):
+        values = rng.integers(0, 1 << 20, 4096).astype(np.uint64)
+        roundtrip(values, k)
+
+    def test_empty(self):
+        roundtrip(np.empty(0, dtype=np.uint64), 4)
+
+    def test_single_value(self):
+        roundtrip([12345], 5)
+
+    def test_all_zero(self):
+        roundtrip(np.zeros(100, dtype=np.uint64), 3)
+
+    def test_values_wider_than_the_split(self, rng):
+        values = rng.integers(0, 1 << 50, 512).astype(np.uint64)
+        roundtrip(values, 12)
+
+    def test_count_not_a_multiple_of_eight(self, rng):
+        # The packed low stream ends mid-byte; padding must not leak.
+        values = rng.integers(0, 1 << 10, 37).astype(np.uint64)
+        roundtrip(values, 3)
+
+    def test_geometric_residuals_beat_flat_storage(self, rng):
+        # The target distribution: skewed high bits, noisy low bits.
+        values = rng.geometric(1 / 200.0, 8192).astype(np.uint64)
+        blob = split_encode(values, 4)
+        assert len(blob) < values.size * 2
+
+
+class TestValidation:
+    def test_split_point_range(self):
+        values = np.arange(8, dtype=np.uint64)
+        with pytest.raises(ValueError, match="split point"):
+            split_encode(values, -1)
+        with pytest.raises(ValueError, match="split point"):
+            split_encode(values, MAX_SPLIT + 1)
+
+    def test_truncated_payload(self):
+        values = np.arange(100, dtype=np.uint64)
+        blob = split_encode(values, 8)
+        with pytest.raises(ValueError):
+            split_decode(blob[:20], 100)
+
+    def test_short_header(self):
+        with pytest.raises(ValueError, match="header"):
+            split_decode(b"\x01", 4)
+
+    def test_count_mismatch(self):
+        blob = split_encode(np.arange(10, dtype=np.uint64), 2)
+        with pytest.raises(ValueError):
+            split_decode(blob, 11)
+
+
+class TestCandidateSplits:
+    def test_empty_stream(self):
+        assert candidate_splits(np.empty(0, dtype=np.uint64)) == []
+
+    def test_all_zero_stream(self):
+        assert candidate_splits(np.zeros(16, dtype=np.uint64)) == [1]
+
+    def test_neighbourhood_of_log2_mean(self):
+        values = np.full(1000, 64, dtype=np.uint64)  # mean 64 -> k0 = 6
+        assert candidate_splits(values) == [5, 6, 7]
+
+    def test_clamped_to_valid_range(self):
+        values = np.ones(10, dtype=np.uint64)
+        ks = candidate_splits(values)
+        assert ks and all(1 <= k <= MAX_SPLIT for k in ks)

@@ -48,6 +48,32 @@ class TestBuildHybrid:
         with pytest.raises(KeyError, match="unknown family"):
             build_hybrid(ensemble, "zfp")
 
+    def test_sz_family(self, ensemble):
+        from repro.compressors import method_families
+
+        result = build_hybrid(ensemble, "SZ", variables=["U", "FSDSC"],
+                              run_bias=False)
+        variants = {c.variant for c in result.choices.values()}
+        assert variants <= set(method_families(include_modern=True)["SZ"])
+
+    def test_bitround_family(self, ensemble):
+        result = build_hybrid(ensemble, "BitRound",
+                              variables=["U", "FSDSC"], run_bias=False)
+        variants = {c.variant for c in result.choices.values()}
+        assert variants <= {"BR-4", "BR-6", "BR-8", "BR-10", "BR-12",
+                            "NetCDF-4"}
+
+    def test_mixed_family_draws_from_both_codecs(self, ensemble):
+        from repro.compressors import method_families
+
+        ladder = method_families(include_modern=True)["SZ+BR"]
+        assert {v for v in ladder if v.startswith("SZ-")}
+        assert {v for v in ladder if v.startswith("BR-")}
+        result = build_hybrid(ensemble, "SZ+BR", variables=["U", "FSDSC"],
+                              run_bias=False)
+        variants = {c.variant for c in result.choices.values()}
+        assert variants <= set(ladder)
+
     def test_lossless_choices_marked(self, ensemble):
         result = build_hybrid(ensemble, "NetCDF-4", run_bias=False)
         assert all(c.lossless for c in result.choices.values())
@@ -58,10 +84,20 @@ class TestBuildHybrid:
 class TestSummaryAndComposition:
     def test_summary_fields(self, fpzip_hybrid):
         s = fpzip_hybrid.summary()
-        assert set(s) == {"avg_cr", "best_cr", "worst_cr", "avg_rho",
-                          "avg_nrmse", "avg_enmax"}
+        assert set(s) == {"avg_cr", "total_cr", "best_cr", "worst_cr",
+                          "avg_rho", "avg_nrmse", "avg_enmax"}
         assert 0 < s["best_cr"] <= s["avg_cr"] <= s["worst_cr"] <= 1.05
+        assert s["best_cr"] <= s["total_cr"] <= s["worst_cr"]
         assert s["avg_rho"] > 0.999
+
+    def test_total_cr_weights_by_volume(self, fpzip_hybrid):
+        # Recompute the volume-weighted ratio by hand from the choices.
+        choices = fpzip_hybrid.choices.values()
+        assert all(c.n_points > 0 for c in choices)
+        expected = sum(c.cr * c.n_points for c in choices) / \
+            sum(c.n_points for c in choices)
+        assert fpzip_hybrid.summary()["total_cr"] == \
+            pytest.approx(expected, rel=1e-12)
 
     def test_composition_sums_to_catalog(self, fpzip_hybrid, config):
         assert sum(fpzip_hybrid.composition().values()) == config.n_variables
@@ -79,6 +115,12 @@ class TestAllHybrids:
                                     run_bias=False)
         assert set(hybrids) == {"GRIB2", "ISABELA", "fpzip", "APAX",
                                 "NetCDF-4"}
+
+    def test_modern_families_opt_in(self, ensemble):
+        hybrids = build_all_hybrids(ensemble, variables=["U", "FSDSC"],
+                                    run_bias=False, include_modern=True)
+        assert {"SZ", "BitRound"} <= set(hybrids)
+        assert len(hybrids["SZ"].choices) == 2
 
     def test_hybrid_beats_pure_lossless(self, ensemble):
         # The entire point of Section 5.4: the hybrid fpzip CR must be

@@ -137,3 +137,29 @@ def test_payload_with_module_level_fn_is_picklable():
     payload = JobPayload(fn=_double, params={"x": 1}, store_root=None)
     clone = pickle.loads(pickle.dumps(payload))
     assert execute_job(clone) == {"doubled": 2}
+
+
+# -- builtin kinds accept the modern codecs -----------------------------------
+
+TINY_SCALE = {"ne": 3, "nlev": 4, "members": 5}
+
+
+def test_compress_kind_runs_modern_variants():
+    from repro.serve.jobs import run_compress
+
+    for variant in ("SZ-rel-0.001", "BR-8"):
+        result = run_compress(dict(TINY_SCALE, variant=variant))
+        assert result["variant"] == variant
+        assert 0 < result["cr"] < 1.05
+        assert result["max_abs_err"] >= 0.0
+
+
+def test_hybrid_plan_kind_accepts_modern_families():
+    from repro.compressors import method_families
+    from repro.serve.jobs import run_hybrid_plan
+
+    result = run_hybrid_plan(dict(TINY_SCALE, family="SZ"))
+    assert result["family"] == "SZ"
+    assert result["choices"]
+    assert set(result["choices"].values()) <= \
+        set(method_families(include_modern=True)["SZ"])

@@ -1,10 +1,11 @@
-"""The streaming throughput benchmark runs end-to-end at tiny scale.
+"""Selected benchmarks run end-to-end at tiny scale inside tier-1.
 
-``benchmarks/bench_stream_throughput.py`` sizes its synthetic stream
-from :func:`repro.config.example_scale`, so the same ``REPRO_*`` knobs
-that shrink the examples shrink the benchmark from ~1 GiB to well under
-a megabyte — small enough to smoke-test the whole gate (throughput,
-RSS bound, shm-vs-pickle transfer) inside tier-1.
+The ``REPRO_*`` scale knobs shrink each benchmark from minutes to
+seconds — small enough to smoke-test the whole gate (timings, metrics,
+tables, the ``BENCH_*.json`` record) on every test run, so a benchmark
+cannot rot between baseline refreshes.  ``REPRO_RESULTS_DIR`` and
+``REPRO_BENCH_DIR`` point at ``tmp_path`` so a tiny run never clobbers
+the committed bench-scale artifacts.
 """
 
 import os
@@ -40,6 +41,29 @@ def test_stream_throughput_bench_smokes(tmp_path):
     )
     record = tmp_path / "BENCH_stream_throughput.json"
     assert record.exists(), "tiny run wrote no bench record"
+
+
+def test_codec_zoo_bench_smokes(tmp_path):
+    env = dict(os.environ, **TINY)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_BENCH_HISTORY"] = str(tmp_path / "history")
+    env["REPRO_RESULTS_DIR"] = str(tmp_path / "results")
+    env["REPRO_SKIP_BIAS"] = "1"  # the 101-member regression is not tiny
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         str(REPO / "benchmarks" / "bench_codec_zoo.py")],
+        cwd=REPO / "benchmarks", env=env,
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"benchmark smoke failed\n--- stdout ---\n{proc.stdout}"
+        f"\n--- stderr ---\n{proc.stderr}"
+    )
+    assert (tmp_path / "BENCH_codec_zoo.json").exists(), \
+        "tiny run wrote no bench record"
+    assert (tmp_path / "results" / "table7_codec_zoo.txt").exists(), \
+        "tiny run rendered no extended Table 7"
 
 
 def test_obs_overhead_bench_smokes(tmp_path):

@@ -37,6 +37,18 @@ class TestCommands:
         code = main(["verify", "fpzip-8", "U", "--no-bias", *SCALE])
         assert code == 1
 
+    def test_verify_unknown_variant_exits_2(self, capsys):
+        code = main(["verify", "fpzip24", "U", "--no-bias", *SCALE])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "unknown variant" in out
+        assert "did you mean" in out and "fpzip-24" in out
+
+    def test_verify_modern_codec(self, capsys):
+        code = main(["verify", "SZ-rel-1e-05", "U", "--no-bias", *SCALE])
+        assert code == 0
+        assert "SZ-rel-1e-05" in capsys.readouterr().out
+
     def test_table1(self, capsys):
         assert main(["table", "1", *SCALE]) == 0
         assert "GRIB2 + jpeg2000" in capsys.readouterr().out
@@ -50,6 +62,14 @@ class TestCommands:
         assert main(["hybrid", "fpzip", "--no-bias", *SCALE]) == 0
         out = capsys.readouterr().out
         assert "avg CR" in out and "fpzip-" in out
+
+    def test_hybrid_modern_families(self, capsys):
+        assert main(["hybrid", "SZ", "--no-bias", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "avg CR" in out and "SZ-" in out
+        assert main(["hybrid", "BitRound", "--no-bias", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "BR-" in out
 
 
 class TestStreamCommand:

@@ -23,7 +23,7 @@ EXPECTED_PAGES = {
     "table": "docs/architecture.md",
     "summary": "docs/architecture.md",
     "check": "docs/architecture.md",
-    "variants": "docs/architecture.md",
+    "variants": "docs/compressors.md",
     "lint": "docs/static-analysis.md",
     "stats": "docs/observability.md",
     "report": "docs/observability.md",

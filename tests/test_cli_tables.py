@@ -1,7 +1,5 @@
 """CLI table commands (the fast ones at test scale)."""
 
-import pytest
-
 from repro.cli import main
 
 SCALE = ["--ne", "3", "--nlev", "5", "--members", "21"]
@@ -34,6 +32,8 @@ def test_characterize_default_featured(capsys):
         assert name in out
 
 
-def test_unknown_variant_raises():
-    with pytest.raises(KeyError):
-        main(["verify", "zfp-8", "U", "--no-bias", *SCALE])
+def test_unknown_variant_fails_with_suggestions(capsys):
+    assert main(["verify", "zfp-8", "U", "--no-bias", *SCALE]) == 2
+    out = capsys.readouterr().out
+    assert "unknown variant 'zfp-8'" in out
+    assert "did you mean" in out and "fpzip-8" in out
